@@ -1,0 +1,54 @@
+// Fig. 1 — shared-memory access patterns, conventional vs matched.
+//
+// Measures achieved SM bytes per request cycle for the two access patterns
+// of the paper's Fig. 1 across architectures and storage widths, plus the
+// classic conflict patterns the model must catch. Peak is banks x bank
+// width (256 B on Kepler, 128 B on 4-byte-bank parts).
+#include "bench/bench_util.hpp"
+#include "src/kernels/smem_microbench.hpp"
+
+using namespace kconv;
+
+namespace {
+
+void run_row(const sim::Arch& arch, DType dt, i64 vw, i64 stride,
+             const char* label) {
+  sim::Device dev(arch);
+  kernels::SmemMicrobenchConfig cfg;
+  cfg.dtype = dt;
+  cfg.vec_width = vw;
+  cfg.stride_units = stride;
+  const auto r = kernels::smem_microbench(dev, cfg);
+  std::printf("  %-34s %8.1f B/req-cycle   replay %5.2f\n", label,
+              r.bytes_per_request_cycle, r.replay_factor);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 1 — SM bank-width model (conventional vs matched)");
+
+  std::printf("%s (banks: 32 x 8 B = 256 B/cycle peak)\n",
+              sim::kepler_k40m().name.c_str());
+  run_row(sim::kepler_k40m(), DType::F32, 1, 1, "float,  conventional (Fig 1a)");
+  run_row(sim::kepler_k40m(), DType::F32, 0, 1, "float2, matched      (Fig 1b)");
+  run_row(sim::kepler_k40m(), DType::F16, 1, 1, "half,   conventional");
+  run_row(sim::kepler_k40m(), DType::F16, 0, 1, "half4,  matched");
+  run_row(sim::kepler_k40m(), DType::I8, 1, 1, "char,   conventional");
+  run_row(sim::kepler_k40m(), DType::I8, 0, 1, "char8,  matched");
+  run_row(sim::kepler_k40m(), DType::F32, 2, 32, "float2, 32-word stride (conflict)");
+
+  std::printf("%s (banks: 32 x 4 B = 128 B/cycle peak)\n",
+              sim::maxwell_like().name.c_str());
+  run_row(sim::maxwell_like(), DType::F32, 1, 1, "float,  conventional");
+  run_row(sim::maxwell_like(), DType::F32, 0, 1, "float,  matched (n = 1)");
+  run_row(sim::maxwell_like(), DType::F16, 1, 1, "half,   conventional");
+  run_row(sim::maxwell_like(), DType::F16, 0, 1, "half2,  matched");
+  run_row(sim::maxwell_like(), DType::I8, 1, 1, "char,   conventional");
+  run_row(sim::maxwell_like(), DType::I8, 0, 1, "char4,  matched");
+
+  bench::footnote(
+      "Paper: matching W_CD to W_SMB yields an n-fold SM bandwidth gain "
+      "(2x for float on Kepler); short dtypes mismatch even on 4-byte banks.");
+  return 0;
+}

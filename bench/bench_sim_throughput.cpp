@@ -1,0 +1,63 @@
+// Host-side performance of the simulator itself (google-benchmark).
+//
+// Not a paper experiment: this guards the usability of the substrate. The
+// coroutine executor must sustain enough simulated blocks per second that
+// the figure harnesses finish in minutes.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/kernels/general_conv.hpp"
+#include "src/kernels/special_conv.hpp"
+
+using namespace kconv;
+
+namespace {
+
+void BM_SpecialConvBlock(benchmark::State& state) {
+  const auto img = bench::make_image(1, 256, 256);
+  const auto flt = bench::make_filters(static_cast<i64>(state.range(0)), 1, 3);
+  sim::LaunchOptions opt;
+  opt.sample_max_blocks = 1;
+  for (auto _ : state) {
+    sim::Device dev(sim::kepler_k40m());
+    auto run = kernels::special_conv(dev, img, flt, {}, opt);
+    benchmark::DoNotOptimize(run.launch.stats.fma_lane_ops);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpecialConvBlock)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_GeneralConvBlock(benchmark::State& state) {
+  const auto c = static_cast<i64>(state.range(0));
+  const auto img = bench::make_image(c, 64, 64);
+  const auto flt = bench::make_filters(64, c, 3);
+  sim::LaunchOptions opt;
+  opt.sample_max_blocks = 1;
+  for (auto _ : state) {
+    sim::Device dev(sim::kepler_k40m());
+    auto run =
+        kernels::general_conv(dev, img, flt, kernels::table1_config(3), opt);
+    benchmark::DoNotOptimize(run.launch.stats.fma_lane_ops);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeneralConvBlock)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalTraceBlock(benchmark::State& state) {
+  const auto img = bench::make_image(1, 256, 256);
+  const auto flt = bench::make_filters(8, 1, 3);
+  sim::LaunchOptions opt;
+  opt.sample_max_blocks = 1;
+  opt.trace = sim::TraceLevel::Functional;
+  for (auto _ : state) {
+    sim::Device dev(sim::kepler_k40m());
+    auto run = kernels::special_conv(dev, img, flt, {}, opt);
+    benchmark::DoNotOptimize(run.launch.stats.blocks_executed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalTraceBlock)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Shared helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper
+// (DESIGN.md §3.3 maps experiment ids to binaries). Numbers are model
+// estimates from the kconv simulator; the paper's measured trends are
+// quoted in each binary's footer for side-by-side reading, and
+// EXPERIMENTS.md records the comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/rng.hpp"
+#include "src/common/strutil.hpp"
+#include "src/core/conv_api.hpp"
+#include "src/sim/sim.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::bench {
+
+/// Deterministic random image/filter factories (contents don't affect the
+/// timing model, but keep everything reproducible anyway).
+inline tensor::Tensor make_image(i64 c, i64 h, i64 w, u64 seed = 1) {
+  Rng rng(seed);
+  tensor::Tensor t = tensor::Tensor::image(c, h, w);
+  t.fill_random(rng);
+  return t;
+}
+
+inline tensor::Tensor make_filters(i64 f, i64 c, i64 k, u64 seed = 2) {
+  Rng rng(seed);
+  tensor::Tensor t = tensor::Tensor::filters(f, c, k);
+  t.fill_random(rng);
+  return t;
+}
+
+/// Effective GFlop/s: useful convolution flops over model-estimated time.
+inline double effective_gflops(i64 c, i64 f, i64 k, i64 n, double seconds) {
+  const i64 o = n - k + 1;
+  return core::conv_flops(c, f, k, o, o) / seconds / 1e9;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void footnote(const std::string& text) {
+  std::printf("--- %s\n", text.c_str());
+}
+
+}  // namespace kconv::bench

@@ -1,0 +1,56 @@
+// Design-space exploration demo — how Table 1 was made.
+//
+// Sweeps the general-case kernel's tiling parameters for a user-supplied
+// filter size (default 3) and prints the top of the ranking, then does the
+// same for the special case's {W, H}.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/autotune.hpp"
+#include "src/sim/sim.hpp"
+
+using namespace kconv;
+
+int main(int argc, char** argv) {
+  const i64 k = argc > 1 ? std::atoll(argv[1]) : 3;
+  if (k < 1 || k > 7) {
+    std::fprintf(stderr, "usage: %s [filter size 1..7]\n", argv[0]);
+    return 2;
+  }
+
+  std::printf("general-case DSE for %lldx%lld filters "
+              "(proxy: C=32, F=64, 64x64 image)\n",
+              static_cast<long long>(k), static_cast<long long>(k));
+  sim::Device dev(sim::kepler_k40m());
+  const auto res = core::autotune_general(dev, k, 32, 64, 64);
+  std::printf("  evaluated %lld legal configurations (%lld illegal "
+              "skipped)\n",
+              static_cast<long long>(res.evaluated),
+              static_cast<long long>(res.skipped));
+  const std::size_t show = std::min<std::size_t>(5, res.ranking.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& r = res.ranking[i];
+    std::printf("  #%zu: W=%-3lld H=%-2lld FTB=%-3lld WT=%-3lld FT=%-2lld "
+                "CSH=%-2lld -> %8.1f GF\n",
+                i + 1, static_cast<long long>(r.config.block_w),
+                static_cast<long long>(r.config.block_h),
+                static_cast<long long>(r.config.ftb),
+                static_cast<long long>(r.config.wt),
+                static_cast<long long>(r.config.ft),
+                static_cast<long long>(r.config.csh), r.gflops);
+  }
+
+  if (k <= 5) {
+    std::printf("\nspecial-case DSE (C=1, F=32, 512x512 image)\n");
+    const auto sres = core::autotune_special(dev, k, 32, 512);
+    const std::size_t sshow = std::min<std::size_t>(5, sres.ranking.size());
+    for (std::size_t i = 0; i < sshow; ++i) {
+      const auto& r = sres.ranking[i];
+      std::printf("  #%zu: W=%-4lld H=%-3lld -> %8.1f GF\n", i + 1,
+                  static_cast<long long>(r.config.block_w),
+                  static_cast<long long>(r.config.block_h), r.gflops);
+    }
+    std::printf("  (paper's DSE found W=256, H=8 best)\n");
+  }
+  return 0;
+}

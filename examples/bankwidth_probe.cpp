@@ -1,0 +1,44 @@
+// Interactive view of the paper's §2.1 model (Eq. 1).
+//
+// For each architecture and storage type, prints the matched vector width
+// n = W_SMB / W_CD, then MEASURES the bandwidth of each candidate width
+// with the shared-memory microbenchmark so you can see the model and the
+// measurement agree.
+#include <cstdio>
+
+#include "src/core/matching.hpp"
+#include "src/kernels/smem_microbench.hpp"
+
+using namespace kconv;
+
+int main() {
+  for (const auto& arch : {sim::kepler_k40m(), sim::fermi_m2090(),
+                           sim::maxwell_like()}) {
+    std::printf("%s — banks %u x %u B (peak %u B per request cycle)\n",
+                arch.name.c_str(), arch.smem_banks, arch.smem_bank_bytes,
+                arch.smem_banks * arch.smem_bank_bytes);
+    for (const DType dt : {DType::F32, DType::F16, DType::I8}) {
+      const i64 matched = core::matched_vector_width(arch, dt);
+      std::printf("  %-4s  Eq.1 -> n = %lld  measured B/req-cycle:",
+                  dtype_name(dt), static_cast<long long>(matched));
+      for (i64 vw = 1; vw <= 8; vw *= 2) {
+        if (static_cast<std::size_t>(vw) * dtype_size(dt) >
+            2 * arch.smem_bank_bytes) {
+          break;
+        }
+        sim::Device dev(arch);
+        kernels::SmemMicrobenchConfig cfg;
+        cfg.dtype = dt;
+        cfg.vec_width = vw;
+        const auto r = kernels::smem_microbench(dev, cfg);
+        std::printf("  n=%lld:%6.1f%s", static_cast<long long>(vw),
+                    r.bytes_per_request_cycle, vw == matched ? "*" : " ");
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("(* = the width Eq. 1 selects; wider than matched splits "
+              "into multiple transactions, gaining nothing.)\n");
+  return 0;
+}

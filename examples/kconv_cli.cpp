@@ -1,0 +1,111 @@
+// kconv_cli — run any convolution configuration from the command line.
+//
+//   kconv_cli [--algo auto|special|general|implicit-gemm|im2col-gemm|naive]
+//             [--arch kepler|kepler4b|fermi|maxwell]
+//             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
+//             [--sample B] [--json]
+//
+// Prints the performance report (or JSON with --json) and verifies against
+// the CPU reference when the launch ran every block.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/conv_api.hpp"
+#include "src/sim/report.hpp"
+#include "src/tensor/compare.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+using namespace kconv;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--algo auto|special|general|implicit-gemm|im2col-gemm|\n"
+      "                  naive|winograd|fft]\n"
+      "          [--arch kepler|kepler4b|fermi|maxwell]\n"
+      "          [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]\n"
+      "          [--sample BLOCKS] [--json]\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0;
+  std::string algo = "auto", arch_name = "kepler";
+  bool same = false, json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--algo") algo = next();
+    else if (a == "--arch") arch_name = next();
+    else if (a == "--c") c = std::atoll(next());
+    else if (a == "--f") f = std::atoll(next());
+    else if (a == "--k") k = std::atoll(next());
+    else if (a == "--n") n = std::atoll(next());
+    else if (a == "--vec") vec = std::atoll(next());
+    else if (a == "--sample") sample = std::atoll(next());
+    else if (a == "--same") same = true;
+    else if (a == "--json") json = true;
+    else usage(argv[0]);
+  }
+
+  sim::Arch arch;
+  if (arch_name == "kepler") arch = sim::kepler_k40m();
+  else if (arch_name == "kepler4b") arch = sim::kepler_k40m_4byte_banks();
+  else if (arch_name == "fermi") arch = sim::fermi_m2090();
+  else if (arch_name == "maxwell") arch = sim::maxwell_like();
+  else usage(argv[0]);
+
+  core::ConvOptions opt;
+  if (algo == "auto") opt.algo = core::Algo::Auto;
+  else if (algo == "special") opt.algo = core::Algo::Special;
+  else if (algo == "general") opt.algo = core::Algo::General;
+  else if (algo == "implicit-gemm") opt.algo = core::Algo::ImplicitGemm;
+  else if (algo == "im2col-gemm") opt.algo = core::Algo::Im2colGemm;
+  else if (algo == "naive") opt.algo = core::Algo::NaiveDirect;
+  else if (algo == "winograd") opt.algo = core::Algo::Winograd;
+  else if (algo == "fft") opt.algo = core::Algo::Fft;
+  else usage(argv[0]);
+  opt.padding = same ? core::Padding::Same : core::Padding::Valid;
+  opt.vec_width = vec;
+  opt.launch.sample_max_blocks = static_cast<u64>(sample);
+
+  Rng rng(1);
+  tensor::Tensor img = tensor::Tensor::image(c, n, n);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(f, c, k);
+  flt.fill_random(rng);
+
+  try {
+    sim::Device dev(arch);
+    const auto res = core::conv2d(dev, img, flt, opt);
+    if (json) {
+      std::printf("%s\n", sim::to_json(dev.arch(), res.launch).c_str());
+    } else {
+      std::printf("algorithm: %s   effective: %.1f GFlop/s\n",
+                  core::algo_name(res.algo_used), res.effective_gflops);
+      std::printf("%s", sim::format_report(dev.arch(), res.launch).c_str());
+      if (res.output_valid) {
+        const i64 pad = same ? (k - 1) / 2 : 0;
+        const bool ok = tensor::allclose(
+            res.output, tensor::conv2d_reference(img, flt, pad), 2e-4, 2e-4);
+        std::printf("matches CPU reference: %s\n", ok ? "yes" : "NO");
+        if (!ok) return 1;
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

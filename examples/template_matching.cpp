@@ -1,0 +1,103 @@
+// Template-based object detection — the paper's second image-processing
+// motivation (matched filters, citing Chaudhuri et al.'s retinal blood
+// vessel detection [2]).
+//
+// Plants copies of a small pattern in a noisy image, builds a bank of
+// matched filters (the pattern and three rotations), convolves with the
+// special-case kernel in one launch, and reports the peak responses — a
+// complete, runnable detection pipeline on the simulated GPU.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/kernels/special_conv.hpp"
+#include "src/tensor/compare.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+using namespace kconv;
+
+namespace {
+
+constexpr i64 kK = 7;  // template size
+
+/// A 7x7 "corner" pattern and its rotations.
+void fill_template(tensor::Tensor& bank, i64 f, int rot) {
+  for (i64 y = 0; y < kK; ++y) {
+    for (i64 x = 0; x < kK; ++x) {
+      // L-shaped corner: strong response on two edges.
+      const bool on = (y <= 1) || (x <= 1);
+      i64 yy = y, xx = x;
+      for (int r = 0; r < rot; ++r) {
+        const i64 t = yy;
+        yy = xx;
+        xx = kK - 1 - t;
+      }
+      bank.at(f, 0, yy, xx) = on ? 1.0f : -0.35f;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const i64 n = 192;
+  Rng rng(77);
+
+  // Scene: noise plus three planted corners at known positions/rotations.
+  tensor::Tensor img = tensor::Tensor::image(1, n, n);
+  for (auto& v : img.flat()) v = rng.uniform(-0.2f, 0.2f);
+  struct Plant {
+    i64 y, x;
+    int rot;
+  };
+  const Plant plants[] = {{30, 40, 0}, {100, 140, 1}, {150, 60, 2}};
+  tensor::Tensor bank = tensor::Tensor::filters(4, 1, kK);
+  for (i64 f = 0; f < 4; ++f) fill_template(bank, f, static_cast<int>(f));
+  for (const Plant& p : plants) {
+    for (i64 y = 0; y < kK; ++y)
+      for (i64 x = 0; x < kK; ++x)
+        img.at(0, 0, p.y + y, p.x + x) +=
+            bank.at(p.rot, 0, y, x);  // add the (rotated) pattern
+  }
+
+  // One launch scores all four orientations.
+  sim::Device dev(sim::kepler_k40m());
+  const auto run = kernels::special_conv(dev, img, bank);
+
+  // Verify, then report the argmax per orientation.
+  const bool ok = tensor::allclose(run.output,
+                                   tensor::conv2d_reference(img, bank));
+  std::printf("matches CPU reference: %s\n\n", ok ? "yes" : "NO");
+
+  std::printf("%-12s %-18s %-10s\n", "orientation", "peak at (y, x)",
+              "score");
+  int hits = 0;
+  for (i64 f = 0; f < 4; ++f) {
+    i64 by = 0, bx = 0;
+    float best = -1e30f;
+    for (i64 y = 0; y < run.output.h(); ++y) {
+      for (i64 x = 0; x < run.output.w(); ++x) {
+        if (run.output.at(0, f, y, x) > best) {
+          best = run.output.at(0, f, y, x);
+          by = y;
+          bx = x;
+        }
+      }
+    }
+    bool matched_plant = false;
+    for (const Plant& p : plants) {
+      if (p.rot == f && std::llabs(p.y - by) <= 1 &&
+          std::llabs(p.x - bx) <= 1) {
+        matched_plant = true;
+        ++hits;
+      }
+    }
+    std::printf("rot %-8lld (%4lld, %4lld)      %8.2f %s\n",
+                static_cast<long long>(f), static_cast<long long>(by),
+                static_cast<long long>(bx), best,
+                matched_plant ? "<- planted target found" : "");
+  }
+  std::printf("\nfound %d of 3 planted targets\n", hits);
+  return ok && hits == 3 ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+#include "src/common/error.hpp"
+
+#include <sstream>
+
+namespace kconv::detail {
+
+void throw_error(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "kconv error: " << message << " [check `" << expr << "` failed at "
+     << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace kconv::detail

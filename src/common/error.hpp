@@ -1,0 +1,49 @@
+// Error handling primitives for kconv.
+//
+// API misuse and device-program faults (out-of-bounds accesses, misaligned
+// vector loads, illegal launch configurations) are reported by throwing
+// kconv::Error. Internal invariants use KCONV_ASSERT, which also throws so
+// that tests can exercise failure paths without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kconv {
+
+/// Exception type thrown for all kconv-detected failures.
+///
+/// Carries a human-readable message that always includes the source location
+/// of the failing check.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Builds the exception message and throws. Out-of-line to keep the check
+/// macros cheap at call sites.
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace kconv
+
+/// Validates a user-facing precondition; throws kconv::Error on failure.
+/// `msg` is any expression convertible to std::string (use kconv::strf).
+#define KCONV_CHECK(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::kconv::detail::throw_error(__FILE__, __LINE__, #cond, (msg));      \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant check. Semantically an assert, but throws so that a
+/// violated invariant surfaces as a testable error instead of a core dump.
+#define KCONV_ASSERT(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::kconv::detail::throw_error(__FILE__, __LINE__, #cond,               \
+                                   "internal invariant violated");          \
+    }                                                                       \
+  } while (false)

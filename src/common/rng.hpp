@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// All stochastic inputs in kconv (tensor fills, sampled block selection)
+// flow through Rng so that every test, example, and benchmark is exactly
+// reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+
+namespace kconv {
+
+/// xoshiro256** generator: fast, high-quality, and stable across platforms
+/// (std::mt19937's distributions are not bit-stable across libstdc++
+/// versions, which would make golden tests fragile).
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding to spread low-entropy seeds across all 256 bits.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n).
+  u64 below(u64 n) {
+    KCONV_ASSERT(n > 0);
+    return next_u64() % n;
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4] = {};
+};
+
+}  // namespace kconv

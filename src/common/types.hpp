@@ -1,0 +1,147 @@
+// Fundamental scalar and vector types shared across kconv.
+//
+// Device programs compute on `float` but may *store and move* data at other
+// widths (the paper's conclusion discusses fp16/int8, where the bank-width
+// mismatch exists even on 4-byte-bank architectures). `DType` describes the
+// storage element; `VecN<T>` describes the per-thread computation unit whose
+// width the paper's model matches against the shared-memory bank width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/error.hpp"
+
+namespace kconv {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Storage element types supported by the memory model.
+enum class DType : u8 { F32, F16, I8 };
+
+/// Byte width of one storage element.
+constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::F32: return 4;
+    case DType::F16: return 2;
+    case DType::I8: return 1;
+  }
+  return 4;
+}
+
+constexpr const char* dtype_name(DType t) {
+  switch (t) {
+    case DType::F32: return "f32";
+    case DType::F16: return "f16";
+    case DType::I8: return "i8";
+  }
+  return "?";
+}
+
+/// IEEE 754 binary16 stored in 2 bytes; converts through float.
+/// Used to model short-data-type kernels (extension experiment E1) with the
+/// same rounding a real fp16 pipeline would apply on store.
+struct f16 {
+  u16 bits = 0;
+
+  f16() = default;
+  explicit f16(float f) : bits(from_float(f)) {}
+  explicit operator float() const { return to_float(bits); }
+
+  static u16 from_float(float f) {
+    // Round-to-nearest-even float -> half conversion.
+    u32 x;
+    __builtin_memcpy(&x, &f, 4);
+    const u32 sign = (x >> 16) & 0x8000u;
+    i32 exp = static_cast<i32>((x >> 23) & 0xFF) - 127 + 15;
+    u32 mant = x & 0x7FFFFFu;
+    if (exp >= 31) return static_cast<u16>(sign | 0x7C00u);  // overflow -> inf
+    if (exp <= 0) {
+      if (exp < -10) return static_cast<u16>(sign);  // underflow -> zero
+      mant |= 0x800000u;
+      const u32 shift = static_cast<u32>(14 - exp);
+      u32 half_mant = mant >> shift;
+      const u32 rem = mant & ((1u << shift) - 1);
+      const u32 halfway = 1u << (shift - 1);
+      if (rem > halfway || (rem == halfway && (half_mant & 1))) ++half_mant;
+      return static_cast<u16>(sign | half_mant);
+    }
+    u32 half = sign | (static_cast<u32>(exp) << 10) | (mant >> 13);
+    const u32 rem = mant & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1))) ++half;
+    return static_cast<u16>(half);
+  }
+
+  static float to_float(u16 h) {
+    const u32 sign = (static_cast<u32>(h) & 0x8000u) << 16;
+    u32 exp = (h >> 10) & 0x1F;
+    u32 mant = h & 0x3FFu;
+    u32 out;
+    if (exp == 0) {
+      if (mant == 0) {
+        out = sign;
+      } else {
+        // Subnormal half: normalize.
+        exp = 127 - 15 + 1;
+        while ((mant & 0x400u) == 0) {
+          mant <<= 1;
+          --exp;
+        }
+        mant &= 0x3FFu;
+        out = sign | (exp << 23) | (mant << 13);
+      }
+    } else if (exp == 31) {
+      out = sign | 0x7F800000u | (mant << 13);
+    } else {
+      out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+    }
+    float f;
+    __builtin_memcpy(&f, &out, 4);
+    return f;
+  }
+};
+
+/// Fixed-point signed 8-bit storage element with saturation, unit scale.
+struct i8q {
+  std::int8_t bits = 0;
+
+  i8q() = default;
+  explicit i8q(float f) {
+    const float r = f < 0 ? f - 0.5f : f + 0.5f;
+    const float c = r < -128.f ? -128.f : (r > 127.f ? 127.f : r);
+    bits = static_cast<std::int8_t>(c);
+  }
+  explicit operator float() const { return static_cast<float>(bits); }
+};
+
+/// Per-thread computation unit of N elements of T — the `float2`/`float4`
+/// analogue whose byte width the paper matches to the SM bank width.
+template <typename T, int N>
+struct Vec {
+  static_assert(N >= 1 && N <= 8, "vector width out of range");
+  T v[N] = {};
+
+  static constexpr int width = N;
+  T& operator[](int i) { return v[i]; }
+  const T& operator[](int i) const { return v[i]; }
+};
+
+using vec1f = Vec<float, 1>;
+using vec2f = Vec<float, 2>;
+using vec4f = Vec<float, 4>;
+
+/// Integer ceiling division for extents and tiling math.
+constexpr i64 ceil_div(i64 a, i64 b) {
+  KCONV_ASSERT(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b`.
+constexpr i64 round_up(i64 a, i64 b) { return ceil_div(a, b) * b; }
+
+}  // namespace kconv

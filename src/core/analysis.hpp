@@ -1,0 +1,42 @@
+// Closed-form communication bounds from the paper's analysis (§3.2, §4.2).
+//
+// These are testable predictions: the simulator's measured traffic must
+// match them, which is exactly what tests/core/analysis_test.cpp asserts.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace kconv::core {
+
+/// §3.2: in the special-case kernel every in-block pixel is read from GM
+/// exactly once; only halo pixels are re-read. Expected GM loads per block
+/// (in pixels) for a W x H *output* tile with a K x K filter.
+inline double special_gm_pixels_per_block(i64 w, i64 h, i64 k) {
+  return static_cast<double>(w + k - 1) * (h + k - 1);
+}
+
+/// §3.2: the halo overhead over the theoretical lower bound of one read per
+/// pixel. "The proportion of such halo pixels is small."
+inline double special_halo_overhead(i64 w, i64 h, i64 k) {
+  return special_gm_pixels_per_block(w, h, k) /
+             (static_cast<double>(w) * h) -
+         1.0;
+}
+
+/// §4.2: SM image traffic per thread is (WT+K-1) pixels per K rounds rather
+/// than WT*K — the reduction factor of computing WT contiguous pixels per
+/// thread instead of scattering them across threads.
+inline double general_smem_image_ratio(i64 wt, i64 k) {
+  return static_cast<double>(wt + k - 1) /
+         (static_cast<double>(wt) * k);
+}
+
+/// §4.3: GM image traffic versus a GEMM-based method — one image row feeds
+/// the convolutions of K output rows, so direct staging reads each pixel
+/// once per block while im2col-style lowering reads it ~K times (per
+/// vertical reuse; the full K*K factor is softened by caches).
+inline double general_gm_ratio_vs_gemm(i64 k) {
+  return 1.0 / static_cast<double>(k);
+}
+
+}  // namespace kconv::core

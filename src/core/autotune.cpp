@@ -1,0 +1,93 @@
+#include "src/core/autotune.hpp"
+
+#include <algorithm>
+
+#include "src/common/rng.hpp"
+
+namespace kconv::core {
+
+GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
+                                       i64 n, const GeneralSpace& space,
+                                       u64 sample_blocks) {
+  Rng rng(0xDE5E);
+  tensor::Tensor img = tensor::Tensor::image(c, n, n);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(f, c, k);
+  flt.fill_random(rng);
+
+  sim::LaunchOptions opt;
+  opt.sample_max_blocks = sample_blocks;
+
+  GeneralAutotuneResult res;
+  for (const i64 w : space.block_w) {
+    for (const i64 h : space.block_h) {
+      for (const i64 ftb : space.ftb) {
+        for (const i64 wt : space.wt) {
+          for (const i64 ft : space.ft) {
+            for (const i64 csh : space.csh) {
+              kernels::GeneralConvConfig cfg;
+              cfg.block_w = w;
+              cfg.block_h = h;
+              cfg.ftb = ftb;
+              cfg.wt = wt;
+              cfg.ft = ft;
+              cfg.csh = csh;
+              try {
+                auto run = kernels::general_conv(dev, img, flt, cfg, opt);
+                res.ranking.push_back({cfg, run.launch.timing.gflops});
+                ++res.evaluated;
+              } catch (const Error&) {
+                ++res.skipped;  // illegal tiling for this K/C/F
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  KCONV_CHECK(res.evaluated > 0, "no legal configuration in the search space");
+  std::stable_sort(res.ranking.begin(), res.ranking.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.gflops > b.gflops;
+                   });
+  res.best = res.ranking.front();
+  return res;
+}
+
+SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
+                                       const SpecialSpace& space,
+                                       u64 sample_blocks) {
+  Rng rng(0xDE5F);
+  tensor::Tensor img = tensor::Tensor::image(1, n, n);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(f, 1, k);
+  flt.fill_random(rng);
+
+  sim::LaunchOptions opt;
+  opt.sample_max_blocks = sample_blocks;
+
+  SpecialAutotuneResult res;
+  for (const i64 w : space.block_w) {
+    for (const i64 h : space.block_h) {
+      kernels::SpecialConvConfig cfg;
+      cfg.block_w = w;
+      cfg.block_h = h;
+      try {
+        auto run = kernels::special_conv(dev, img, flt, cfg, opt);
+        res.ranking.push_back({cfg, run.launch.timing.gflops});
+        ++res.evaluated;
+      } catch (const Error&) {
+        ++res.skipped;
+      }
+    }
+  }
+  KCONV_CHECK(res.evaluated > 0, "no legal configuration in the search space");
+  std::stable_sort(res.ranking.begin(), res.ranking.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.gflops > b.gflops;
+                   });
+  res.best = res.ranking.front();
+  return res;
+}
+
+}  // namespace kconv::core

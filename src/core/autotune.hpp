@@ -1,0 +1,73 @@
+// Design-space exploration for the kernels' tiling parameters.
+//
+// The paper's Table 1 ("best configurations of our general case convolution
+// kernel... determined through design space exploration") is reproduced by
+// sweeping {W, H, FTB, WT, FT, CSH} over a candidate grid, scoring each
+// legal configuration on a sampled proxy problem, and reporting the
+// fastest. Illegal combinations (divisibility, register/shared-memory
+// capacity) are skipped, mirroring what a real DSE over launchable kernels
+// does. The special-case {W, H} sweep works the same way.
+#pragma once
+
+#include <vector>
+
+#include "src/kernels/general_conv.hpp"
+#include "src/kernels/special_conv.hpp"
+#include "src/sim/launch.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::core {
+
+struct GeneralSpace {
+  std::vector<i64> block_w = {32, 64};
+  std::vector<i64> block_h = {4, 8};
+  std::vector<i64> ftb = {32, 64};
+  std::vector<i64> wt = {8, 16};
+  std::vector<i64> ft = {4, 8};
+  std::vector<i64> csh = {1, 2};
+};
+
+struct ScoredGeneralConfig {
+  kernels::GeneralConvConfig config;
+  double gflops = 0.0;
+};
+
+struct GeneralAutotuneResult {
+  ScoredGeneralConfig best;
+  /// Every evaluated configuration, best first.
+  std::vector<ScoredGeneralConfig> ranking;
+  i64 evaluated = 0;
+  i64 skipped = 0;  // illegal configurations rejected by the kernel
+};
+
+/// Sweeps the general-case kernel on a proxy problem with the given K.
+/// `c`/`f`/`n` define the proxy (modest sizes keep the sweep fast; the
+/// ranking is stable across problem sizes for fixed K, which is why the
+/// paper tabulates per-K configurations).
+GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
+                                       i64 n, const GeneralSpace& space = {},
+                                       u64 sample_blocks = 2);
+
+struct SpecialSpace {
+  std::vector<i64> block_w = {64, 128, 256, 512};
+  std::vector<i64> block_h = {2, 4, 8, 16};
+};
+
+struct ScoredSpecialConfig {
+  kernels::SpecialConvConfig config;
+  double gflops = 0.0;
+};
+
+struct SpecialAutotuneResult {
+  ScoredSpecialConfig best;
+  std::vector<ScoredSpecialConfig> ranking;
+  i64 evaluated = 0;
+  i64 skipped = 0;
+};
+
+/// Sweeps the special-case kernel's {W, H} (paper: best is 256 x 8).
+SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
+                                       const SpecialSpace& space = {},
+                                       u64 sample_blocks = 4);
+
+}  // namespace kconv::core

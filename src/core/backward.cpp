@@ -1,0 +1,98 @@
+#include "src/core/backward.hpp"
+
+#include "src/kernels/gemm_kernels.hpp"
+#include "src/kernels/im2col_conv.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::core {
+
+namespace {
+
+/// rot180 + swap the filter/channel axes: W (F, C, K, K) -> W' (C, F, K, K)
+/// with W'[c][f][ky][kx] = W[f][c][K-1-ky][K-1-kx].
+tensor::Tensor flip_and_transpose(const tensor::Tensor& filters) {
+  const i64 k = filters.h();
+  tensor::Tensor out(filters.c(), filters.n(), k, k);
+  for (i64 f = 0; f < filters.n(); ++f)
+    for (i64 c = 0; c < filters.c(); ++c)
+      for (i64 y = 0; y < k; ++y)
+        for (i64 x = 0; x < k; ++x)
+          out.at(c, f, y, x) = filters.at(f, c, k - 1 - y, k - 1 - x);
+  return out;
+}
+
+}  // namespace
+
+ConvGradResult conv2d_backward_data(sim::Device& dev,
+                                    const tensor::Tensor& grad_output,
+                                    const tensor::Tensor& filters,
+                                    const ConvOptions& opt) {
+  KCONV_CHECK(grad_output.n() == 1, "single image");
+  KCONV_CHECK(grad_output.c() == filters.n(),
+              strf("grad_output has %lld maps but there are %lld filters",
+                   static_cast<long long>(grad_output.c()),
+                   static_cast<long long>(filters.n())));
+  KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
+  const i64 k = filters.h();
+
+  // Full correlation: zero-pad dY by K-1 and convolve with the flipped,
+  // channel-transposed bank. The result has the forward input's extent.
+  const tensor::Tensor padded = tensor::pad_image(grad_output, k - 1);
+  const tensor::Tensor wt = flip_and_transpose(filters);
+
+  ConvOptions inner = opt;
+  inner.padding = Padding::Valid;
+  const ConvResult res = conv2d(dev, padded, wt, inner);
+
+  ConvGradResult out;
+  out.grad = res.output;
+  out.grad_valid = res.output_valid;
+  out.total_seconds = res.total_seconds;
+  out.algo_used = res.algo_used;
+  return out;
+}
+
+ConvGradResult conv2d_backward_filters(sim::Device& dev,
+                                       const tensor::Tensor& input,
+                                       const tensor::Tensor& grad_output,
+                                       const ConvOptions& opt) {
+  KCONV_CHECK(input.n() == 1 && grad_output.n() == 1, "single image");
+  const i64 k = input.h() - grad_output.h() + 1;
+  KCONV_CHECK(k >= 1 && input.w() - grad_output.w() + 1 == k,
+              "grad_output extent inconsistent with a square valid filter");
+  const i64 C = input.c(), F = grad_output.c();
+  const i64 ho = grad_output.h(), wo = grad_output.w();
+
+  ConvGradResult out;
+  out.algo_used = Algo::Im2colGemm;
+
+  // B' = im2col(X)^T on the device ...
+  const auto cols = kernels::im2col_transposed(dev, input, k, opt.launch);
+  out.total_seconds += cols.launch.timing.seconds;
+
+  // ... then dW_flat = dY_flat x B' as one GEMM.
+  tensor::Matrix dy_flat(F, ho * wo);
+  for (i64 f = 0; f < F; ++f)
+    for (i64 y = 0; y < ho; ++y)
+      for (i64 x = 0; x < wo; ++x)
+        dy_flat.at(f, y * wo + x) = grad_output.at(0, f, y, x);
+
+  tensor::Matrix bt(ho * wo, C * k * k);
+  if (cols.output_valid) bt = cols.cols_t;
+  const auto g = kernels::gemm(dev, dy_flat, bt, kernels::gemm_cublas_like(),
+                               opt.launch);
+  out.total_seconds += g.launch.timing.seconds;
+
+  if (g.output_valid) {
+    out.grad = tensor::Tensor(F, C, k, k);
+    for (i64 f = 0; f < F; ++f)
+      for (i64 c = 0; c < C; ++c)
+        for (i64 y = 0; y < k; ++y)
+          for (i64 x = 0; x < k; ++x)
+            out.grad.at(f, c, y, x) = g.c.at(f, (c * k + y) * k + x);
+    out.grad_valid = true;
+  }
+  return out;
+}
+
+}  // namespace kconv::core

@@ -1,0 +1,41 @@
+// Backward-pass convolutions for training.
+//
+// "Propagating through these convolutional layers is always a computation
+// bottleneck in BOTH the training and inference phases" (paper §1). The
+// forward kernels cover inference; these two gradients complete the
+// training triangle, each reduced to operations the library already
+// optimizes:
+//
+//  - data gradient:   dX = conv_valid(zero-pad(dY, K-1), rot180(W)^T),
+//    i.e. a full correlation — runs through the paper's own direct kernels
+//    via conv2d() with spatially flipped, channel-transposed filters;
+//  - weight gradient: dW = dY_flat (F x HoWo) * im2col(X)^T (HoWo x CKK),
+//    one device GEMM fed by the transposed-im2col kernel.
+#pragma once
+
+#include "src/core/conv_api.hpp"
+
+namespace kconv::core {
+
+struct ConvGradResult {
+  tensor::Tensor grad;
+  bool grad_valid = false;
+  double total_seconds = 0.0;
+  Algo algo_used = Algo::Auto;
+};
+
+/// Gradient w.r.t. the input: dY (1, F, Ho, Wo) and the forward filters
+/// (F, C, K, K) -> dX (1, C, Hi, Wi) with Hi = Ho + K - 1.
+ConvGradResult conv2d_backward_data(sim::Device& dev,
+                                    const tensor::Tensor& grad_output,
+                                    const tensor::Tensor& filters,
+                                    const ConvOptions& opt = {});
+
+/// Gradient w.r.t. the filters: forward input (1, C, Hi, Wi) and dY
+/// (1, F, Ho, Wo) -> dW (F, C, K, K) with K = Hi - Ho + 1.
+ConvGradResult conv2d_backward_filters(sim::Device& dev,
+                                       const tensor::Tensor& input,
+                                       const tensor::Tensor& grad_output,
+                                       const ConvOptions& opt = {});
+
+}  // namespace kconv::core

@@ -1,0 +1,270 @@
+#include "src/core/conv_api.hpp"
+
+#include "src/kernels/general_conv.hpp"
+#include "src/kernels/im2col_conv.hpp"
+#include "src/kernels/implicit_gemm_conv.hpp"
+#include "src/kernels/naive_conv.hpp"
+#include "src/kernels/special_conv.hpp"
+#include "src/kernels/fft_conv.hpp"
+#include "src/kernels/winograd_conv.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::core {
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::Auto: return "auto";
+    case Algo::Special: return "special";
+    case Algo::General: return "general";
+    case Algo::ImplicitGemm: return "implicit-gemm";
+    case Algo::Im2colGemm: return "im2col-gemm";
+    case Algo::NaiveDirect: return "naive";
+    case Algo::Winograd: return "winograd";
+    case Algo::Fft: return "fft";
+  }
+  return "?";
+}
+
+double conv_flops(i64 c, i64 f, i64 k, i64 ho, i64 wo) {
+  return 2.0 * static_cast<double>(c) * f * k * k * ho * wo;
+}
+
+namespace {
+
+/// A general-case launch plan for arbitrary C and F: a tiling satisfying
+/// the kernel's divisibility rules, plus the filter-count padding needed
+/// when F doesn't divide into any legal FTB (extra filters are zeros and
+/// their output planes are dropped — the standard trick for ragged F).
+struct GeneralPlan {
+  kernels::GeneralConvConfig cfg;
+  i64 f_padded = 0;
+};
+
+GeneralPlan plan_general(i64 k, i64 c, i64 f) {
+  GeneralPlan plan;
+  plan.cfg = (k == 3 || k == 5 || k == 7) ? kernels::table1_config(k)
+                                          : kernels::table1_config(3);
+  kernels::GeneralConvConfig& cfg = plan.cfg;
+  // FTB never shrinks below 4 so FT stays a multiple of the matched width.
+  while (cfg.ftb > 4 && f % cfg.ftb != 0) cfg.ftb /= 2;
+  if (cfg.ft > cfg.ftb) cfg.ft = cfg.ftb;
+  while (cfg.csh > 1 && c % cfg.csh != 0) cfg.csh /= 2;
+
+  // Shrinking FTB shrinks the thread block; make sure the cooperative
+  // staging still fits the kernel's per-thread register caps (worst case
+  // n = 1, i.e. the unmatched variant). Smaller WT buys more threads.
+  const auto staging_fits = [&] {
+    const i64 threads =
+        (cfg.ftb / cfg.ft) * (cfg.block_w * cfg.block_h / cfg.wt);
+    if (threads < 1 || threads > 1024) return false;
+    const i64 img_units = ceil_div(
+        cfg.csh * (cfg.block_h + k - 1) * (cfg.block_w + k - 1), threads);
+    const i64 flt_scalars = ceil_div(cfg.csh * k * k * cfg.ftb, threads);
+    return img_units <= 16 && flt_scalars <= 64;
+  };
+  while (!staging_fits() && cfg.wt > 4) cfg.wt /= 2;
+  while (!staging_fits() && cfg.csh > 1) cfg.csh /= 2;
+
+  plan.f_padded = round_up(f, cfg.ftb);
+  return plan;
+}
+
+/// Zero-pads an (F, C, K, K) bank to `f_padded` filters.
+tensor::Tensor pad_filter_bank(const tensor::Tensor& filters, i64 f_padded) {
+  tensor::Tensor out(f_padded, filters.c(), filters.h(), filters.w());
+  for (i64 fidx = 0; fidx < filters.n(); ++fidx)
+    for (i64 c = 0; c < filters.c(); ++c)
+      for (i64 y = 0; y < filters.h(); ++y)
+        for (i64 x = 0; x < filters.w(); ++x)
+          out.at(fidx, c, y, x) = filters.at(fidx, c, y, x);
+  return out;
+}
+
+}  // namespace
+
+ConvResult conv2d_batched(sim::Device& dev, const tensor::Tensor& input,
+                          const tensor::Tensor& filters,
+                          const ConvOptions& opt) {
+  KCONV_CHECK(input.n() >= 1, "empty batch");
+  if (input.n() == 1) return conv2d(dev, input, filters, opt);
+
+  // Slice each image out of the batch and run it; filters are identical
+  // across the batch, which in a real deployment keeps them resident (the
+  // simulator re-uploads per launch — the timing model charges GM filter
+  // loads per launch either way).
+  ConvResult total;
+  for (i64 img = 0; img < input.n(); ++img) {
+    tensor::Tensor one(1, input.c(), input.h(), input.w());
+    for (i64 c = 0; c < input.c(); ++c)
+      for (i64 y = 0; y < input.h(); ++y)
+        for (i64 x = 0; x < input.w(); ++x)
+          one.at(0, c, y, x) = input.at(img, c, y, x);
+    ConvResult r = conv2d(dev, one, filters, opt);
+    if (img == 0) {
+      total = std::move(r);
+      if (total.output_valid) {
+        tensor::Tensor batched(input.n(), total.output.c(), total.output.h(),
+                               total.output.w());
+        for (i64 c = 0; c < total.output.c(); ++c)
+          for (i64 y = 0; y < total.output.h(); ++y)
+            for (i64 x = 0; x < total.output.w(); ++x)
+              batched.at(0, c, y, x) = total.output.at(0, c, y, x);
+        total.output = std::move(batched);
+      }
+      continue;
+    }
+    total.total_seconds += r.total_seconds;
+    total.launch = r.launch;
+    if (total.output_valid && r.output_valid) {
+      for (i64 c = 0; c < r.output.c(); ++c)
+        for (i64 y = 0; y < r.output.h(); ++y)
+          for (i64 x = 0; x < r.output.w(); ++x)
+            total.output.at(img, c, y, x) = r.output.at(0, c, y, x);
+    } else {
+      total.output_valid = false;
+    }
+  }
+  const i64 k = filters.h();
+  const i64 ho = total.output_valid ? total.output.h()
+                                    : tensor::conv_out_extent(
+                                          opt.padding == Padding::Same
+                                              ? input.h() + k - 1
+                                              : input.h(),
+                                          k, 0);
+  const i64 wo = total.output_valid ? total.output.w()
+                                    : tensor::conv_out_extent(
+                                          opt.padding == Padding::Same
+                                              ? input.w() + k - 1
+                                              : input.w(),
+                                          k, 0);
+  total.effective_gflops =
+      input.n() * conv_flops(input.c(), filters.n(), k, ho, wo) /
+      total.total_seconds / 1e9;
+  return total;
+}
+
+ConvResult conv2d(sim::Device& dev, const tensor::Tensor& input,
+                  const tensor::Tensor& filters, const ConvOptions& opt) {
+  KCONV_CHECK(input.n() == 1, "conv2d operates on a single image");
+  KCONV_CHECK(filters.c() == input.c(),
+              strf("channel mismatch: input C=%lld, filters C=%lld",
+                   static_cast<long long>(input.c()),
+                   static_cast<long long>(filters.c())));
+  KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
+  const i64 k = filters.h();
+
+  tensor::Tensor padded;
+  const tensor::Tensor* in = &input;
+  if (opt.padding == Padding::Same) {
+    KCONV_CHECK(k % 2 == 1, "`same` padding requires an odd filter size");
+    padded = tensor::pad_image(input, (k - 1) / 2);
+    in = &padded;
+  }
+
+  Algo algo = opt.algo;
+  if (algo == Algo::Auto) {
+    algo = input.c() == 1 ? Algo::Special : Algo::General;
+  }
+
+  const i64 ho = tensor::conv_out_extent(in->h(), k, 0);
+  const i64 wo = tensor::conv_out_extent(in->w(), k, 0);
+  const double flops = conv_flops(input.c(), filters.n(), k, ho, wo);
+
+  ConvResult res;
+  res.algo_used = algo;
+  switch (algo) {
+    case Algo::Special: {
+      kernels::SpecialConvConfig cfg;
+      cfg.vec_width = opt.vec_width;
+      // Shrink the default tile for images narrower than 256 outputs.
+      while (cfg.block_w > 16 && cfg.block_w > wo * 2) cfg.block_w /= 2;
+      auto run = kernels::special_conv(dev, *in, filters, cfg, opt.launch);
+      res.output = std::move(run.output);
+      res.output_valid = run.output_valid;
+      res.launch = run.launch;
+      res.total_seconds = run.launch.timing.seconds;
+      break;
+    }
+    case Algo::General: {
+      auto plan = plan_general(k, input.c(), filters.n());
+      plan.cfg.vec_width = opt.vec_width;
+      kernels::KernelRun run;
+      if (plan.f_padded != filters.n()) {
+        const tensor::Tensor padded_bank =
+            pad_filter_bank(filters, plan.f_padded);
+        run = kernels::general_conv(dev, *in, padded_bank, plan.cfg,
+                                    opt.launch);
+        if (run.output_valid) {
+          // Drop the zero-filter planes.
+          tensor::Tensor trimmed(1, filters.n(), run.output.h(),
+                                 run.output.w());
+          for (i64 fidx = 0; fidx < filters.n(); ++fidx)
+            for (i64 y = 0; y < run.output.h(); ++y)
+              for (i64 x = 0; x < run.output.w(); ++x)
+                trimmed.at(0, fidx, y, x) = run.output.at(0, fidx, y, x);
+          run.output = std::move(trimmed);
+        }
+      } else {
+        run = kernels::general_conv(dev, *in, filters, plan.cfg, opt.launch);
+      }
+      res.output = std::move(run.output);
+      res.output_valid = run.output_valid;
+      res.launch = run.launch;
+      res.total_seconds = run.launch.timing.seconds;
+      break;
+    }
+    case Algo::ImplicitGemm: {
+      auto cfg = kernels::implicit_gemm_auto_config(filters.n(), input.c(), k);
+      if (opt.vec_width != 0) cfg.vec_width = opt.vec_width;
+      auto run =
+          kernels::implicit_gemm_conv(dev, *in, filters, cfg, opt.launch);
+      res.output = std::move(run.output);
+      res.output_valid = run.output_valid;
+      res.launch = run.launch;
+      res.total_seconds = run.launch.timing.seconds;
+      break;
+    }
+    case Algo::Im2colGemm: {
+      auto run = kernels::im2col_gemm_conv(dev, *in, filters,
+                                           kernels::gemm_cublas_like(),
+                                           opt.launch);
+      res.output = std::move(run.output);
+      res.output_valid = run.output_valid;
+      res.launch = run.gemm_launch;
+      res.total_seconds = run.seconds();
+      break;
+    }
+    case Algo::NaiveDirect: {
+      auto run = kernels::naive_conv(dev, *in, filters, {}, opt.launch);
+      res.output = std::move(run.output);
+      res.output_valid = run.output_valid;
+      res.launch = run.launch;
+      res.total_seconds = run.launch.timing.seconds;
+      break;
+    }
+    case Algo::Winograd: {
+      auto run = kernels::winograd_conv(dev, *in, filters,
+                                        kernels::GemmConfig{.bm = 0},
+                                        opt.launch);
+      res.output = std::move(run.output);
+      res.output_valid = run.output_valid;
+      res.launch = run.output_tf_launch;
+      res.total_seconds = run.seconds();
+      break;
+    }
+    case Algo::Fft: {
+      auto run = kernels::fft_conv(dev, *in, filters, opt.launch);
+      res.output = std::move(run.output);
+      res.output_valid = run.output_valid;
+      res.total_seconds = run.seconds();
+      break;
+    }
+    case Algo::Auto:
+      KCONV_ASSERT(false);
+  }
+  res.effective_gflops =
+      res.total_seconds > 0 ? flops / res.total_seconds / 1e9 : 0.0;
+  return res;
+}
+
+}  // namespace kconv::core

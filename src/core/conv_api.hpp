@@ -1,0 +1,75 @@
+// The public convolution API — the front door of the library.
+//
+//   sim::Device dev(sim::kepler_k40m());
+//   auto out = core::conv2d(dev, input, filters).output;
+//
+// conv2d picks the algorithm (the paper's special-case kernel for C = 1,
+// the general-case kernel otherwise, each with sane default tilings) and
+// handles `same` padding by staging a zero-padded input. Every algorithm
+// is also individually selectable for comparisons.
+#pragma once
+
+#include <string>
+
+#include "src/kernels/kernel_run.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::core {
+
+enum class Algo : u8 {
+  Auto,          ///< special kernel when C==1, general kernel otherwise
+  Special,       ///< the paper's Algorithm 1 (requires C == 1)
+  General,       ///< the paper's Algorithm 2
+  ImplicitGemm,  ///< cuDNN-style baseline
+  Im2colGemm,    ///< Caffe-style explicit im2col + GEMM baseline
+  NaiveDirect,   ///< one thread per output pixel
+  Winograd,      ///< F(2x2,3x3) transform pipeline (3x3 filters only)
+  Fft,           ///< frequency-domain pipeline (filters padded to image size)
+};
+
+const char* algo_name(Algo a);
+
+enum class Padding : u8 {
+  Valid,  ///< output (Hi-K+1) x (Wi-K+1)
+  Same,   ///< output Hi x Wi (zero-padded input; odd K only)
+};
+
+struct ConvOptions {
+  Algo algo = Algo::Auto;
+  Padding padding = Padding::Valid;
+  /// Forwarded to the chosen kernel; 0 keeps each kernel's default.
+  i64 vec_width = 0;
+  sim::LaunchOptions launch;
+};
+
+struct ConvResult {
+  tensor::Tensor output;
+  bool output_valid = false;
+  Algo algo_used = Algo::Auto;
+  /// Timing/traffic of the main kernel (for Im2colGemm: the GEMM stage;
+  /// total_seconds covers all stages).
+  sim::LaunchResult launch;
+  double total_seconds = 0.0;
+  /// Effective performance: useful convolution flops / total time.
+  double effective_gflops = 0.0;
+};
+
+/// Convolves input (1, C, Hi, Wi) with filters (F, C, K, K).
+/// Throws kconv::Error for invalid shapes or configurations.
+ConvResult conv2d(sim::Device& dev, const tensor::Tensor& input,
+                  const tensor::Tensor& filters,
+                  const ConvOptions& opt = {});
+
+/// Batched convolution: input (N, C, Hi, Wi) -> output (N, F, Ho, Wo).
+/// Images are independent, so the batch runs as N back-to-back launches
+/// (timing sums; the launch/stats fields describe the LAST image). The
+/// paper evaluates batch-1 direct convolution; this is the convenience
+/// wrapper a CNN framework would call.
+ConvResult conv2d_batched(sim::Device& dev, const tensor::Tensor& input,
+                          const tensor::Tensor& filters,
+                          const ConvOptions& opt = {});
+
+/// Useful flops of a valid convolution (2 per MAC).
+double conv_flops(i64 c, i64 f, i64 k, i64 ho, i64 wo);
+
+}  // namespace kconv::core

@@ -1,0 +1,40 @@
+// The paper's §2.1 bank-width matching model (Eq. 1):  W_SMB = n * W_CD.
+//
+// Given an architecture's shared-memory bank width and a storage element
+// width, this computes the vector width n a kernel must use per thread so
+// that each SM request cycle moves full bank words. n = 1 means the widths
+// already match; n > 1 means a conventional scalar kernel would waste a
+// factor n of SM bandwidth (Fig. 1).
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/sim/arch.hpp"
+
+namespace kconv::core {
+
+/// The matched computation data width, in elements, for `elem_bytes`-wide
+/// storage on `arch` (Eq. 1 solved for n; at least 1).
+inline i64 matched_vector_width(const sim::Arch& arch, std::size_t elem_bytes) {
+  KCONV_CHECK(elem_bytes > 0, "zero element width");
+  const i64 n = static_cast<i64>(arch.smem_bank_bytes / elem_bytes);
+  return n < 1 ? 1 : n;
+}
+
+/// Same, by data type.
+inline i64 matched_vector_width(const sim::Arch& arch, DType t) {
+  return matched_vector_width(arch, dtype_size(t));
+}
+
+/// True when a thread computing 1 element per unit already saturates the
+/// bank width (the "matched" case needing no redesign).
+inline bool naturally_matched(const sim::Arch& arch, DType t) {
+  return matched_vector_width(arch, t) == 1;
+}
+
+/// The SM bandwidth multiplier the paper's redesign yields: using n-wide
+/// units moves n times the bytes per request cycle.
+inline double matching_speedup_bound(const sim::Arch& arch, DType t) {
+  return static_cast<double>(matched_vector_width(arch, t));
+}
+
+}  // namespace kconv::core

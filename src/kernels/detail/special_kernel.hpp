@@ -1,0 +1,145 @@
+// Device-side implementation of the paper's Algorithm 1, shared between the
+// fp32 special-case kernel (special_conv.cpp) and the short-data-type
+// extension kernels (short_dtype_conv.cpp).
+//
+// Template parameters: T = storage element (float, f16, i8q), N = elements
+// per thread unit (the computation data width the paper matches against the
+// SM bank width: N * sizeof(T) == W_SMB in the matched configuration).
+// Arithmetic is fp32 regardless of T; loads/stores convert at the edges,
+// as a real mixed-precision pipeline would.
+//
+// Boundary handling uses the simulator's predicated memory operations
+// (ld_global_if / st_*_if): inactive lanes keep their slot in the warp
+// instruction, exactly like hardware predication, so warps stay in
+// lockstep and constant reads stay broadcast at image edges.
+#pragma once
+
+#include <algorithm>
+
+#include "src/kernels/device_tensor.hpp"
+#include "src/sim/sim.hpp"
+
+namespace kconv::kernels::detail {
+
+/// Register-window capacity: K <= 7 and N <= 8 (rounded-up window columns).
+inline constexpr i64 kSpecialKernelMaxK = 7;
+inline constexpr i64 kSpecialKernelMaxWinCols = 24;
+
+template <typename T, int N>
+class SpecialKernelT {
+ public:
+  PlanesViewT<T> in;           // (1, Hi, Wi)
+  PlanesViewT<T> out;          // (F, Ho, Wo)
+  sim::ConstView<float> filt;  // F*K*K, filter-major
+  i64 K = 0, F = 0, Ho = 0, Wo = 0;
+  i64 W = 0, H = 0;   // tile extents
+  i64 sh_stride = 0;  // elements of T per SM row slot
+  i64 n_tail = 0;     // threads loading the right halo piece
+  u32 sh_off = 0;
+
+  sim::ThreadProgram operator()(sim::ThreadCtx& t) const {
+    using VecN = Vec<T, N>;
+    const i64 tid = t.thread_idx.x;
+    const i64 bx = t.block_idx.x;
+    const i64 by = t.block_idx.y;
+    const i64 Wi = in.w;
+    const i64 row0 = by * H;
+    const i64 col0 = bx * W + tid * N;  // leftmost output col of this thread
+    const i64 rows = std::min<i64>(H, Ho - row0);
+    auto sh = t.shared<T>(sh_off, K * sh_stride);
+
+    // Lane predicates for the cooperative row loads (constant per thread).
+    const bool main_ok = col0 < Wi;
+    const i64 tail_col = bx * W + W + tid * N;
+    const bool tail_ok = tid < n_tail && tail_col < Wi;
+
+    // Register window: K rows x (K+N-1) pixels (padded to whole N-units) —
+    // the vertical data-sharing store of §3.1. Converted to fp32 once, on
+    // load, so the compute loop is dtype-agnostic.
+    const i64 wcols = round_up(K + N - 1, N);
+    float win[kSpecialKernelMaxK][kSpecialKernelMaxWinCols] = {};
+
+    // Algorithm 1, line 1: stage the first K input rows in shared memory.
+    for (i64 r = 0; r < K; ++r) {
+      const i64 ir = row0 + r;  // always < Hi for a valid convolution
+      VecN v = co_await t.template ld_global_if<VecN>(
+          main_ok, in.buf, main_ok ? in.idx(0, ir, col0) : 0);
+      co_await t.st_shared_if(main_ok, sh, r * sh_stride + tid * N, v);
+      VecN v2 = co_await t.template ld_global_if<VecN>(
+          tail_ok, in.buf, tail_ok ? in.idx(0, ir, tail_col) : 0);
+      co_await t.st_shared_if(tail_ok, sh, r * sh_stride + W + tid * N, v2);
+    }
+    co_await t.sync();
+
+    // Line 3: first K-1 rows into the register window.
+    for (i64 r = 0; r + 1 < K; ++r) {
+      for (i64 i = 0; i < wcols; i += N) {
+        VecN v = co_await t.template ld_shared<VecN>(
+            sh, r * sh_stride + tid * N + i);
+        for (int j = 0; j < N; ++j) win[r][i + j] = static_cast<float>(v[j]);
+      }
+    }
+
+    // Lines 4-11: one output row per iteration.
+    for (i64 rr = 0; rr < rows; ++rr) {
+      const i64 orow = row0 + rr;
+
+      // Line 6: latest row from SM into the window's last row.
+      const i64 slot = (rr + K - 1) % K;
+      for (i64 i = 0; i < wcols; i += N) {
+        VecN v = co_await t.template ld_shared<VecN>(
+            sh, slot * sh_stride + tid * N + i);
+        for (int j = 0; j < N; ++j)
+          win[K - 1][i + j] = static_cast<float>(v[j]);
+      }
+
+      // Lines 7-8: N convolutions per filter, entirely from registers and
+      // broadcast constant reads; results written straight to GM. Lanes
+      // stay uniform here (stores are predicated), so every constant read
+      // is a single warp broadcast — the best case of §3.3.
+      const bool write_ok = col0 < Wo;
+      for (i64 f = 0; f < F; ++f) {
+        Vec<float, N> acc{};
+        for (i64 dy = 0; dy < K; ++dy) {
+          for (i64 dx = 0; dx < K; ++dx) {
+            const float wv =
+                co_await t.ld_const(filt, (f * K + dy) * K + dx);
+            Vec<float, N> xs;
+            for (int j = 0; j < N; ++j) xs[j] = win[dy][dx + j];
+            acc = t.fma(xs, wv, acc);
+          }
+        }
+        VecN sv;
+        for (int j = 0; j < N; ++j) sv[j] = T(acc[j]);
+        co_await t.st_global_if(write_ok, out.buf,
+                                write_ok ? out.idx(f, orow, col0) : 0, sv);
+      }
+
+      // Line 5: prefetch the next input row into registers. The paper
+      // issues these loads before the compute to overlap their latency; in
+      // the simulator that overlap is captured by the timing model's
+      // pipe-max combiner, so issue order inside the segment is free.
+      const bool pf = rr + 1 < rows;
+      const i64 ir = row0 + rr + K;
+      VecN pf_main = co_await t.template ld_global_if<VecN>(
+          pf && main_ok, in.buf, pf && main_ok ? in.idx(0, ir, col0) : 0);
+      VecN pf_tail = co_await t.template ld_global_if<VecN>(
+          pf && tail_ok, in.buf, pf && tail_ok ? in.idx(0, ir, tail_col) : 0);
+      co_await t.sync();  // line 9
+
+      // Line 10: publish the prefetched row to its SM slot.
+      co_await t.st_shared_if(pf && main_ok, sh,
+                              (rr % K) * sh_stride + tid * N, pf_main);
+      co_await t.st_shared_if(pf && tail_ok, sh,
+                              (rr % K) * sh_stride + W + tid * N, pf_tail);
+      co_await t.sync();  // line 11
+
+      // Slide the register window down one row.
+      for (i64 r = 0; r + 1 < K; ++r) {
+        for (i64 i = 0; i < wcols; ++i) win[r][i] = win[r + 1][i];
+      }
+    }
+  }
+};
+
+}  // namespace kconv::kernels::detail

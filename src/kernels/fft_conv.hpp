@@ -1,0 +1,58 @@
+// FFT-based convolution on the simulator — the paper's method category (3)
+// ([12-14] Mathieu/Vasilache/Highlander).
+//
+// Pipeline (all stages are device kernels):
+//   1. pad: image channels and FLIPPED filters into P x Q complex planes
+//      (P, Q = next powers of two — the "filters need to be padded to the
+//      same size as the input image" memory cost the paper criticizes)
+//   2. forward 2D FFT per plane: batched row FFT -> tiled transpose ->
+//      batched row FFT (twiddle factors ride in constant memory; complex
+//      values are 8-byte units, i.e. naturally matched to Kepler's banks)
+//   3. pointwise complex multiply-accumulate over channels
+//   4. inverse 2D FFT per output plane, extract + scale the valid region
+//
+// The arithmetic crossover vs direct convolution is K-dependent (wins for
+// large K, loses for 3x3) — bench_ext_fft measures it.
+#pragma once
+
+#include "src/kernels/kernel_run.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::kernels {
+
+struct FftConvRun {
+  tensor::Tensor output;
+  bool output_valid = false;
+  /// Complex workspace: image + filter + accumulator planes.
+  u64 workspace_bytes = 0;
+  /// Aggregate model time per stage.
+  double pad_seconds = 0.0;
+  double image_fft_seconds = 0.0;
+  /// Filter transforms: reusable across a batch — "in order to reuse the
+  /// Fourier transform of the filters, the batch size should be big
+  /// enough" (paper §1). seconds_amortized() models that steady state.
+  double filter_fft_seconds = 0.0;
+  double mac_seconds = 0.0;
+  double inverse_seconds = 0.0;   // inverse FFT + extract
+  /// Total launches issued (the pipeline-depth cost of the FFT route).
+  int launches = 0;
+
+  double seconds() const {
+    return pad_seconds + image_fft_seconds + filter_fft_seconds +
+           mac_seconds + inverse_seconds;
+  }
+
+  /// Per-image time once filter transforms are amortized over a large batch.
+  double seconds_amortized() const {
+    return pad_seconds + image_fft_seconds + mac_seconds + inverse_seconds;
+  }
+};
+
+/// input (1, C, Hi, Wi), filters (F, C, K, K) -> valid output (1, F, ...).
+/// Works for any square K (cross-correlation semantics, like every other
+/// kernel in this library).
+FftConvRun fft_conv(sim::Device& dev, const tensor::Tensor& input,
+                    const tensor::Tensor& filters,
+                    const sim::LaunchOptions& opt = {});
+
+}  // namespace kconv::kernels

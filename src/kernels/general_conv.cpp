@@ -1,0 +1,390 @@
+#include "src/kernels/general_conv.hpp"
+
+#include <algorithm>
+
+#include "src/kernels/device_tensor.hpp"
+#include "src/sim/sim.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::kernels {
+
+namespace {
+
+/// Capacity of the per-thread staging registers (validated at config time).
+constexpr i64 kMaxImgUnits = 16;
+constexpr i64 kMaxFltScalars = 64;
+
+template <int N>
+class GeneralKernel {
+ public:
+  PlanesView in;   // (C, Hi, Wi)
+  PlanesView out;  // (F, Ho, Wo)
+  sim::BufferView<float> filt;  // F*C*K*K, filter-major (f, c, ky, kx)
+  i64 K = 0, C = 0, F = 0, Ho = 0, Wo = 0;
+  i64 W = 0, H = 0, FTB = 0, WT = 0, FT = 0, CSH = 0;
+  i64 TX = 0, TY = 0, nbx = 0;
+  i64 rows_halo = 0, cols_halo = 0;
+  i64 stride_img = 0, stride_flt = 0;
+  u32 img_off = 0, flt_off = 0;
+  bool prefetch = true;
+
+  sim::ThreadProgram operator()(sim::ThreadCtx& t) const {
+    using VecN = Vec<float, N>;
+    const i64 tx = t.thread_idx.x;
+    const i64 ty = t.thread_idx.y;
+    const i64 tid = tx + TX * ty;
+    const i64 nthreads = TX * TY;
+    const i64 fblk = t.block_idx.x;            // filter group
+    const i64 sx = t.block_idx.y % nbx;        // spatial block column
+    const i64 sy = t.block_idx.y / nbx;        // spatial block row
+    const i64 KK = K * K;
+    const i64 Hi = in.h, Wi = in.w;
+
+    auto sh_img = t.shared<float>(img_off, CSH * rows_halo * stride_img);
+    auto sh_flt = t.shared<float>(flt_off, CSH * KK * stride_flt);
+
+    // Work splits for the cooperative staging loops.
+    const i64 units_per_row = ceil_div(cols_halo, N);
+    const i64 total_img_units = CSH * rows_halo * units_per_row;
+    const i64 total_flt = CSH * KK * FTB;
+    // Padded trip counts: every lane runs the same number of iterations
+    // (inactive iterations are predicated off) so warps never drift.
+    const i64 img_iters = ceil_div(total_img_units, nthreads);
+    const i64 flt_iters = ceil_div(total_flt, nthreads);
+
+    // This thread's outputs: WT contiguous pixels of one tile row.
+    const i64 orow_local = (ty * WT) / W;
+    const i64 ocol_local = (ty * WT) % W;
+
+    // Algorithm 2, line 1: the register working set.
+    float acc[kGeneralMaxFT][kGeneralMaxWT] = {};
+    float rimg[kGeneralMaxWT + kGeneralMaxK - 1 + 4] = {};
+    float rflt[kGeneralMaxFT] = {};
+    VecN pf_img[kMaxImgUnits] = {};
+    bool pf_img_ok[kMaxImgUnits] = {};
+    float pf_flt[kMaxFltScalars] = {};
+
+    // Lines 4-5: stage channels [0, CSH) straight into shared memory. This
+    // initial fill is the one unavoidable load->store dependent phase.
+    for (i64 it = 0; it < img_iters; ++it) {
+      const i64 u = tid + it * nthreads;
+      const i64 ci = (u / (rows_halo * units_per_row)) % CSH;
+      const i64 rem = u % (rows_halo * units_per_row);
+      const i64 ry = rem / units_per_row;
+      const i64 cu = rem % units_per_row;
+      const i64 iy = sy * H + ry;
+      const i64 ix = sx * W + cu * N;
+      const bool ok = u < total_img_units && iy < Hi && ix < Wi;
+      VecN v = co_await t.template ld_global_if<VecN>(
+          ok, in.buf, ok ? in.idx(ci, iy, ix) : 0);
+      co_await t.st_shared_if(
+          ok, sh_img, (ci * rows_halo + ry) * stride_img + cu * N, v);
+    }
+    for (i64 it = 0; it < flt_iters; ++it) {
+      const i64 e = tid + it * nthreads;
+      const bool ok = e < total_flt;
+      const i64 f = ok ? e / (CSH * KK) : 0;
+      const i64 rem = ok ? e % (CSH * KK) : 0;
+      const i64 ci = rem / KK;
+      const i64 kk = rem % KK;
+      const float v = co_await t.ld_global_if(
+          ok, filt, ((fblk * FTB + f) * C + ci) * KK + kk);
+      co_await t.st_shared_if(ok, sh_flt, (ci * KK + kk) * stride_flt + f, v);
+    }
+    co_await t.sync();  // line 6
+
+    // Line 7: accumulate over all channels, CSH at a time.
+    for (i64 c0 = 0; c0 < C; c0 += CSH) {
+      const bool has_next = c0 + CSH < C;
+
+      // Lines 10-15: K rows x K rounds per staged channel. One rImg row of
+      // WT+K-1 pixels feeds K rounds — the SM-traffic reduction of §4.2.
+      for (i64 i = 0; i < CSH; ++i) {
+        for (i64 j = 0; j < K; ++j) {
+          const i64 row_base =
+              (i * rows_halo + orow_local + j) * stride_img + ocol_local;
+          for (i64 u = 0; u * N < WT + K - 1; ++u) {
+            VecN v = co_await t.template ld_shared<VecN>(sh_img,
+                                                         row_base + u * N);
+            for (int jj = 0; jj < N; ++jj) rimg[u * N + jj] = v[jj];
+          }
+          for (i64 kx = 0; kx < K; ++kx) {
+            const i64 flt_base = (i * KK + j * K + kx) * stride_flt;
+            for (i64 u = 0; u < FT / N; ++u) {
+              VecN v = co_await t.template ld_shared<VecN>(
+                  sh_flt, flt_base + (tx + u * TX) * N);
+              for (int jj = 0; jj < N; ++jj) rflt[u * N + jj] = v[jj];
+            }
+            for (i64 s = 0; s < FT; ++s) {
+              for (i64 wu = 0; wu * N < WT; ++wu) {
+                VecN xs, av;
+                for (int jj = 0; jj < N; ++jj) {
+                  xs[jj] = rimg[kx + wu * N + jj];
+                  av[jj] = acc[s][wu * N + jj];
+                }
+                av = t.fma(xs, rflt[s], av);
+                for (int jj = 0; jj < N; ++jj) acc[s][wu * N + jj] = av[jj];
+              }
+            }
+          }
+        }
+      }
+      // Lines 8-9: prefetch the next CSH channels into registers. The paper
+      // issues these before the compute loop to overlap their latency; the
+      // simulator's pipe-max timing captures that overlap regardless of
+      // issue order, so they run after the (uniform) compute to keep warp
+      // lanes aligned — same modeled cost, no spurious divergence.
+      if (prefetch && has_next) {
+        for (i64 it = 0; it < img_iters; ++it) {
+          const i64 u = tid + it * nthreads;
+          const i64 ci = (u / (rows_halo * units_per_row)) % CSH;
+          const i64 rem = u % (rows_halo * units_per_row);
+          const i64 ry = rem / units_per_row;
+          const i64 cu = rem % units_per_row;
+          const i64 iy = sy * H + ry;
+          const i64 ix = sx * W + cu * N;
+          pf_img_ok[it] = u < total_img_units && iy < Hi && ix < Wi;
+          pf_img[it] = co_await t.template ld_global_if<VecN>(
+              pf_img_ok[it], in.buf,
+              pf_img_ok[it] ? in.idx(c0 + CSH + ci, iy, ix) : 0);
+        }
+        for (i64 it = 0; it < flt_iters; ++it) {
+          const i64 e = tid + it * nthreads;
+          const bool ok = e < total_flt;
+          const i64 f = ok ? e / (CSH * KK) : 0;
+          const i64 rem = ok ? e % (CSH * KK) : 0;
+          const i64 ci = rem / KK;
+          const i64 kk = rem % KK;
+          pf_flt[it] = co_await t.ld_global_if(
+              ok, filt, ((fblk * FTB + f) * C + c0 + CSH + ci) * KK + kk);
+        }
+      }
+
+      co_await t.sync();  // line 16
+
+      // Lines 17-18: publish the next channels to SM (from registers when
+      // prefetching, straight from GM otherwise — ablation A1).
+      if (has_next) {
+        if (prefetch) {
+          for (i64 it = 0; it < img_iters; ++it) {
+            const i64 u = tid + it * nthreads;
+            const i64 ci = (u / (rows_halo * units_per_row)) % CSH;
+            const i64 rem = u % (rows_halo * units_per_row);
+            const i64 ry = rem / units_per_row;
+            const i64 cu = rem % units_per_row;
+            co_await t.st_shared_if(
+                pf_img_ok[it], sh_img,
+                (ci * rows_halo + ry) * stride_img + cu * N, pf_img[it]);
+          }
+          for (i64 it = 0; it < flt_iters; ++it) {
+            const i64 e = tid + it * nthreads;
+            const bool ok = e < total_flt;
+            const i64 f = ok ? e / (CSH * KK) : 0;
+            const i64 rem = ok ? e % (CSH * KK) : 0;
+            const i64 ci = rem / KK;
+            const i64 kk = rem % KK;
+            co_await t.st_shared_if(
+                ok, sh_flt, (ci * KK + kk) * stride_flt + f, pf_flt[it]);
+          }
+        } else {
+          for (i64 it = 0; it < img_iters; ++it) {
+            const i64 u = tid + it * nthreads;
+            const i64 ci = (u / (rows_halo * units_per_row)) % CSH;
+            const i64 rem = u % (rows_halo * units_per_row);
+            const i64 ry = rem / units_per_row;
+            const i64 cu = rem % units_per_row;
+            const i64 iy = sy * H + ry;
+            const i64 ix = sx * W + cu * N;
+            const bool ok = u < total_img_units && iy < Hi && ix < Wi;
+            VecN v = co_await t.template ld_global_if<VecN>(
+                ok, in.buf, ok ? in.idx(c0 + CSH + ci, iy, ix) : 0);
+            co_await t.st_shared_if(
+                ok, sh_img, (ci * rows_halo + ry) * stride_img + cu * N, v);
+          }
+          for (i64 it = 0; it < flt_iters; ++it) {
+            const i64 e = tid + it * nthreads;
+            const bool ok = e < total_flt;
+            const i64 f = ok ? e / (CSH * KK) : 0;
+            const i64 rem = ok ? e % (CSH * KK) : 0;
+            const i64 ci = rem / KK;
+            const i64 kk = rem % KK;
+            const float v = co_await t.ld_global_if(
+                ok, filt, ((fblk * FTB + f) * C + c0 + CSH + ci) * KK + kk);
+            co_await t.st_shared_if(
+                ok, sh_flt, (ci * KK + kk) * stride_flt + f, v);
+          }
+        }
+      }
+      co_await t.sync();  // line 19
+    }
+
+    // Line 20: write the accumulators back. Contiguous threads in X write
+    // different output planes — uncoalesced by design; the paper measured
+    // this phase as negligible and so left it unbuffered.
+    const i64 orow = sy * H + orow_local;
+    for (i64 s = 0; s < FT; ++s) {
+      const i64 gf = fblk * FTB + (tx + (s / N) * TX) * N + (s % N);
+      for (i64 wu = 0; wu * N < WT; ++wu) {
+        const i64 ocol = sx * W + ocol_local + wu * N;
+        const bool ok = orow < Ho && ocol < Wo;
+        VecN v;
+        for (int jj = 0; jj < N; ++jj) v[jj] = acc[s][wu * N + jj];
+        co_await t.st_global_if(ok, out.buf,
+                                ok ? out.idx(gf, orow, ocol) : 0, v);
+      }
+    }
+  }
+};
+
+template <int N>
+KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
+                      const tensor::Tensor& filters,
+                      const GeneralConvConfig& cfg,
+                      const sim::LaunchOptions& opt) {
+  const i64 K = filters.h();
+  const i64 C = input.c();
+  const i64 F = filters.n();
+  const i64 Hi = input.h(), Wi = input.w();
+  const i64 Ho = tensor::conv_out_extent(Hi, K, 0);
+  const i64 Wo = tensor::conv_out_extent(Wi, K, 0);
+
+  GeneralKernel<N> k;
+  k.K = K;
+  k.C = C;
+  k.F = F;
+  k.Ho = Ho;
+  k.Wo = Wo;
+  k.W = cfg.block_w;
+  k.H = cfg.block_h;
+  k.FTB = cfg.ftb;
+  k.WT = cfg.wt;
+  k.FT = cfg.ft;
+  k.CSH = cfg.csh;
+  k.TX = cfg.ftb / cfg.ft;
+  k.TY = cfg.block_w * cfg.block_h / cfg.wt;
+  k.nbx = ceil_div(Wo, cfg.block_w);
+  k.rows_halo = cfg.block_h + K - 1;
+  k.cols_halo = cfg.block_w + K - 1;
+  k.prefetch = cfg.prefetch;
+
+  const i64 nthreads = k.TX * k.TY;
+  const i64 img_units =
+      ceil_div(k.CSH * k.rows_halo * ceil_div(k.cols_halo, N), nthreads);
+  const i64 flt_scalars = ceil_div(k.CSH * K * K * cfg.ftb, nthreads);
+  KCONV_CHECK(img_units <= kMaxImgUnits && flt_scalars <= kMaxFltScalars,
+              strf("staging work per thread too large (%lld image units, "
+                   "%lld filter values); use more threads or smaller CSH",
+                   static_cast<long long>(img_units),
+                   static_cast<long long>(flt_scalars)));
+
+  DevicePlanes d_in(dev, C, Hi, Wi);
+  d_in.upload(input);
+  DevicePlanes d_out(dev, F, Ho, Wo);
+  const auto flat = flatten_filters(filters);
+  auto d_filt = dev.alloc<float>(std::span<const float>(flat));
+  k.in = d_in.view();
+  k.out = d_out.view();
+  k.filt = d_filt.view();
+
+  sim::SharedLayout smem;
+  k.stride_img = round_up(k.cols_halo + N, 4);
+  // One bank word of padding keeps the transposing filter stores
+  // conflict-free (the paper's Fig. 6 gray box).
+  const i64 pad =
+      cfg.pad_filters ? dev.arch().smem_bank_bytes / sizeof(float) : 0;
+  k.stride_flt = cfg.ftb + pad;
+  k.img_off = smem.alloc<float>(k.CSH * k.rows_halo * k.stride_img);
+  k.flt_off = smem.alloc<float>(k.CSH * K * K * k.stride_flt);
+
+  sim::LaunchConfig lc;
+  lc.grid = sim::Dim3{static_cast<u32>(F / cfg.ftb),
+                      static_cast<u32>(k.nbx * ceil_div(Ho, cfg.block_h)), 1};
+  lc.block = sim::Dim3{static_cast<u32>(k.TX), static_cast<u32>(k.TY), 1};
+  lc.shared_bytes = smem.size();
+  lc.regs_per_thread = static_cast<u32>(std::min<i64>(
+      cfg.ft * cfg.wt + (cfg.wt + K - 1) + cfg.ft + img_units * N +
+          flt_scalars + 24,
+      dev.arch().max_regs_per_thread));
+
+  KernelRun run;
+  run.launch = sim::launch(dev, k, lc, opt);
+  if (!run.launch.sampled) {
+    run.output = d_out.download();
+    run.output_valid = true;
+  }
+  return run;
+}
+
+}  // namespace
+
+GeneralConvConfig table1_config(i64 k) {
+  GeneralConvConfig c;
+  switch (k) {
+    case 3:
+      c.block_w = 32; c.block_h = 4; c.ftb = 64; c.wt = 16; c.ft = 4;
+      c.csh = 2;
+      break;
+    case 5:
+      c.block_w = 32; c.block_h = 8; c.ftb = 32; c.wt = 8; c.ft = 8;
+      c.csh = 1;
+      break;
+    case 7:
+      c.block_w = 64; c.block_h = 4; c.ftb = 32; c.wt = 8; c.ft = 8;
+      c.csh = 1;
+      break;
+    default:
+      KCONV_CHECK(false, strf("no Table 1 configuration for K=%lld",
+                              static_cast<long long>(k)));
+  }
+  return c;
+}
+
+KernelRun general_conv(sim::Device& dev, const tensor::Tensor& input,
+                       const tensor::Tensor& filters,
+                       const GeneralConvConfig& cfg,
+                       const sim::LaunchOptions& opt) {
+  KCONV_CHECK(input.n() == 1, "general case operates on a single image");
+  KCONV_CHECK(filters.c() == input.c(), "channel mismatch");
+  KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
+  const i64 K = filters.h();
+  KCONV_CHECK(K >= 1 && K <= kGeneralMaxK,
+              strf("filter size %lld outside supported range [1, %lld]",
+                   static_cast<long long>(K),
+                   static_cast<long long>(kGeneralMaxK)));
+
+  i64 n = cfg.vec_width;
+  if (n == 0) n = dev.arch().smem_bank_bytes / sizeof(float);
+  KCONV_CHECK(n == 1 || n == 2 || n == 4,
+              strf("unsupported vector width %lld",
+                   static_cast<long long>(n)));
+
+  KCONV_CHECK(cfg.ftb >= 1 && filters.n() % cfg.ftb == 0,
+              strf("F=%lld must be a multiple of FTB=%lld",
+                   static_cast<long long>(filters.n()),
+                   static_cast<long long>(cfg.ftb)));
+  KCONV_CHECK(cfg.csh >= 1 && input.c() % cfg.csh == 0,
+              strf("C=%lld must be a multiple of CSH=%lld",
+                   static_cast<long long>(input.c()),
+                   static_cast<long long>(cfg.csh)));
+  KCONV_CHECK(cfg.ft >= 1 && cfg.ftb % cfg.ft == 0,
+              "FTB must be a multiple of FT");
+  KCONV_CHECK(cfg.wt >= 1 && cfg.wt <= kGeneralMaxWT &&
+                  cfg.ft <= kGeneralMaxFT,
+              "WT/FT exceed the kernel's register capacity");
+  KCONV_CHECK(cfg.block_w % cfg.wt == 0,
+              "block_w must be a multiple of WT (threads tile whole rows)");
+  KCONV_CHECK((cfg.block_w * cfg.block_h) % cfg.wt == 0,
+              "block area must be a multiple of WT");
+  KCONV_CHECK(cfg.wt % n == 0 && cfg.ft % n == 0 && cfg.ftb % n == 0 &&
+                  cfg.block_w % n == 0,
+              "WT, FT, FTB and block_w must be multiples of the vector width");
+  KCONV_CHECK(cfg.block_w % 4 == 0, "block_w must be a multiple of 4");
+
+  switch (n) {
+    case 1: return run_general<1>(dev, input, filters, cfg, opt);
+    case 2: return run_general<2>(dev, input, filters, cfg, opt);
+    default: return run_general<4>(dev, input, filters, cfg, opt);
+  }
+}
+
+}  // namespace kconv::kernels

@@ -1,0 +1,65 @@
+// The paper's general-case convolution kernel (§4, Algorithm 2): multiple
+// input channels, filters too large for constant memory.
+//
+// Structure (inspired by blocked GEMM [19], with the paper's data-sharing
+// twists):
+//  - 2D grid: X over groups of FTB filters, Y over spatial H x W image
+//    blocks; each thread block iterates over ALL C channels, staging CSH
+//    channels of image block (with halo) and filters in shared memory at a
+//    time, double-buffered through registers (prefetch).
+//  - Filters are stored TRANSPOSED in SM — (channel, tap) rows of FTB
+//    values — with one bank-word of padding per row to keep the transposing
+//    stores conflict-free (the paper's gray box; `pad_filters=false`
+//    reproduces the conflict for the ablation).
+//  - Each thread computes WT *contiguous* output pixels x FT filters. The
+//    contiguity is the paper's key departure from blocked GEMM: one row of
+//    WT+K-1 pixels in registers serves K rounds of computation, cutting SM
+//    image traffic by (WT+K-1)/(WT*K).
+//  - All SM accesses move n-wide units (n = W_SMB / W_CD, float2 on
+//    Kepler); TX contiguous threads read identical image addresses
+//    (broadcast) and contiguous filter units (conflict-free).
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/kernels/kernel_run.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::kernels {
+
+/// Tuning parameters (the paper's Table 1 dimensions) plus ablation
+/// switches.
+struct GeneralConvConfig {
+  i64 block_w = 32;  ///< W: image-block width in output pixels
+  i64 block_h = 4;   ///< H: image-block height in output rows
+  i64 ftb = 64;      ///< FTB: filters per thread block
+  i64 wt = 16;       ///< WT: contiguous output pixels per thread
+  i64 ft = 4;        ///< FT: filters per thread
+  i64 csh = 2;       ///< CSH: channels staged in shared memory
+  /// 0 = match the bank width (paper), 1 = unmatched ablation.
+  i64 vec_width = 0;
+  /// Pad transposed filter rows in SM by one bank word (ablation A2).
+  bool pad_filters = true;
+  /// Double-buffer GM loads through registers (ablation A1).
+  bool prefetch = true;
+};
+
+/// The paper's Table 1: best configuration per filter size on Kepler K40m.
+GeneralConvConfig table1_config(i64 k);
+
+/// Hard ceilings imposed by the fixed-size register arrays in the kernel.
+inline constexpr i64 kGeneralMaxK = 7;
+inline constexpr i64 kGeneralMaxWT = 16;
+inline constexpr i64 kGeneralMaxFT = 8;
+
+/// Runs the general-case kernel: `input` is (1, C, Hi, Wi), `filters` is
+/// (F, C, K, K); output is the valid convolution (1, F, Ho, Wo).
+///
+/// Constraints (checked, throwing kconv::Error): K odd sizes up to 7,
+/// F % FTB == 0, C % CSH == 0, FTB % FT == 0, (W*H) % WT == 0,
+/// W % WT == 0, WT and FT multiples of the vector width.
+KernelRun general_conv(sim::Device& dev, const tensor::Tensor& input,
+                       const tensor::Tensor& filters,
+                       const GeneralConvConfig& cfg = {},
+                       const sim::LaunchOptions& opt = {});
+
+}  // namespace kconv::kernels

@@ -1,0 +1,51 @@
+// Explicit im2col + GEMM convolution — the Caffe default [7, 18].
+//
+// Two launches: (1) an im2col kernel materializes the (C*K*K) x (Ho*Wo)
+// patch matrix in global memory — the "huge amount of additional memory"
+// the paper calls out — then (2) the blocked GEMM kernel multiplies the
+// flattened filter bank against it. Reported time is the sum of both
+// launches; workspace_bytes quantifies the extra allocation.
+#pragma once
+
+#include "src/kernels/gemm_kernels.hpp"
+#include "src/kernels/kernel_run.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::kernels {
+
+struct Im2colGemmRun {
+  sim::LaunchResult im2col_launch;
+  sim::LaunchResult gemm_launch;
+  tensor::Tensor output;
+  bool output_valid = false;
+  /// Bytes of the materialized patch matrix.
+  u64 workspace_bytes = 0;
+
+  double seconds() const {
+    return im2col_launch.timing.seconds + gemm_launch.timing.seconds;
+  }
+  double gflops() const {
+    // Count only the convolution's useful flops, over the combined time.
+    return gemm_launch.timing.gflops * gemm_launch.timing.seconds /
+           std::max(seconds(), 1e-30);
+  }
+};
+
+/// input (1, C, Hi, Wi), filters (F, C, K, K) -> valid output.
+Im2colGemmRun im2col_gemm_conv(sim::Device& dev, const tensor::Tensor& input,
+                               const tensor::Tensor& filters,
+                               const GemmConfig& gemm_cfg = gemm_cublas_like(),
+                               const sim::LaunchOptions& opt = {});
+
+/// Materializes the TRANSPOSED patch matrix im2col(input)^T of shape
+/// (Ho*Wo) x (C*K*K) on the device. Building block for the weight-gradient
+/// convolution: dW = dY_flat x im2col(X)^T.
+struct Im2colTRun {
+  sim::LaunchResult launch;
+  tensor::Matrix cols_t;
+  bool output_valid = false;
+};
+Im2colTRun im2col_transposed(sim::Device& dev, const tensor::Tensor& input,
+                             i64 k, const sim::LaunchOptions& opt = {});
+
+}  // namespace kconv::kernels

@@ -1,0 +1,48 @@
+// cuDNN-style implicit-GEMM convolution (the paper's baseline [8]).
+//
+// Convolution as GEMM: M = F filters, N' = Ho*Wo output pixels,
+// Kdim = C*K*K. Instead of materializing the im2col patch matrix, each
+// thread block builds its BK x BN sub-block of it in shared memory on the
+// fly ("sub-blocks of the input matrices are constructed in on-chip memory
+// at run-time, and thus no additional memory is needed" — cuDNN [8]).
+//
+// This is a competent Kepler kernel: matched float2 SM fragments,
+// conflict-free padded staging, register double-buffering. What it cannot
+// avoid — and what the paper's kernels eliminate — is re-reading every
+// input pixel up to K*K times from global memory (softened by L2) and
+// spending index arithmetic on the im2col address decode.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/kernels/kernel_run.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::kernels {
+
+struct ImplicitGemmConfig {
+  i64 bm = 64;  ///< filters per tile
+  i64 bn = 64;  ///< output pixels per tile
+  i64 bk = 8;   ///< im2col depth per stage
+  i64 tm = 4;   ///< micro-tile rows (filters) per thread
+  i64 tn = 4;   ///< micro-tile cols (pixels) per thread
+  i64 vec_width = 0;
+  bool prefetch = true;
+};
+
+/// Tile selection mimicking cuDNN v5's fixed kernel menu: K-depth is
+/// always staged in slabs of 32 (zero-padded when C*K*K is smaller — the
+/// big waste in the C=1 special case), and the filter-tile is 128 or 64
+/// rows depending on F. This rigidity is faithful: cuDNN ships a handful
+/// of pre-compiled SASS tiles and pads every problem into them.
+ImplicitGemmConfig implicit_gemm_auto_config(i64 f, i64 c, i64 k);
+
+/// Runs the implicit-GEMM convolution: input (1, C, Hi, Wi), filters
+/// (F, C, K, K) -> valid output (1, F, Ho, Wo). Works for any C >= 1
+/// (including the special case, where the GEMM depth K*K is tiny and the
+/// kernel's efficiency collapses — Fig. 7).
+KernelRun implicit_gemm_conv(sim::Device& dev, const tensor::Tensor& input,
+                             const tensor::Tensor& filters,
+                             const ImplicitGemmConfig& cfg = {},
+                             const sim::LaunchOptions& opt = {});
+
+}  // namespace kconv::kernels

@@ -1,0 +1,18 @@
+// Common result type returned by the host-side kernel runners.
+#pragma once
+
+#include "src/sim/launch.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::kernels {
+
+/// Outcome of running a convolution/GEMM kernel on the simulator.
+struct KernelRun {
+  sim::LaunchResult launch;
+  /// Functional output. Only populated when the launch executed every block
+  /// (sampled benchmark runs skip the download; check output_valid).
+  tensor::Tensor output;
+  bool output_valid = false;
+};
+
+}  // namespace kconv::kernels

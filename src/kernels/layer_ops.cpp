@@ -1,0 +1,122 @@
+#include "src/kernels/layer_ops.hpp"
+
+#include <algorithm>
+
+#include "src/kernels/device_tensor.hpp"
+#include "src/sim/sim.hpp"
+
+namespace kconv::kernels {
+
+namespace {
+
+class MaxPoolKernel {
+ public:
+  PlanesView in;   // (C, H, W)
+  PlanesView out;  // (C, H/2, W/2)
+
+  sim::ThreadProgram operator()(sim::ThreadCtx& t) const {
+    const i64 x = static_cast<i64>(t.block_idx.x) * t.block_dim.x +
+                  t.thread_idx.x;
+    const i64 y = t.block_idx.y % out.h;
+    const i64 c = t.block_idx.y / out.h;
+    const bool live = x < out.w;
+    float best = -3.4e38f;
+    for (int i = 0; i < 4; ++i) {
+      const i64 yy = y * 2 + i / 2, xx = x * 2 + i % 2;
+      const float v = co_await t.ld_global_if(
+          live, in.buf, live ? in.idx(c, yy, xx) : 0);
+      best = std::max(best, v);
+      t.alu(1);
+    }
+    co_await t.st_global_if(live, out.buf, live ? out.idx(c, y, x) : 0,
+                            best);
+  }
+};
+
+class BiasReluKernel {
+ public:
+  PlanesView in;
+  PlanesView out;
+  sim::BufferView<float> bias;  // C
+
+  sim::ThreadProgram operator()(sim::ThreadCtx& t) const {
+    const i64 x = static_cast<i64>(t.block_idx.x) * t.block_dim.x +
+                  t.thread_idx.x;
+    const i64 y = t.block_idx.y % in.h;
+    const i64 c = t.block_idx.y / in.h;
+    const bool live = x < in.w;
+    const float b = co_await t.ld_global(bias, c);  // warp-uniform: 1 sector
+    const float v =
+        co_await t.ld_global_if(live, in.buf, live ? in.idx(c, y, x) : 0);
+    t.alu(2);
+    co_await t.st_global_if(live, out.buf, live ? out.idx(c, y, x) : 0,
+                            std::max(0.0f, v + b));
+  }
+};
+
+}  // namespace
+
+KernelRun max_pool_2x2(sim::Device& dev, const tensor::Tensor& input,
+                       const sim::LaunchOptions& opt) {
+  KCONV_CHECK(input.n() == 1, "max_pool_2x2 operates on a single image");
+  KCONV_CHECK(input.h() >= 2 && input.w() >= 2, "input too small to pool");
+  const i64 C = input.c(), Ho = input.h() / 2, Wo = input.w() / 2;
+
+  DevicePlanes d_in(dev, C, input.h(), input.w());
+  d_in.upload(input);
+  DevicePlanes d_out(dev, C, Ho, Wo);
+
+  MaxPoolKernel k;
+  k.in = d_in.view();
+  k.out = d_out.view();
+
+  sim::LaunchConfig lc;
+  lc.block = sim::Dim3{128, 1, 1};
+  lc.grid = sim::Dim3{static_cast<u32>(ceil_div(Wo, 128)),
+                      static_cast<u32>(C * Ho), 1};
+  lc.regs_per_thread = 16;
+
+  KernelRun run;
+  run.launch = sim::launch(dev, k, lc, opt);
+  if (!run.launch.sampled) {
+    run.output = d_out.download();
+    run.output_valid = true;
+  }
+  return run;
+}
+
+KernelRun bias_relu(sim::Device& dev, const tensor::Tensor& input,
+                    std::span<const float> bias,
+                    const sim::LaunchOptions& opt) {
+  KCONV_CHECK(input.n() == 1, "bias_relu operates on a single image");
+  KCONV_CHECK(static_cast<i64>(bias.size()) == input.c(),
+              strf("bias has %zu entries for %lld channels", bias.size(),
+                   static_cast<long long>(input.c())));
+  const i64 C = input.c(), H = input.h(), W = input.w();
+
+  DevicePlanes d_in(dev, C, H, W);
+  d_in.upload(input);
+  DevicePlanes d_out(dev, C, H, W);
+  auto d_bias = dev.alloc<float>(bias);
+
+  BiasReluKernel k;
+  k.in = d_in.view();
+  k.out = d_out.view();
+  k.bias = d_bias.view();
+
+  sim::LaunchConfig lc;
+  lc.block = sim::Dim3{128, 1, 1};
+  lc.grid = sim::Dim3{static_cast<u32>(ceil_div(W, 128)),
+                      static_cast<u32>(C * H), 1};
+  lc.regs_per_thread = 12;
+
+  KernelRun run;
+  run.launch = sim::launch(dev, k, lc, opt);
+  if (!run.launch.sampled) {
+    run.output = d_out.download();
+    run.output_valid = true;
+  }
+  return run;
+}
+
+}  // namespace kconv::kernels

@@ -1,0 +1,26 @@
+// Auxiliary CNN layer operations on the simulator: 2x2 max-pooling and
+// fused bias + ReLU.
+//
+// Not part of the paper's contribution — they exist so the examples can run
+// a complete CNN forward pass (conv -> bias/ReLU -> pool -> ... -> FC)
+// through the library, the way a framework would consume it. Both are
+// simple memory-bound kernels with coalesced access.
+#pragma once
+
+#include "src/kernels/kernel_run.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::kernels {
+
+/// 2x2 max pooling with stride 2 over (1, C, H, W); odd tails truncate
+/// (floor semantics, like Caffe). Output (1, C, H/2, W/2).
+KernelRun max_pool_2x2(sim::Device& dev, const tensor::Tensor& input,
+                       const sim::LaunchOptions& opt = {});
+
+/// out[c][y][x] = max(0, in[c][y][x] + bias[c]) over (1, C, H, W).
+/// `bias.size()` must equal C.
+KernelRun bias_relu(sim::Device& dev, const tensor::Tensor& input,
+                    std::span<const float> bias,
+                    const sim::LaunchOptions& opt = {});
+
+}  // namespace kconv::kernels

@@ -1,0 +1,23 @@
+// Naive direct convolution — one thread per output pixel, everything
+// streamed from global memory (filters re-read per pixel, input re-read
+// K*K*F times, only L2 softening the damage). The floor every optimized
+// kernel is measured against.
+#pragma once
+
+#include "src/kernels/kernel_run.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::kernels {
+
+struct NaiveConvConfig {
+  i64 tile_w = 32;  ///< threads per block in x (output columns)
+  i64 tile_h = 8;   ///< threads per block in y (output rows)
+};
+
+/// input (1, C, Hi, Wi), filters (F, C, K, K) -> valid output.
+KernelRun naive_conv(sim::Device& dev, const tensor::Tensor& input,
+                     const tensor::Tensor& filters,
+                     const NaiveConvConfig& cfg = {},
+                     const sim::LaunchOptions& opt = {});
+
+}  // namespace kconv::kernels

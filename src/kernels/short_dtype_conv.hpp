@@ -1,0 +1,41 @@
+// Short-data-type convolution — the paper's conclusion made concrete.
+//
+// "One of the recent development trends of CNNs is to use shorter data
+//  types... For these data types, mismatch between the SM bank width and
+//  the computation data width exists even for architectures with 4-byte SM
+//  bank width. As a result, our proposed model and method will benefit
+//  applications using these data types."
+//
+// This runs Algorithm 1 with fp16 or int8 storage (fp32 arithmetic). The
+// matched vector width follows Eq. 1: n = W_SMB / sizeof(T) — half8 /
+// char8 on Kepler's 8-byte banks, half2 / char4 on 4-byte-bank parts.
+// vec_width = 1 gives the conventional (mismatched) kernel for the E1
+// extension experiment.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/kernels/kernel_run.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::kernels {
+
+struct ShortDtypeConvConfig {
+  i64 block_w = 256;
+  i64 block_h = 8;
+  /// Elements per thread unit; 0 = match the bank width (Eq. 1).
+  i64 vec_width = 0;
+  /// Storage element type for the image and output (filters stay fp32 in
+  /// constant memory; arithmetic is fp32).
+  DType dtype = DType::F16;
+};
+
+/// Special-case (C = 1) convolution over short storage types. The returned
+/// output tensor is fp32 on the host, with the storage type's rounding or
+/// saturation applied (that is the point: the numerics match a real
+/// short-dtype pipeline, not the fp32 oracle bit-for-bit).
+KernelRun short_dtype_conv(sim::Device& dev, const tensor::Tensor& input,
+                           const tensor::Tensor& filters,
+                           const ShortDtypeConvConfig& cfg = {},
+                           const sim::LaunchOptions& opt = {});
+
+}  // namespace kconv::kernels

@@ -1,0 +1,42 @@
+// Shared-memory access-pattern microbenchmark — Fig. 1 made executable.
+//
+// A block of threads sweeps shared memory, each thread moving `units` of
+// N elements of T per pass (load from one half, store to the other). With
+// the conventional pattern (N = 1) contiguous threads access contiguous
+// scalars: on an architecture whose bank width exceeds sizeof(T), each
+// request cycle moves only part of the available 32-bank width. With the
+// matched pattern (N = W_SMB / sizeof(T)) each request cycle moves full
+// bank words. The reported bytes-per-request-cycle ratio is the paper's
+// n-fold SM bandwidth claim, measured rather than asserted.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::kernels {
+
+struct SmemMicrobenchConfig {
+  DType dtype = DType::F32;
+  /// Elements per thread unit; 0 = matched (Eq. 1), 1 = conventional.
+  i64 vec_width = 1;
+  /// Inter-thread stride in units (1 = contiguous; bank-conflict patterns
+  /// use larger strides, e.g. 32 words hits a single bank).
+  i64 stride_units = 1;
+  u32 threads = 256;
+  u32 passes = 64;
+  u32 blocks = 8;
+};
+
+struct SmemMicrobenchResult {
+  sim::LaunchResult launch;
+  /// Unique bytes moved per shared-memory request cycle (peak = banks *
+  /// bank_bytes when perfectly matched and conflict-free).
+  double bytes_per_request_cycle = 0.0;
+  /// Request cycles per warp instruction (1.0 = conflict-free).
+  double replay_factor = 0.0;
+};
+
+SmemMicrobenchResult smem_microbench(sim::Device& dev,
+                                     const SmemMicrobenchConfig& cfg = {});
+
+}  // namespace kconv::kernels

@@ -1,0 +1,98 @@
+#include "src/kernels/special_conv.hpp"
+
+#include <algorithm>
+
+#include "src/kernels/detail/special_kernel.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::kernels {
+
+namespace {
+
+template <int N>
+KernelRun run_special(sim::Device& dev, const tensor::Tensor& input,
+                      const tensor::Tensor& filters,
+                      const SpecialConvConfig& cfg,
+                      const sim::LaunchOptions& opt) {
+  const i64 K = filters.h();
+  const i64 F = filters.n();
+  const i64 Hi = input.h(), Wi = input.w();
+  const i64 Ho = tensor::conv_out_extent(Hi, K, 0);
+  const i64 Wo = tensor::conv_out_extent(Wi, K, 0);
+  const i64 W = cfg.block_w, H = cfg.block_h;
+
+  DevicePlanes d_in(dev, 1, Hi, Wi);
+  d_in.upload(input);
+  DevicePlanes d_out(dev, F, Ho, Wo);
+
+  const auto flat = flatten_filters(filters);
+  auto d_filt = dev.alloc_const<float>(flat);
+
+  detail::SpecialKernelT<float, N> k;
+  k.in = d_in.view();
+  k.out = d_out.view();
+  k.filt =
+      sim::ConstView<float>(d_filt.get(), 0, static_cast<i64>(flat.size()));
+  k.K = K;
+  k.F = F;
+  k.Ho = Ho;
+  k.Wo = Wo;
+  k.W = W;
+  k.H = H;
+  k.n_tail = ceil_div(K - 1, N);
+
+  sim::SharedLayout smem;
+  k.sh_stride = round_up(W + K + N, 16);
+  k.sh_off = smem.alloc<float>(K * k.sh_stride);
+
+  sim::LaunchConfig lc;
+  lc.grid = sim::Dim3{static_cast<u32>(ceil_div(Wo, W)),
+                      static_cast<u32>(ceil_div(Ho, H)), 1};
+  lc.block = sim::Dim3{static_cast<u32>(W / N), 1, 1};
+  lc.shared_bytes = smem.size();
+  // Window + accumulator + prefetch registers plus bookkeeping, mirroring
+  // what nvcc would allocate for Algorithm 1.
+  lc.regs_per_thread = static_cast<u32>(
+      std::min<i64>(K * (K + N - 1) + 3 * N + 12, dev.arch().max_regs_per_thread));
+
+  KernelRun run;
+  run.launch = sim::launch(dev, k, lc, opt);
+  if (!run.launch.sampled) {
+    run.output = d_out.download();
+    run.output_valid = true;
+  }
+  return run;
+}
+
+}  // namespace
+
+KernelRun special_conv(sim::Device& dev, const tensor::Tensor& input,
+                       const tensor::Tensor& filters,
+                       const SpecialConvConfig& cfg,
+                       const sim::LaunchOptions& opt) {
+  KCONV_CHECK(input.n() == 1, "special case operates on a single image");
+  KCONV_CHECK(input.c() == 1 && filters.c() == 1,
+              "special case requires exactly one input channel (C = 1)");
+  KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
+  const i64 K = filters.h();
+  KCONV_CHECK(K >= 1 && K <= kSpecialMaxK,
+              strf("filter size %lld outside supported range [1, %lld]",
+                   static_cast<long long>(K),
+                   static_cast<long long>(kSpecialMaxK)));
+
+  i64 n = cfg.vec_width;
+  if (n == 0) n = dev.arch().smem_bank_bytes / sizeof(float);  // Eq. (1)
+  KCONV_CHECK(n == 1 || n == 2 || n == 4,
+              strf("unsupported vector width %lld", static_cast<long long>(n)));
+  KCONV_CHECK(cfg.block_w >= 4 && cfg.block_w % 4 == 0,
+              "block_w must be a positive multiple of 4");
+  KCONV_CHECK(cfg.block_h >= 1, "block_h must be positive");
+
+  switch (n) {
+    case 1: return run_special<1>(dev, input, filters, cfg, opt);
+    case 2: return run_special<2>(dev, input, filters, cfg, opt);
+    default: return run_special<4>(dev, input, filters, cfg, opt);
+  }
+}
+
+}  // namespace kconv::kernels

@@ -1,0 +1,51 @@
+// The paper's special-case convolution kernel (§3, Algorithm 1): single
+// input channel, filters resident in constant memory.
+//
+// Thread layout: the output is tiled into H x W blocks; one thread block of
+// W/n threads computes each tile, where n is the vector width that matches
+// the computation data width W_CD to the shared-memory bank width W_SMB
+// (n = 2 via float2 on Kepler; n = 1 reproduces the paper's "unmatched"
+// ablation kernel of Fig. 7b).
+//
+// Data movement per tile row (Algorithm 1):
+//   - one cooperative, coalesced GM read stages the next image row in SM
+//     (prefetched one iteration ahead to overlap with compute);
+//   - horizontally, threads share row pixels through SM;
+//   - vertically, each thread carries a K x (K+n-1) register window so a
+//     row read from GM serves the convolutions of K output rows.
+// Every in-tile pixel is read from GM exactly once — the communication
+// lower bound; only inter-tile halo columns/rows are re-read.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/kernels/kernel_run.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::kernels {
+
+/// Tuning parameters for the special-case kernel.
+struct SpecialConvConfig {
+  /// Tile width in output pixels (threads per block = block_w / vec_width).
+  i64 block_w = 256;
+  /// Tile height in output rows.
+  i64 block_h = 8;
+  /// Computation data width in floats per thread unit; 0 = match the
+  /// architecture's bank width (the paper's Eq. 1), 1 = unmatched ablation.
+  i64 vec_width = 0;
+};
+
+/// Maximum filter size the register window supports (paper evaluates up to
+/// 5x5 in the special case; 7 keeps the general-case sizes available too).
+inline constexpr i64 kSpecialMaxK = 7;
+
+/// Runs the special-case kernel: `input` is (1, 1, Hi, Wi), `filters` is
+/// (F, 1, K, K), output is the valid convolution (1, F, Hi-K+1, Wi-K+1).
+///
+/// Throws kconv::Error on invalid shapes/configs (C != 1, K even or > 7,
+/// filters exceeding constant memory, misaligned tile sizes).
+KernelRun special_conv(sim::Device& dev, const tensor::Tensor& input,
+                       const tensor::Tensor& filters,
+                       const SpecialConvConfig& cfg = {},
+                       const sim::LaunchOptions& opt = {});
+
+}  // namespace kconv::kernels

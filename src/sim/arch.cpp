@@ -1,0 +1,99 @@
+#include "src/sim/arch.hpp"
+
+namespace kconv::sim {
+
+Arch kepler_k40m() {
+  Arch a;
+  a.name = "Kepler K40m";
+  a.smem_banks = 32;
+  a.smem_bank_bytes = 8;  // cudaSharedMemBankSizeEightByte (default profit mode)
+  a.smem_per_sm = 48 * 1024;
+  a.smem_per_block = 48 * 1024;
+  a.gm_sector_bytes = 32;
+  a.dram_bytes_per_s = 288.0e9;
+  a.l2_bytes_per_s = 590.0e9;
+  a.l2_capacity = 1536 * 1024;
+  a.gm_latency = 400;
+  a.const_capacity = 64 * 1024;
+  a.const_line_bytes = 64;
+  a.warp_size = 32;
+  a.fp32_lanes_per_sm = 192;
+  a.issue_slots_per_cycle = 8;
+  a.smem_requests_per_cycle = 1;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 16;
+  a.max_threads_per_block = 1024;
+  a.regs_per_sm = 65536;
+  a.max_regs_per_thread = 255;
+  a.sm_count = 15;
+  a.clock_ghz = 0.745;  // base clock; 15*192*2*0.745 = 4291 GFlop/s SP peak
+  a.barrier_cost = 30;
+  return a;
+}
+
+Arch fermi_m2090() {
+  Arch a;
+  a.name = "Fermi M2090";
+  a.smem_banks = 32;
+  a.smem_bank_bytes = 4;
+  a.smem_per_sm = 48 * 1024;
+  a.smem_per_block = 48 * 1024;
+  a.gm_sector_bytes = 32;
+  a.dram_bytes_per_s = 177.0e9;
+  a.l2_bytes_per_s = 350.0e9;
+  a.l2_capacity = 768 * 1024;
+  a.gm_latency = 500;
+  a.const_capacity = 64 * 1024;
+  a.const_line_bytes = 64;
+  a.warp_size = 32;
+  a.fp32_lanes_per_sm = 32;
+  a.issue_slots_per_cycle = 2;
+  a.smem_requests_per_cycle = 1;
+  a.max_threads_per_sm = 1536;
+  a.max_blocks_per_sm = 8;
+  a.max_threads_per_block = 1024;
+  a.regs_per_sm = 32768;
+  a.max_regs_per_thread = 63;
+  a.sm_count = 16;
+  a.clock_ghz = 1.3;
+  a.barrier_cost = 30;
+  return a;
+}
+
+Arch maxwell_like() {
+  Arch a;
+  a.name = "Maxwell-class";
+  a.smem_banks = 32;
+  a.smem_bank_bytes = 4;
+  a.smem_per_sm = 96 * 1024;
+  a.smem_per_block = 48 * 1024;
+  a.gm_sector_bytes = 32;
+  a.dram_bytes_per_s = 224.0e9;
+  a.l2_bytes_per_s = 450.0e9;
+  a.l2_capacity = 2048 * 1024;
+  a.gm_latency = 380;
+  a.const_capacity = 64 * 1024;
+  a.const_line_bytes = 64;
+  a.warp_size = 32;
+  a.fp32_lanes_per_sm = 128;
+  a.issue_slots_per_cycle = 8;
+  a.smem_requests_per_cycle = 1;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.max_threads_per_block = 1024;
+  a.regs_per_sm = 65536;
+  a.max_regs_per_thread = 255;
+  a.sm_count = 16;
+  a.clock_ghz = 1.1;
+  a.barrier_cost = 25;
+  return a;
+}
+
+Arch kepler_k40m_4byte_banks() {
+  Arch a = kepler_k40m();
+  a.name = "Kepler K40m (4-byte bank mode)";
+  a.smem_bank_bytes = 4;
+  return a;
+}
+
+}  // namespace kconv::sim

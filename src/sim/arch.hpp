@@ -1,0 +1,122 @@
+// GPU architecture descriptors for the kconv simulator.
+//
+// An Arch bundles every microarchitectural constant the functional and
+// timing models consume: shared-memory geometry (bank count and — central to
+// the paper — bank WIDTH), global-memory transaction granularity and
+// bandwidth, per-SM execution resources, and occupancy limits. Presets for
+// the machines discussed in the paper (Kepler K40m, Fermi-class, and a
+// 4-byte-bank Maxwell-class device for the short-dtype extension) live in
+// arch.cpp with datasheet-sourced values.
+#pragma once
+
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace kconv::sim {
+
+/// Static description of a simulated GPU.
+///
+/// Invariant-free aggregate (C.2): all fields are independent knobs; the
+/// presets keep them mutually consistent with the real devices.
+struct Arch {
+  std::string name;
+
+  // --- Shared memory (the paper's §2.1 model) -----------------------------
+  /// Number of shared-memory banks per SM (32 on all NVIDIA parts modeled).
+  u32 smem_banks = 32;
+  /// Bank width W_SMB in bytes: 8 on Kepler, 4 on Fermi/Maxwell/Pascal.
+  /// The mismatch n = smem_bank_bytes / W_CD is what the paper exploits.
+  u32 smem_bank_bytes = 8;
+  /// Shared memory capacity per SM in bytes (occupancy limit).
+  u32 smem_per_sm = 48 * 1024;
+  /// Max shared memory per thread block.
+  u32 smem_per_block = 48 * 1024;
+
+  // --- Global memory -------------------------------------------------------
+  /// Minimum GM transaction (sector) size in bytes; 32 on Kepler via L2.
+  u32 gm_sector_bytes = 32;
+  /// Aggregate DRAM bandwidth in bytes/second.
+  double dram_bytes_per_s = 288.0e9;
+  /// Aggregate L2-hit bandwidth in bytes/second.
+  double l2_bytes_per_s = 590.0e9;
+  /// L2 cache capacity in bytes.
+  u32 l2_capacity = 1536 * 1024;
+  /// Global memory load latency in core cycles (exposed when not hidden).
+  u32 gm_latency = 400;
+
+  // --- Constant memory -----------------------------------------------------
+  /// Constant memory size (a launch whose constant bank exceeds this is
+  /// rejected — the reason the paper's general case cannot use CM).
+  u32 const_capacity = 64 * 1024;
+  /// Constant cache line size; misses are charged as GM sectors.
+  u32 const_line_bytes = 64;
+  /// Broadcast constant requests serviceable per cycle. High because a
+  /// warp-uniform constant read folds into an FMA operand on real hardware
+  /// (FFMA Rd, Ra, c[bank][ofs], Rc) — only *divergent* constant accesses
+  /// serialize into real requests.
+  double const_broadcasts_per_cycle = 8.0;
+
+  // --- Execution resources per SM ------------------------------------------
+  u32 warp_size = 32;
+  /// FP32 lanes per SM (192 on Kepler SMX) => warp-FMA throughput per cycle.
+  u32 fp32_lanes_per_sm = 192;
+  /// Peak warp-instruction issue slots per cycle (4 schedulers, dual issue).
+  u32 issue_slots_per_cycle = 8;
+  /// Shared-memory request cycles serviceable per cycle (one 256B access).
+  u32 smem_requests_per_cycle = 1;
+  /// Fraction of peak FMA issue slots a well-tuned kernel can sustain
+  /// (operand-collector conflicts, dual-issue pairing losses). Kepler
+  /// cuBLAS SGEMM lands near 0.75-0.8 of peak; we derate all compute by it.
+  double fma_efficiency = 0.78;
+  /// Fraction of datasheet DRAM bandwidth achievable with a mixed
+  /// read/write stream (row-buffer and turnaround losses).
+  double dram_efficiency = 0.75;
+  u32 max_threads_per_sm = 2048;
+  u32 max_blocks_per_sm = 16;
+  u32 max_threads_per_block = 1024;
+  u32 regs_per_sm = 65536;
+  u32 max_regs_per_thread = 255;
+
+  // --- Chip-level ----------------------------------------------------------
+  u32 sm_count = 15;
+  /// Core clock in GHz (K40m base clock; peak SP = lanes*2*clock*sm_count).
+  double clock_ghz = 0.745;
+  /// Cost of a __syncthreads barrier in cycles.
+  u32 barrier_cost = 30;
+
+  /// Warp FMA-instruction throughput per SM per cycle (e.g. 192/32 = 6).
+  double warp_fma_per_cycle() const {
+    return static_cast<double>(fp32_lanes_per_sm) / warp_size;
+  }
+  /// Peak single-precision GFlop/s (FMA = 2 flops).
+  double peak_sp_gflops() const {
+    return 2.0 * fp32_lanes_per_sm * sm_count * clock_ghz;
+  }
+  /// DRAM bytes deliverable per SM per core cycle.
+  double dram_bytes_per_sm_cycle() const {
+    return dram_bytes_per_s / (sm_count * clock_ghz * 1e9);
+  }
+  /// L2-hit bytes deliverable per SM per core cycle.
+  double l2_bytes_per_sm_cycle() const {
+    return l2_bytes_per_s / (sm_count * clock_ghz * 1e9);
+  }
+};
+
+/// Kepler K40m: 15 SMX, 745 MHz, 4290 SP GFlop/s, 288 GB/s, 8-byte banks.
+/// The paper's evaluation platform.
+Arch kepler_k40m();
+
+/// Fermi-class (M2090-like): 4-byte banks, 16 SMs. Used to show why the
+/// MAGMA Fermi kernel was matched on Fermi but mismatched on Kepler (Fig. 2).
+Arch fermi_m2090();
+
+/// Maxwell-class device: 4-byte banks. On such parts fp32 is matched but
+/// fp16/int8 are not — the paper's conclusion (extension experiment E1).
+Arch maxwell_like();
+
+/// A K40m variant configured for 4-byte bank mode (cudaSharedMemBankSizeFourByte),
+/// useful for isolating the bank-width effect with everything else fixed.
+Arch kepler_k40m_4byte_banks();
+
+}  // namespace kconv::sim

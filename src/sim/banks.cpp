@@ -1,0 +1,70 @@
+#include "src/sim/banks.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace kconv::sim {
+
+SmemCost analyze_smem(std::span<const Access> lanes, u32 banks,
+                      u32 bank_bytes) {
+  KCONV_ASSERT(banks > 0 && bank_bytes > 0);
+  SmemCost cost;
+  if (lanes.empty()) return cost;
+
+  // A warp touches at most 32 lanes x a handful of words each; a small flat
+  // vector with linear probing beats a hash map at this size.
+  struct WordUse {
+    u64 word = 0;  // word index = byte_addr / bank_bytes
+    u8 mask = 0;   // bytes of the word actually used (bank_bytes <= 8)
+  };
+  WordUse words[128];
+  std::size_t n_words = 0;
+
+  bool any_active = false;
+  for (const Access& a : lanes) {
+    if (a.bytes == 0) continue;  // predicated-off lane
+    any_active = true;
+    cost.lane_bytes += a.bytes;
+    u64 begin = a.addr;
+    const u64 end = a.addr + a.bytes;
+    while (begin < end) {
+      const u64 word = begin / bank_bytes;
+      const u64 word_end = (word + 1) * bank_bytes;
+      const u64 chunk_end = std::min<u64>(end, word_end);
+      u8 mask = 0;
+      for (u64 b = begin; b < chunk_end; ++b) {
+        mask = static_cast<u8>(mask | (1u << (b - word * bank_bytes)));
+      }
+      bool found = false;
+      for (std::size_t i = 0; i < n_words; ++i) {
+        if (words[i].word == word) {
+          words[i].mask = static_cast<u8>(words[i].mask | mask);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        KCONV_ASSERT(n_words < 128);
+        words[n_words++] = WordUse{word, mask};
+      }
+      begin = chunk_end;
+    }
+  }
+
+  // Request cycles = max over banks of distinct words addressed in that bank.
+  u32 per_bank[64] = {};
+  KCONV_ASSERT(banks <= 64);
+  for (std::size_t i = 0; i < n_words; ++i) {
+    const u32 bank = static_cast<u32>(words[i].word % banks);
+    ++per_bank[bank];
+    cost.unique_bytes += static_cast<u64>(__builtin_popcount(words[i].mask));
+  }
+  for (u32 b = 0; b < banks; ++b) {
+    cost.request_cycles = std::max(cost.request_cycles, per_bank[b]);
+  }
+  if (cost.request_cycles == 0 && any_active) cost.request_cycles = 1;
+  return cost;
+}
+
+}  // namespace kconv::sim

@@ -1,0 +1,38 @@
+// Shared-memory bank model — the heart of the paper's §2.1.
+//
+// Shared memory is organized as `banks` banks of width `bank_bytes` (W_SMB:
+// 8 on Kepler, 4 elsewhere). Per warp transaction, each bank can deliver one
+// W_SMB-wide word per request cycle; lanes addressing the *same* word in a
+// bank are merged (multicast), lanes addressing *different* words in the
+// same bank serialize into extra request cycles.
+//
+// This reproduces the paper's observation mechanically: a conventional
+// per-lane `float` access pattern on Kepler touches only 16 distinct 8-byte
+// words (two lanes share each word), so one request cycle moves 128 B — half
+// of the 32x8 = 256 B the banks could deliver. Matching W_CD to W_SMB with
+// float2 units makes the same request cycle move the full 256 B, doubling
+// the effective SM bandwidth (Fig. 1).
+#pragma once
+
+#include <span>
+
+#include "src/sim/event.hpp"
+
+namespace kconv::sim {
+
+/// Result of analyzing one warp shared-memory transaction.
+struct SmemCost {
+  /// Request cycles consumed (>= 1; > 1 means bank-conflict replays).
+  u32 request_cycles = 0;
+  /// Distinct bytes actually transferred across all banks.
+  u64 unique_bytes = 0;
+  /// Sum of the bytes each lane asked for (>= unique when lanes broadcast).
+  u64 lane_bytes = 0;
+};
+
+/// Analyzes the per-lane accesses of one warp shared-memory instruction.
+/// Addresses are byte offsets into the block's shared memory.
+SmemCost analyze_smem(std::span<const Access> lanes, u32 banks,
+                      u32 bank_bytes);
+
+}  // namespace kconv::sim

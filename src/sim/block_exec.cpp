@@ -1,0 +1,215 @@
+#include "src/sim/block_exec.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/strutil.hpp"
+#include "src/sim/banks.hpp"
+#include "src/sim/coalescing.hpp"
+#include "src/sim/constmem.hpp"
+
+namespace kconv::sim {
+
+namespace {
+
+enum class LaneState : u8 { Ready, Pending, Blocked, Done };
+
+struct Lane {
+  ThreadProgram prog;
+  ThreadCtx ctx;
+  LaneState state = LaneState::Ready;
+  u64 events = 0;  // retired suspensions (memory instrs + barriers)
+};
+
+/// Charges one retired warp transaction to the stats.
+void retire_group(Device& dev, TraceLevel trace, L2Cache* const_cache, Op op,
+                  std::span<const Access> accesses, KernelStats& stats,
+                  bool& segment_had_gm_load, bool& segment_had_sm_store) {
+  if (trace != TraceLevel::Timing) return;
+  const Arch& arch = dev.arch();
+  switch (op) {
+    case Op::LoadShared:
+    case Op::StoreShared: {
+      const SmemCost c = analyze_smem(accesses, arch.smem_banks,
+                                      arch.smem_bank_bytes);
+      if (c.lane_bytes == 0) break;  // every lane predicated off
+      ++stats.smem_instrs;
+      stats.smem_request_cycles += c.request_cycles;
+      stats.smem_bytes += c.unique_bytes;
+      if (op == Op::StoreShared) segment_had_sm_store = true;
+      break;
+    }
+    case Op::LoadGlobal:
+    case Op::StoreGlobal: {
+      const GmemCost c = analyze_gmem(accesses, arch.gm_sector_bytes);
+      if (c.lane_bytes == 0) break;  // every lane predicated off
+      ++stats.gm_instrs;
+      stats.gm_sectors += c.sectors.size();
+      stats.gm_bytes_useful += c.lane_bytes;
+      for (const u64 sector : c.sectors) {
+        if (!dev.l2().access(sector)) ++stats.gm_sectors_dram;
+      }
+      if (op == Op::LoadGlobal) segment_had_gm_load = true;
+      break;
+    }
+    case Op::LoadConst: {
+      const ConstCost c = analyze_const(accesses, arch.const_line_bytes);
+      ++stats.const_instrs;
+      stats.const_requests += c.requests;
+      if (const_cache != nullptr) {
+        for (u32 i = 0; i < c.lines_touched; ++i) {
+          if (!const_cache->access(c.line_addrs[i])) ++stats.const_line_misses;
+        }
+      }
+      break;
+    }
+    case Op::Sync:
+      break;  // handled by the barrier logic
+  }
+}
+
+}  // namespace
+
+void run_block(Device& dev, const KernelBody& body, const LaunchConfig& cfg,
+               Dim3 block_idx, TraceLevel trace, u64 max_rounds,
+               L2Cache* const_cache, KernelStats& stats) {
+  const u32 n_lanes = static_cast<u32>(cfg.block.count());
+  const u32 warp_size = dev.arch().warp_size;
+  KCONV_ASSERT(n_lanes > 0);
+
+  std::vector<std::byte> smem(cfg.shared_bytes);
+
+  // Lanes must not relocate once their coroutines capture ctx by reference.
+  std::vector<Lane> lanes(n_lanes);
+  for (u32 t = 0; t < n_lanes; ++t) {
+    Lane& lane = lanes[t];
+    lane.ctx.grid_dim = cfg.grid;
+    lane.ctx.block_dim = cfg.block;
+    lane.ctx.block_idx = block_idx;
+    lane.ctx.thread_idx = Dim3{t % cfg.block.x,
+                               (t / cfg.block.x) % cfg.block.y,
+                               t / (cfg.block.x * cfg.block.y)};
+    lane.ctx.bind_smem(smem.data(), cfg.shared_bytes);
+    lane.prog = body(lane.ctx);
+    KCONV_CHECK(lane.prog.valid(), "kernel body returned an empty program");
+  }
+
+  const u32 n_warps = static_cast<u32>(ceil_div(n_lanes, warp_size));
+  bool segment_had_gm_load = false;
+  bool segment_had_sm_store = false;
+  u64 rounds = 0;
+  u32 done_count = 0;
+
+  // Scratch reused across retires.
+  std::vector<Access> group_acc;
+  std::vector<u32> group_lanes;
+
+  while (done_count < n_lanes) {
+    KCONV_CHECK(++rounds <= max_rounds,
+                strf("device program exceeded %llu scheduling rounds "
+                     "(runaway loop?)",
+                     static_cast<unsigned long long>(max_rounds)));
+
+    for (u32 w = 0; w < n_warps; ++w) {
+      const u32 lo = w * warp_size;
+      const u32 hi = std::min(lo + warp_size, n_lanes);
+
+      // Advance every runnable lane of this warp to its next event.
+      for (u32 t = lo; t < hi; ++t) {
+        Lane& lane = lanes[t];
+        if (lane.state != LaneState::Ready) continue;
+        lane.prog.resume();
+        if (lane.prog.done()) {
+          if (lane.prog.promise().error) {
+            std::rethrow_exception(lane.prog.promise().error);
+          }
+          lane.state = LaneState::Done;
+          ++done_count;
+        } else {
+          lane.state = lane.prog.promise().pending.op == Op::Sync
+                           ? LaneState::Blocked
+                           : LaneState::Pending;
+        }
+      }
+
+      // Retire the pending accesses, grouped by operation kind.
+      u32 groups_this_round = 0;
+      for (const Op op : {Op::LoadGlobal, Op::StoreGlobal, Op::LoadShared,
+                          Op::StoreShared, Op::LoadConst}) {
+        group_acc.clear();
+        group_lanes.clear();
+        for (u32 t = lo; t < hi; ++t) {
+          if (lanes[t].state == LaneState::Pending &&
+              lanes[t].prog.promise().pending.op == op) {
+            group_acc.push_back(lanes[t].prog.promise().pending);
+            group_lanes.push_back(t);
+          }
+        }
+        if (group_acc.empty()) continue;
+        ++groups_this_round;
+        retire_group(dev, trace, const_cache, op, group_acc, stats,
+                     segment_had_gm_load, segment_had_sm_store);
+        for (const u32 t : group_lanes) {
+          lanes[t].state = LaneState::Ready;
+          ++lanes[t].events;
+        }
+      }
+      if (groups_this_round > 1) {
+        stats.divergent_retires += groups_this_round - 1;
+      }
+    }
+
+    // Barrier: release once every live lane is blocked on sync.
+    if (done_count < n_lanes) {
+      bool all_blocked = true;
+      bool any_blocked = false;
+      for (const Lane& lane : lanes) {
+        if (lane.state == LaneState::Done) continue;
+        if (lane.state == LaneState::Blocked) {
+          any_blocked = true;
+        } else {
+          all_blocked = false;
+        }
+      }
+      if (any_blocked && all_blocked) {
+        for (Lane& lane : lanes) {
+          if (lane.state == LaneState::Blocked) {
+            lane.state = LaneState::Ready;
+            ++lane.events;
+          }
+        }
+        ++stats.barriers;
+        if (segment_had_gm_load) ++stats.gm_phases;
+        if (segment_had_gm_load && segment_had_sm_store) {
+          ++stats.gm_dep_phases;
+        }
+        segment_had_gm_load = false;
+        segment_had_sm_store = false;
+      }
+    }
+  }
+  if (segment_had_gm_load) ++stats.gm_phases;
+  if (segment_had_gm_load && segment_had_sm_store) ++stats.gm_dep_phases;
+
+  // Attribute arithmetic at warp granularity: a warp instruction covers up
+  // to 32 lane-ops, and a warp is as slow as its busiest lane.
+  for (u32 w = 0; w < n_warps; ++w) {
+    const u32 lo = w * warp_size;
+    const u32 hi = std::min(lo + warp_size, n_lanes);
+    u64 max_fma = 0, max_alu = 0, max_events = 0;
+    for (u32 t = lo; t < hi; ++t) {
+      stats.fma_lane_ops += lanes[t].ctx.fma_ops();
+      stats.alu_lane_ops += lanes[t].ctx.alu_ops();
+      max_fma = std::max(max_fma, lanes[t].ctx.fma_ops());
+      max_alu = std::max(max_alu, lanes[t].ctx.alu_ops());
+      max_events = std::max(max_events, lanes[t].events);
+    }
+    stats.fma_warp_instrs += max_fma;
+    stats.alu_warp_instrs += max_alu;
+    stats.max_warp_instrs =
+        std::max(stats.max_warp_instrs, max_events + max_fma + max_alu);
+  }
+  ++stats.blocks_executed;
+}
+
+}  // namespace kconv::sim

@@ -1,0 +1,35 @@
+// BlockExecutor — runs one thread block in lockstep warps.
+//
+// Scheduling model: execution proceeds in rounds. In each round every
+// runnable lane advances to its next suspension point (memory access,
+// barrier, or completion). Within a warp, the pending accesses of lanes
+// that suspended on the same operation kind retire together as ONE warp
+// transaction through the space-specific analyzer; mixed kinds (branch
+// divergence) retire as separate subgroups, modeling hardware replay. A
+// barrier releases once every live lane of the block is blocked on sync.
+#pragma once
+
+#include <functional>
+
+#include "src/sim/config.hpp"
+#include "src/sim/device.hpp"
+#include "src/sim/stats.hpp"
+#include "src/sim/task.hpp"
+#include "src/sim/thread_ctx.hpp"
+
+namespace kconv::sim {
+
+/// Type-erased kernel body: builds one lane's coroutine from its context.
+using KernelBody = std::function<ThreadProgram(ThreadCtx&)>;
+
+/// Executes the block at `block_idx` and accumulates its statistics.
+///
+/// `const_cache` models the per-SM constant cache (pass nullptr to treat
+/// every constant line as resident). Throws kconv::Error on device faults
+/// (OOB/misaligned accesses, runaway loops) and rethrows exceptions escaping
+/// the kernel body.
+void run_block(Device& dev, const KernelBody& body, const LaunchConfig& cfg,
+               Dim3 block_idx, TraceLevel trace, u64 max_rounds,
+               L2Cache* const_cache, KernelStats& stats);
+
+}  // namespace kconv::sim

@@ -1,0 +1,28 @@
+#include "src/sim/coalescing.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace kconv::sim {
+
+GmemCost analyze_gmem(std::span<const Access> lanes, u32 sector_bytes) {
+  KCONV_ASSERT(sector_bytes > 0);
+  GmemCost cost;
+  cost.sectors.reserve(lanes.size());
+  for (const Access& a : lanes) {
+    if (a.bytes == 0) continue;  // predicated-off lane
+    cost.lane_bytes += a.bytes;
+    const u64 first = a.addr / sector_bytes;
+    const u64 last = (a.addr + a.bytes - 1) / sector_bytes;
+    for (u64 s = first; s <= last; ++s) {
+      cost.sectors.push_back(s * sector_bytes);
+    }
+  }
+  std::sort(cost.sectors.begin(), cost.sectors.end());
+  cost.sectors.erase(std::unique(cost.sectors.begin(), cost.sectors.end()),
+                     cost.sectors.end());
+  return cost;
+}
+
+}  // namespace kconv::sim

@@ -1,0 +1,29 @@
+// Global-memory coalescing model.
+//
+// Kepler services global loads through L2 in 32-byte sectors. One warp
+// memory instruction generates one transaction per *distinct* sector its
+// lanes touch: fully coalesced unit-stride float accesses touch 4 sectors
+// (128 B), scattered accesses touch up to 32. The convolution kernels in
+// this repo are designed so contiguous threads access contiguous addresses
+// (at n-pixel granularity), keeping this number minimal.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/sim/event.hpp"
+
+namespace kconv::sim {
+
+/// Result of analyzing one warp global-memory transaction.
+struct GmemCost {
+  /// Distinct sector base addresses touched (each is one L2 request).
+  std::vector<u64> sectors;
+  /// Sum of bytes the lanes asked for.
+  u64 lane_bytes = 0;
+};
+
+/// Groups the lanes' byte ranges into `sector_bytes`-aligned sectors.
+GmemCost analyze_gmem(std::span<const Access> lanes, u32 sector_bytes);
+
+}  // namespace kconv::sim

@@ -1,0 +1,42 @@
+// Launch configuration and execution options.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/sim/dim.hpp"
+
+namespace kconv::sim {
+
+/// What the executor records while running device code.
+enum class TraceLevel : u8 {
+  /// Functional semantics only — fastest; stats stay near-empty.
+  Functional,
+  /// Full transaction analysis feeding the timing model.
+  Timing,
+};
+
+/// The per-launch geometry and resource declaration (CUDA's <<<...>>>).
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  /// Dynamic shared memory per block, bytes (from SharedLayout::size()).
+  u32 shared_bytes = 0;
+  /// Register estimate per thread; drives the occupancy model the way the
+  /// compiler-reported register count does on real hardware.
+  u32 regs_per_thread = 32;
+};
+
+/// Host-side execution options.
+struct LaunchOptions {
+  TraceLevel trace = TraceLevel::Timing;
+  /// When > 0 and less than the grid size, execute only this many evenly
+  /// spaced blocks and scale the timing estimate (benchmark mode — blocks of
+  /// the kconv kernels are statistically identical). Functional output of
+  /// skipped blocks is NOT produced.
+  u64 sample_max_blocks = 0;
+  /// Invalidate L2 before the launch (true mimics a cold kernel call).
+  bool reset_l2 = true;
+  /// Safety valve against runaway device programs (resume rounds per block).
+  u64 max_rounds_per_block = 50'000'000;
+};
+
+}  // namespace kconv::sim

@@ -1,0 +1,71 @@
+// The simulated GPU device: architecture + memory allocators + L2.
+//
+// A Device is the root object user code creates; everything else (buffers,
+// constant banks, launches) hangs off it. Addresses are handed out
+// monotonically so that no two allocations ever alias.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "src/sim/arch.hpp"
+#include "src/sim/l2cache.hpp"
+#include "src/sim/memory.hpp"
+
+namespace kconv::sim {
+
+class Device {
+ public:
+  explicit Device(Arch arch)
+      : arch_(std::move(arch)),
+        l2_(arch_.l2_capacity, arch_.gm_sector_bytes) {}
+
+  const Arch& arch() const { return arch_; }
+  L2Cache& l2() { return l2_; }
+
+  /// Allocates `bytes` of simulated global memory (256-byte aligned base,
+  /// like cudaMalloc).
+  std::unique_ptr<DeviceBuffer> alloc_bytes(std::size_t bytes) {
+    const u64 base = next_gm_;
+    next_gm_ = round_up(static_cast<i64>(base + bytes), 256);
+    return std::make_unique<DeviceBuffer>(base, bytes);
+  }
+
+  /// Allocates a typed global array of `count` elements.
+  template <typename T>
+  DeviceArray<T> alloc(i64 count) {
+    KCONV_CHECK(count >= 0, "negative allocation");
+    return DeviceArray<T>(alloc_bytes(static_cast<std::size_t>(count) *
+                                      sizeof(T)),
+                          count);
+  }
+
+  /// Allocates a typed global array and uploads `src` into it.
+  template <typename T>
+  DeviceArray<T> alloc(std::span<const T> src) {
+    auto arr = alloc<T>(static_cast<i64>(src.size()));
+    arr.upload(src);
+    return arr;
+  }
+
+  /// Creates a constant-memory bank holding `src` (rejected if it exceeds
+  /// the architecture's constant capacity — the paper's reason for moving
+  /// general-case filters to global memory).
+  template <typename T>
+  std::unique_ptr<ConstBuffer> alloc_const(std::span<const T> src) {
+    const u64 base = next_const_;
+    next_const_ = round_up(static_cast<i64>(base + src.size_bytes()), 256);
+    auto buf = std::make_unique<ConstBuffer>(base, src.size_bytes(),
+                                             arch_.const_capacity);
+    buf->upload(src);
+    return buf;
+  }
+
+ private:
+  Arch arch_;
+  L2Cache l2_;
+  u64 next_gm_ = 0x1000;     // leave page 0 unmapped to catch null-ish bugs
+  u64 next_const_ = 0x1000;  // constant space is separate from global space
+};
+
+}  // namespace kconv::sim

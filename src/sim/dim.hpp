@@ -1,0 +1,19 @@
+// 3-component launch geometry, mirroring CUDA's dim3.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace kconv::sim {
+
+struct Dim3 {
+  u32 x = 1;
+  u32 y = 1;
+  u32 z = 1;
+
+  constexpr u64 count() const {
+    return static_cast<u64>(x) * y * z;
+  }
+  friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+}  // namespace kconv::sim

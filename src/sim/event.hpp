@@ -1,0 +1,47 @@
+// Memory / synchronization events published by device threads.
+//
+// Every suspension point of a device-thread coroutine carries one Access.
+// The BlockExecutor groups the per-lane Accesses of a warp into a single
+// warp transaction and feeds it to the space-specific analyzer (bank model,
+// coalescing model, constant broadcast model).
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace kconv::sim {
+
+/// Operation kinds a lane can suspend on.
+enum class Op : u8 {
+  LoadGlobal,
+  StoreGlobal,
+  LoadShared,
+  StoreShared,
+  LoadConst,
+  Sync,
+};
+
+constexpr const char* op_name(Op op) {
+  switch (op) {
+    case Op::LoadGlobal: return "ld.global";
+    case Op::StoreGlobal: return "st.global";
+    case Op::LoadShared: return "ld.shared";
+    case Op::StoreShared: return "st.shared";
+    case Op::LoadConst: return "ld.const";
+    case Op::Sync: return "sync";
+  }
+  return "?";
+}
+
+/// One lane's contribution to a warp transaction.
+///
+/// `addr` is a byte address: flat device address for global/constant space,
+/// block-local byte offset for shared space. `bytes` is the full width of
+/// the lane's access unit (e.g. 8 for a float2 — vector accesses are the
+/// paper's mechanism for matching W_CD to W_SMB).
+struct Access {
+  Op op = Op::Sync;
+  u64 addr = 0;
+  u32 bytes = 0;
+};
+
+}  // namespace kconv::sim

@@ -1,0 +1,55 @@
+#include "src/sim/l2cache.hpp"
+
+#include "src/common/error.hpp"
+
+namespace kconv::sim {
+
+namespace {
+u64 floor_pow2(u64 x) {
+  u64 p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+}  // namespace
+
+L2Cache::L2Cache(u32 capacity_bytes, u32 sector_bytes, u32 ways)
+    : sector_bytes_(sector_bytes), ways_(ways) {
+  KCONV_CHECK(sector_bytes > 0 && ways > 0 && capacity_bytes >= sector_bytes,
+              "invalid L2 geometry");
+  const u64 sectors = capacity_bytes / sector_bytes;
+  sets_ = floor_pow2(sectors / ways);
+  if (sets_ == 0) sets_ = 1;
+  lines_.assign(sets_ * ways_, Way{});
+}
+
+bool L2Cache::access(u64 addr) {
+  const u64 sector = addr / sector_bytes_;
+  const u64 set = sector & (sets_ - 1);
+  Way* row = &lines_[set * ways_];
+  ++tick_;
+
+  Way* victim = &row[0];
+  for (u32 w = 0; w < ways_; ++w) {
+    if (row[w].valid && row[w].tag == sector) {
+      row[w].lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!row[w].valid) {
+      victim = &row[w];
+    } else if (victim->valid && row[w].lru < victim->lru) {
+      victim = &row[w];
+    }
+  }
+  victim->valid = true;
+  victim->tag = sector;
+  victim->lru = tick_;
+  ++misses_;
+  return false;
+}
+
+void L2Cache::invalidate() {
+  for (auto& w : lines_) w.valid = false;
+}
+
+}  // namespace kconv::sim

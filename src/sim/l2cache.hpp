@@ -1,0 +1,50 @@
+// Sector-granular set-associative L2 cache model.
+//
+// Kepler routes all global loads through L2 (L1 is reserved for local data),
+// so the DRAM traffic a kernel generates equals its L2 *miss* sectors. The
+// GEMM-based convolution baselines lean on L2 to soften their K×K-fold
+// re-reads of the input image; modeling L2 keeps the comparison with the
+// paper's kernels honest instead of charging the baselines full DRAM cost.
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace kconv::sim {
+
+/// Set-associative, LRU, write-allocate cache over fixed-size sectors.
+class L2Cache {
+ public:
+  /// `capacity_bytes` and `sector_bytes` come from the Arch; `ways` is the
+  /// associativity (16 approximates Kepler's L2).
+  L2Cache(u32 capacity_bytes, u32 sector_bytes, u32 ways = 16);
+
+  /// Touches one sector address (byte address; rounded down to the sector).
+  /// Returns true on hit. Misses fill the sector, evicting LRU.
+  bool access(u64 addr);
+
+  /// Drops all cached sectors (between independent launches).
+  void invalidate();
+
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+ private:
+  struct Way {
+    u64 tag = 0;
+    u64 lru = 0;  // larger = more recently used
+    bool valid = false;
+  };
+
+  u32 sector_bytes_;
+  u32 ways_;
+  u64 sets_;
+  u64 tick_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  std::vector<Way> lines_;  // sets_ * ways_, row-major by set
+};
+
+}  // namespace kconv::sim

@@ -1,0 +1,61 @@
+#include "src/sim/launch.hpp"
+
+#include <vector>
+
+#include "src/common/strutil.hpp"
+
+namespace kconv::sim::detail {
+
+LaunchResult launch_impl(Device& dev, const KernelBody& body,
+                         const LaunchConfig& cfg, const LaunchOptions& opt) {
+  KCONV_CHECK(cfg.grid.count() >= 1, "empty grid");
+  // Validates thread/smem/register limits up front (throws on bad configs).
+  (void)compute_occupancy(dev.arch(), cfg);
+
+  if (opt.reset_l2) {
+    dev.l2().invalidate();
+  }
+  dev.l2().reset_counters();
+
+  // Per-SM constant cache (Kepler: 8 KiB read-only path for __constant__).
+  L2Cache const_cache(8 * 1024, dev.arch().const_line_bytes, 4);
+
+  LaunchResult res;
+  res.blocks_total = cfg.grid.count();
+
+  // Choose the block set: everything, or an evenly spaced sample.
+  std::vector<u64> flat_ids;
+  if (opt.sample_max_blocks > 0 &&
+      opt.sample_max_blocks < res.blocks_total) {
+    res.sampled = true;
+    const u64 n = opt.sample_max_blocks;
+    flat_ids.reserve(n);
+    // Deterministic even spacing, offset to avoid always hitting border
+    // blocks (block 0 often touches image edges and is atypical).
+    const double stride = static_cast<double>(res.blocks_total) / n;
+    for (u64 i = 0; i < n; ++i) {
+      flat_ids.push_back(
+          static_cast<u64>((static_cast<double>(i) + 0.5) * stride));
+    }
+  } else {
+    flat_ids.reserve(res.blocks_total);
+    for (u64 i = 0; i < res.blocks_total; ++i) flat_ids.push_back(i);
+  }
+
+  for (const u64 flat : flat_ids) {
+    const Dim3 bidx{static_cast<u32>(flat % cfg.grid.x),
+                    static_cast<u32>((flat / cfg.grid.x) % cfg.grid.y),
+                    static_cast<u32>(flat / (static_cast<u64>(cfg.grid.x) *
+                                             cfg.grid.y))};
+    run_block(dev, body, cfg, bidx, opt.trace, opt.max_rounds_per_block,
+              &const_cache, res.stats);
+  }
+  res.blocks_executed = res.stats.blocks_executed;
+
+  if (opt.trace == TraceLevel::Timing) {
+    res.timing = estimate_time(dev.arch(), cfg, res.stats, res.blocks_total);
+  }
+  return res;
+}
+
+}  // namespace kconv::sim::detail

@@ -1,0 +1,51 @@
+// Kernel launch: the host-side entry point of the simulator.
+//
+//   sim::Device dev(sim::kepler_k40m());
+//   MyKernel k{...views...};
+//   auto res = sim::launch(dev, k, {.grid = {64}, .block = {256}});
+//   // res.stats: transaction counts; res.timing: cycles / GFlop/s
+//
+// A kernel is any object invocable as `ThreadProgram operator()(ThreadCtx&)
+// const`. Launches run every block by default (functional output complete);
+// benchmark callers set LaunchOptions::sample_max_blocks to execute a
+// deterministic, evenly spaced subset and scale the timing estimate.
+#pragma once
+
+#include <concepts>
+
+#include "src/sim/block_exec.hpp"
+#include "src/sim/timing.hpp"
+
+namespace kconv::sim {
+
+/// Anything that can produce a lane program from a thread context.
+template <typename K>
+concept DeviceKernel = requires(const K k, ThreadCtx& t) {
+  { k(t) } -> std::same_as<ThreadProgram>;
+};
+
+struct LaunchResult {
+  /// Raw statistics over the blocks actually executed.
+  KernelStats stats;
+  /// Timing scaled to the full grid.
+  TimingEstimate timing;
+  u64 blocks_total = 0;
+  u64 blocks_executed = 0;
+  bool sampled = false;
+};
+
+namespace detail {
+/// Non-template core: validates the config, picks the block set, runs it.
+LaunchResult launch_impl(Device& dev, const KernelBody& body,
+                         const LaunchConfig& cfg, const LaunchOptions& opt);
+}  // namespace detail
+
+/// Launches `kernel` over `cfg.grid` x `cfg.block` threads on `dev`.
+template <DeviceKernel K>
+LaunchResult launch(Device& dev, const K& kernel, const LaunchConfig& cfg,
+                    const LaunchOptions& opt = {}) {
+  return detail::launch_impl(
+      dev, [&kernel](ThreadCtx& t) { return kernel(t); }, cfg, opt);
+}
+
+}  // namespace kconv::sim

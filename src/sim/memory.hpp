@@ -1,0 +1,223 @@
+// Simulated device memory: global buffers, constant banks, and typed views.
+//
+// Every buffer lives at a unique flat 64-bit byte address handed out by the
+// owning Device; transaction analyzers operate on those addresses while
+// functional reads/writes go straight to host storage. Views are cheap,
+// trivially-copyable handles that device programs capture by value (like
+// pointers in CUDA kernel arguments).
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/strutil.hpp"
+#include "src/common/types.hpp"
+
+namespace kconv::sim {
+
+/// An untyped allocation in simulated global memory.
+///
+/// Owns its storage; the base address is assigned once by the Device and is
+/// never reused, so stale views fail loudly on bounds checks rather than
+/// aliasing a new allocation.
+class DeviceBuffer {
+ public:
+  DeviceBuffer(u64 base_addr, std::size_t bytes)
+      : base_(base_addr), bytes_(bytes), data_(bytes) {}
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  u64 base_addr() const { return base_; }
+  std::size_t size_bytes() const { return bytes_; }
+  std::byte* data() { return data_.data(); }
+  const std::byte* data() const { return data_.data(); }
+
+  /// Copies host data into the buffer starting at byte `offset`.
+  template <typename T>
+  void upload(std::span<const T> src, std::size_t byte_offset = 0) {
+    const std::size_t n = src.size_bytes();
+    KCONV_CHECK(byte_offset + n <= bytes_,
+                strf("upload of %zu bytes at offset %zu exceeds buffer of %zu",
+                     n, byte_offset, bytes_));
+    std::memcpy(data_.data() + byte_offset, src.data(), n);
+  }
+
+  /// Copies the whole buffer (or a prefix) back to the host.
+  template <typename T>
+  std::vector<T> download(std::size_t count = SIZE_MAX,
+                          std::size_t byte_offset = 0) const {
+    if (count == SIZE_MAX) count = (bytes_ - byte_offset) / sizeof(T);
+    KCONV_CHECK(byte_offset + count * sizeof(T) <= bytes_,
+                "download range exceeds buffer");
+    std::vector<T> out(count);
+    std::memcpy(out.data(), data_.data() + byte_offset, count * sizeof(T));
+    return out;
+  }
+
+  void fill_bytes(std::byte value) {
+    std::fill(data_.begin(), data_.end(), value);
+  }
+
+ private:
+  u64 base_;
+  std::size_t bytes_;
+  std::vector<std::byte> data_;
+};
+
+/// Typed, bounds-checked handle over a DeviceBuffer region.
+///
+/// `V` in read/write may be the element type T itself or a Vec<T, N>: vector
+/// accesses require natural alignment, exactly like float2/float4 on real
+/// hardware — a misaligned vector access throws (and tests rely on that).
+template <typename T>
+class BufferView {
+ public:
+  BufferView() = default;
+  BufferView(DeviceBuffer* buf, i64 elem_offset, i64 count)
+      : buf_(buf), elem_offset_(elem_offset), count_(count) {
+    KCONV_CHECK(buf != nullptr, "view over null buffer");
+    KCONV_CHECK(elem_offset >= 0 && count >= 0 &&
+                    (elem_offset + count) * static_cast<i64>(sizeof(T)) <=
+                        static_cast<i64>(buf->size_bytes()),
+                "view range exceeds buffer");
+  }
+
+  i64 size() const { return count_; }
+  bool valid() const { return buf_ != nullptr; }
+
+  /// Flat device byte address of element `idx` (for transaction analysis).
+  u64 addr_of(i64 idx) const {
+    return buf_->base_addr() + (elem_offset_ + idx) * sizeof(T);
+  }
+
+  /// Functional read of V (scalar T or Vec<T,N>) at element index `idx`.
+  template <typename V = T>
+  V read(i64 idx) const {
+    check_access<V>(idx);
+    V out;
+    std::memcpy(&out, byte_ptr(idx), sizeof(V));
+    return out;
+  }
+
+  /// Functional write of V at element index `idx`.
+  template <typename V = T>
+  void write(i64 idx, const V& value) const {
+    check_access<V>(idx);
+    std::memcpy(byte_ptr(idx), &value, sizeof(V));
+  }
+
+ private:
+  template <typename V>
+  void check_access(i64 idx) const {
+    constexpr i64 n = static_cast<i64>(sizeof(V) / sizeof(T));
+    static_assert(sizeof(V) % sizeof(T) == 0, "V must pack whole elements");
+    KCONV_CHECK(buf_ != nullptr, "access through null view");
+    KCONV_CHECK(idx >= 0 && idx + n <= count_,
+                strf("device access out of bounds: idx=%lld width=%lld size=%lld",
+                     static_cast<long long>(idx), static_cast<long long>(n),
+                     static_cast<long long>(count_)));
+    KCONV_CHECK(addr_of(idx) % sizeof(V) == 0,
+                strf("misaligned %zu-byte vector access at device address %llu",
+                     sizeof(V), static_cast<unsigned long long>(addr_of(idx))));
+  }
+
+  std::byte* byte_ptr(i64 idx) const {
+    return buf_->data() + (elem_offset_ + idx) * sizeof(T);
+  }
+
+  DeviceBuffer* buf_ = nullptr;
+  i64 elem_offset_ = 0;
+  i64 count_ = 0;
+};
+
+/// A constant-memory bank (read-only to device code, max 64 KiB on all
+/// modeled arches). The paper stores special-case filters here to exploit
+/// the warp broadcast path.
+class ConstBuffer {
+ public:
+  ConstBuffer(u64 base_addr, std::size_t bytes, u32 capacity)
+      : base_(base_addr), data_(bytes) {
+    KCONV_CHECK(bytes <= capacity,
+                strf("constant bank of %zu bytes exceeds %u-byte capacity",
+                     bytes, capacity));
+  }
+
+  u64 base_addr() const { return base_; }
+  std::size_t size_bytes() const { return data_.size(); }
+  const std::byte* data() const { return data_.data(); }
+
+  template <typename T>
+  void upload(std::span<const T> src, std::size_t byte_offset = 0) {
+    KCONV_CHECK(byte_offset + src.size_bytes() <= data_.size(),
+                "constant upload exceeds bank");
+    std::memcpy(data_.data() + byte_offset, src.data(), src.size_bytes());
+  }
+
+ private:
+  u64 base_;
+  std::vector<std::byte> data_;
+};
+
+/// Typed read-only view over a ConstBuffer.
+template <typename T>
+class ConstView {
+ public:
+  ConstView() = default;
+  ConstView(const ConstBuffer* buf, i64 elem_offset, i64 count)
+      : buf_(buf), elem_offset_(elem_offset), count_(count) {
+    KCONV_CHECK(buf != nullptr, "view over null constant bank");
+    KCONV_CHECK((elem_offset + count) * sizeof(T) <= buf->size_bytes(),
+                "constant view range exceeds bank");
+  }
+
+  i64 size() const { return count_; }
+  bool valid() const { return buf_ != nullptr; }
+
+  u64 addr_of(i64 idx) const {
+    return buf_->base_addr() + (elem_offset_ + idx) * sizeof(T);
+  }
+
+  template <typename V = T>
+  V read(i64 idx) const {
+    constexpr i64 n = static_cast<i64>(sizeof(V) / sizeof(T));
+    KCONV_CHECK(buf_ != nullptr, "access through null constant view");
+    KCONV_CHECK(idx >= 0 && idx + n <= count_, "constant access out of bounds");
+    V out;
+    std::memcpy(&out, buf_->data() + (elem_offset_ + idx) * sizeof(T),
+                sizeof(V));
+    return out;
+  }
+
+ private:
+  const ConstBuffer* buf_ = nullptr;
+  i64 elem_offset_ = 0;
+  i64 count_ = 0;
+};
+
+/// Typed owning convenience wrapper: allocation + upload/download in one.
+template <typename T>
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+  DeviceArray(std::unique_ptr<DeviceBuffer> buf, i64 count)
+      : buf_(std::move(buf)), count_(count) {}
+
+  BufferView<T> view() { return BufferView<T>(buf_.get(), 0, count_); }
+  i64 size() const { return count_; }
+
+  void upload(std::span<const T> src) { buf_->upload<T>(src); }
+  std::vector<T> download() const {
+    return buf_->download<T>(static_cast<std::size_t>(count_));
+  }
+  void zero() { buf_->fill_bytes(std::byte{0}); }
+
+ private:
+  std::unique_ptr<DeviceBuffer> buf_;
+  i64 count_ = 0;
+};
+
+}  // namespace kconv::sim

@@ -1,0 +1,123 @@
+#include "src/sim/report.hpp"
+
+#include "src/common/strutil.hpp"
+
+namespace kconv::sim {
+
+namespace {
+const char* limiter_name(OccupancyLimiter l) {
+  switch (l) {
+    case OccupancyLimiter::Threads: return "threads";
+    case OccupancyLimiter::SharedMem: return "shared memory";
+    case OccupancyLimiter::Registers: return "registers";
+    case OccupancyLimiter::Blocks: return "block slots";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string format_report(const Arch& arch, const LaunchResult& res) {
+  const KernelStats& s = res.stats;
+  const TimingEstimate& t = res.timing;
+  std::string out;
+  out += strf("=== %s ===\n", arch.name.c_str());
+  out += strf("blocks: %llu total, %llu executed%s\n",
+              static_cast<unsigned long long>(res.blocks_total),
+              static_cast<unsigned long long>(res.blocks_executed),
+              res.sampled ? " (sampled)" : "");
+  out += strf("time: %.3f ms  (%.0f cycles, %.1f waves)\n", t.seconds * 1e3,
+              t.total_cycles, t.waves);
+  out += strf("perf: %.1f GFlop/s  (%.1f%% of %.0f GFlop/s peak), bound: %s\n",
+              t.gflops, 100.0 * t.sm_efficiency, arch.peak_sp_gflops(),
+              t.bound.c_str());
+  out += strf("occupancy: %u blocks/SM, %u warps/SM (%.0f%%), limited by %s\n",
+              t.occupancy.blocks_per_sm, t.occupancy.warps_per_sm,
+              100.0 * t.occupancy.fraction, limiter_name(t.occupancy.limiter));
+  out += strf("pipes (SM-cycles/wave): compute %.0f, issue %.0f, smem %.0f, "
+              "gmem %.0f, const %.0f, latency floor %.0f\n",
+              t.pipe_compute, t.pipe_issue, t.pipe_smem, t.pipe_gmem,
+              t.pipe_const, t.latency_floor);
+  if (s.smem_instrs > 0) {
+    out += strf("smem: %llu instrs, %llu request cycles (replay factor "
+                "%.2f), %s moved\n",
+                static_cast<unsigned long long>(s.smem_instrs),
+                static_cast<unsigned long long>(s.smem_request_cycles),
+                s.smem_replay_factor(),
+                human_bytes(static_cast<double>(s.smem_bytes)).c_str());
+  }
+  if (s.gm_instrs > 0) {
+    out += strf("gmem: %llu instrs, %llu sectors (%llu DRAM / %llu L2-hit), "
+                "overfetch %.2fx, %.1f GB/s DRAM\n",
+                static_cast<unsigned long long>(s.gm_instrs),
+                static_cast<unsigned long long>(s.gm_sectors),
+                static_cast<unsigned long long>(s.gm_sectors_dram),
+                static_cast<unsigned long long>(s.gm_sectors -
+                                                s.gm_sectors_dram),
+                s.gm_overfetch(arch.gm_sector_bytes), t.dram_gbps);
+  }
+  if (s.const_instrs > 0) {
+    out += strf("const: %llu instrs, %llu requests (%.2f per instr), "
+                "%llu line misses\n",
+                static_cast<unsigned long long>(s.const_instrs),
+                static_cast<unsigned long long>(s.const_requests),
+                static_cast<double>(s.const_requests) /
+                    static_cast<double>(s.const_instrs),
+                static_cast<unsigned long long>(s.const_line_misses));
+  }
+  out += strf("fma: %llu lane-ops (%llu warp instrs); divergent retires: "
+              "%llu; barriers/block: %.1f\n",
+              static_cast<unsigned long long>(s.fma_lane_ops),
+              static_cast<unsigned long long>(s.fma_warp_instrs),
+              static_cast<unsigned long long>(s.divergent_retires),
+              s.blocks_executed
+                  ? static_cast<double>(s.barriers) /
+                        static_cast<double>(s.blocks_executed)
+                  : 0.0);
+  return out;
+}
+
+std::string to_json(const Arch& arch, const LaunchResult& res) {
+  const KernelStats& s = res.stats;
+  const TimingEstimate& t = res.timing;
+  std::string out = "{\n";
+  out += strf("  \"arch\": \"%s\",\n", arch.name.c_str());
+  out += strf("  \"blocks_total\": %llu,\n",
+              static_cast<unsigned long long>(res.blocks_total));
+  out += strf("  \"blocks_executed\": %llu,\n",
+              static_cast<unsigned long long>(res.blocks_executed));
+  out += strf("  \"sampled\": %s,\n", res.sampled ? "true" : "false");
+  out += strf("  \"seconds\": %.9g,\n", t.seconds);
+  out += strf("  \"gflops\": %.6g,\n", t.gflops);
+  out += strf("  \"bound\": \"%s\",\n", t.bound.c_str());
+  out += strf("  \"occupancy_blocks_per_sm\": %u,\n",
+              t.occupancy.blocks_per_sm);
+  out += strf("  \"pipes\": {\"compute\": %.6g, \"issue\": %.6g, "
+              "\"smem\": %.6g, \"gmem\": %.6g, \"const\": %.6g, "
+              "\"latency_floor\": %.6g},\n",
+              t.pipe_compute, t.pipe_issue, t.pipe_smem, t.pipe_gmem,
+              t.pipe_const, t.latency_floor);
+  out += strf("  \"fma_lane_ops\": %llu,\n",
+              static_cast<unsigned long long>(s.fma_lane_ops));
+  out += strf("  \"smem_instrs\": %llu,\n",
+              static_cast<unsigned long long>(s.smem_instrs));
+  out += strf("  \"smem_request_cycles\": %llu,\n",
+              static_cast<unsigned long long>(s.smem_request_cycles));
+  out += strf("  \"gm_sectors\": %llu,\n",
+              static_cast<unsigned long long>(s.gm_sectors));
+  out += strf("  \"gm_sectors_dram\": %llu,\n",
+              static_cast<unsigned long long>(s.gm_sectors_dram));
+  out += strf("  \"const_requests\": %llu,\n",
+              static_cast<unsigned long long>(s.const_requests));
+  out += strf("  \"barriers\": %llu\n",
+              static_cast<unsigned long long>(s.barriers));
+  out += "}";
+  return out;
+}
+
+std::string format_brief(const LaunchResult& res) {
+  return strf("%8.1f GFlop/s  %8.3f ms  bound=%-7s  smem-replay=%.2f",
+              res.timing.gflops, res.timing.seconds * 1e3,
+              res.timing.bound.c_str(), res.stats.smem_replay_factor());
+}
+
+}  // namespace kconv::sim

@@ -1,0 +1,21 @@
+// Human-readable rendering of launch results.
+#pragma once
+
+#include <string>
+
+#include "src/sim/arch.hpp"
+#include "src/sim/launch.hpp"
+
+namespace kconv::sim {
+
+/// Multi-line summary: timing, binding pipe, occupancy, traffic breakdown.
+std::string format_report(const Arch& arch, const LaunchResult& res);
+
+/// One-line summary (for benchmark tables).
+std::string format_brief(const LaunchResult& res);
+
+/// Machine-readable JSON export of a launch's statistics and timing —
+/// the hook for external analysis/plotting of simulator runs.
+std::string to_json(const Arch& arch, const LaunchResult& res);
+
+}  // namespace kconv::sim

@@ -1,0 +1,97 @@
+// Shared-memory layout planning and typed block-local views.
+//
+// Kernels plan their shared memory on the host with SharedLayout (like
+// computing `extern __shared__` offsets), store the byte offsets as kernel
+// members, and materialize typed SharedView handles inside device code via
+// ThreadCtx::shared<T>(). Offsets are aligned so that vector accesses — the
+// paper's W_CD-matching mechanism — are naturally aligned.
+#pragma once
+
+#include <cstring>
+
+#include "src/common/error.hpp"
+#include "src/common/strutil.hpp"
+#include "src/common/types.hpp"
+
+namespace kconv::sim {
+
+/// Host-side bump allocator for a block's shared memory.
+class SharedLayout {
+ public:
+  /// Reserves `count` elements of T aligned to `align` bytes (default: a
+  /// full 16 so float4 accesses are always legal). Returns the byte offset.
+  template <typename T>
+  u32 alloc(i64 count, u32 align = 16) {
+    KCONV_CHECK(count >= 0, "negative shared allocation");
+    size_ = static_cast<u32>(round_up(size_, align));
+    const u32 off = size_;
+    size_ += static_cast<u32>(count * static_cast<i64>(sizeof(T)));
+    return off;
+  }
+
+  /// Total bytes to request in the LaunchConfig.
+  u32 size() const { return size_; }
+
+ private:
+  u32 size_ = 0;
+};
+
+/// Typed, bounds-checked view over a region of the executing block's shared
+/// memory. Only constructible inside device code (via ThreadCtx::shared).
+template <typename T>
+class SharedView {
+ public:
+  SharedView() = default;
+  SharedView(std::byte* base, u32 smem_bytes, u32 byte_off, i64 count)
+      : base_(base), byte_off_(byte_off), count_(count) {
+    KCONV_CHECK(byte_off + count * static_cast<i64>(sizeof(T)) <=
+                    static_cast<i64>(smem_bytes),
+                strf("shared view [%u, +%lld*%zu) exceeds %u-byte allocation",
+                     byte_off, static_cast<long long>(count), sizeof(T),
+                     smem_bytes));
+  }
+
+  i64 size() const { return count_; }
+
+  /// Byte offset of element `idx` within the block's shared space — the
+  /// address the bank model analyzes.
+  u64 addr_of(i64 idx) const {
+    return byte_off_ + static_cast<u64>(idx) * sizeof(T);
+  }
+
+  template <typename V = T>
+  V read(i64 idx) const {
+    check_access<V>(idx);
+    V out;
+    std::memcpy(&out, base_ + addr_of(idx), sizeof(V));
+    return out;
+  }
+
+  template <typename V = T>
+  void write(i64 idx, const V& value) const {
+    check_access<V>(idx);
+    std::memcpy(base_ + addr_of(idx), &value, sizeof(V));
+  }
+
+ private:
+  template <typename V>
+  void check_access(i64 idx) const {
+    constexpr i64 n = static_cast<i64>(sizeof(V) / sizeof(T));
+    static_assert(sizeof(V) % sizeof(T) == 0, "V must pack whole elements");
+    KCONV_CHECK(base_ != nullptr, "access through null shared view");
+    KCONV_CHECK(idx >= 0 && idx + n <= count_,
+                strf("shared access out of bounds: idx=%lld width=%lld size=%lld",
+                     static_cast<long long>(idx), static_cast<long long>(n),
+                     static_cast<long long>(count_)));
+    KCONV_CHECK(addr_of(idx) % sizeof(V) == 0,
+                strf("misaligned %zu-byte shared vector access at offset %llu",
+                     sizeof(V),
+                     static_cast<unsigned long long>(addr_of(idx))));
+  }
+
+  std::byte* base_ = nullptr;
+  u32 byte_off_ = 0;
+  i64 count_ = 0;
+};
+
+}  // namespace kconv::sim

@@ -1,0 +1,24 @@
+// Umbrella header for the kconv GPU simulator.
+//
+// See DESIGN.md §4 for the execution and timing model; start from Device
+// (device.hpp) and launch() (launch.hpp).
+#pragma once
+
+#include "src/sim/arch.hpp"        // IWYU pragma: export
+#include "src/sim/banks.hpp"       // IWYU pragma: export
+#include "src/sim/block_exec.hpp"  // IWYU pragma: export
+#include "src/sim/coalescing.hpp"  // IWYU pragma: export
+#include "src/sim/config.hpp"      // IWYU pragma: export
+#include "src/sim/constmem.hpp"    // IWYU pragma: export
+#include "src/sim/device.hpp"      // IWYU pragma: export
+#include "src/sim/dim.hpp"         // IWYU pragma: export
+#include "src/sim/event.hpp"       // IWYU pragma: export
+#include "src/sim/l2cache.hpp"     // IWYU pragma: export
+#include "src/sim/launch.hpp"      // IWYU pragma: export
+#include "src/sim/memory.hpp"      // IWYU pragma: export
+#include "src/sim/report.hpp"      // IWYU pragma: export
+#include "src/sim/shared.hpp"      // IWYU pragma: export
+#include "src/sim/stats.hpp"       // IWYU pragma: export
+#include "src/sim/task.hpp"        // IWYU pragma: export
+#include "src/sim/thread_ctx.hpp"  // IWYU pragma: export
+#include "src/sim/timing.hpp"      // IWYU pragma: export

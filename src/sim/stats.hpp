@@ -1,0 +1,116 @@
+// Counters accumulated while executing device code.
+//
+// KernelStats is the interface between the functional/transaction layer and
+// the timing model: it holds exactly the quantities the paper reasons about
+// (GM sectors, SM request cycles and conflicts, CM broadcasts, FMA work).
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace kconv::sim {
+
+/// Aggregated execution statistics for one or more thread blocks.
+struct KernelStats {
+  // --- Compute --------------------------------------------------------------
+  /// Total FMA lane-operations executed (one lane-FMA = 2 flops).
+  u64 fma_lane_ops = 0;
+  /// Warp-level FMA instructions (per warp: max over lanes of its FMA count).
+  u64 fma_warp_instrs = 0;
+  /// Non-FMA arithmetic charged by kernels (address math, adds); lane ops.
+  u64 alu_lane_ops = 0;
+  u64 alu_warp_instrs = 0;
+
+  // --- Shared memory ---------------------------------------------------------
+  /// Warp-level shared-memory instructions issued (loads + stores).
+  u64 smem_instrs = 0;
+  /// Request cycles consumed after bank-conflict analysis. For a
+  /// conflict-free access this equals 1 per instruction; conflicts add
+  /// replays. This is the quantity the paper's §2.1 model halves by
+  /// matching W_CD to W_SMB.
+  u64 smem_request_cycles = 0;
+  /// Useful bytes moved to/from shared memory (sum of unique lane bytes).
+  u64 smem_bytes = 0;
+
+  // --- Global memory ----------------------------------------------------------
+  /// Warp-level global-memory instructions issued.
+  u64 gm_instrs = 0;
+  /// 32B sectors requested (after coalescing, before L2).
+  u64 gm_sectors = 0;
+  /// Sectors that missed L2 and were served by DRAM.
+  u64 gm_sectors_dram = 0;
+  /// Useful bytes requested by lanes (not padded to sector granularity).
+  u64 gm_bytes_useful = 0;
+
+  // --- Constant memory ---------------------------------------------------------
+  /// Warp-level constant loads issued.
+  u64 const_instrs = 0;
+  /// Serialized constant requests (1 when the whole warp broadcasts).
+  u64 const_requests = 0;
+  /// Constant-cache line misses (charged as GM sectors as well).
+  u64 const_line_misses = 0;
+
+  // --- Control ------------------------------------------------------------------
+  /// __syncthreads barriers executed (per block).
+  u64 barriers = 0;
+  /// Barrier-separated program segments that contain >= 1 GM load.
+  u64 gm_phases = 0;
+  /// Segments containing BOTH a GM load and a shared-memory store: the
+  /// load's latency sits on the critical path into the following barrier
+  /// (no prefetch distance). Kernels that prefetch into registers and
+  /// publish to SM in a later segment avoid this — the timing model's
+  /// latency floor charges only these dependent phases.
+  u64 gm_dep_phases = 0;
+  /// Warp transactions that retired with lane subgroups (divergence replays).
+  u64 divergent_retires = 0;
+
+  /// Longest per-warp instruction stream (critical path for the latency floor).
+  u64 max_warp_instrs = 0;
+
+  /// Thread blocks whose statistics are accumulated here.
+  u64 blocks_executed = 0;
+
+  KernelStats& operator+=(const KernelStats& o) {
+    fma_lane_ops += o.fma_lane_ops;
+    fma_warp_instrs += o.fma_warp_instrs;
+    alu_lane_ops += o.alu_lane_ops;
+    alu_warp_instrs += o.alu_warp_instrs;
+    smem_instrs += o.smem_instrs;
+    smem_request_cycles += o.smem_request_cycles;
+    smem_bytes += o.smem_bytes;
+    gm_instrs += o.gm_instrs;
+    gm_sectors += o.gm_sectors;
+    gm_sectors_dram += o.gm_sectors_dram;
+    gm_bytes_useful += o.gm_bytes_useful;
+    const_instrs += o.const_instrs;
+    const_requests += o.const_requests;
+    const_line_misses += o.const_line_misses;
+    barriers += o.barriers;
+    gm_phases += o.gm_phases;
+    gm_dep_phases += o.gm_dep_phases;
+    divergent_retires += o.divergent_retires;
+    max_warp_instrs = max_warp_instrs > o.max_warp_instrs ? max_warp_instrs
+                                                          : o.max_warp_instrs;
+    blocks_executed += o.blocks_executed;
+    return *this;
+  }
+
+  /// Total floating-point operations (FMA counts as 2).
+  double flops() const { return 2.0 * static_cast<double>(fma_lane_ops); }
+
+  /// Average SM request cycles per SM instruction (1.0 = conflict-free).
+  double smem_replay_factor() const {
+    return smem_instrs == 0 ? 0.0
+                            : static_cast<double>(smem_request_cycles) /
+                                  static_cast<double>(smem_instrs);
+  }
+
+  /// GM over-fetch: sector bytes actually moved / bytes the lanes asked for.
+  double gm_overfetch(u32 sector_bytes) const {
+    return gm_bytes_useful == 0
+               ? 0.0
+               : static_cast<double>(gm_sectors) * sector_bytes /
+                     static_cast<double>(gm_bytes_useful);
+  }
+};
+
+}  // namespace kconv::sim

@@ -1,0 +1,101 @@
+// Coroutine plumbing for device-thread programs.
+//
+// A device kernel body is a C++20 coroutine returning ThreadProgram. Each
+// simulated thread (lane) is one coroutine instance; it suspends at every
+// memory operation, publishing an Access into its promise. The
+// BlockExecutor resumes lanes warp-by-warp so that the k-th suspension of
+// every lane in a warp retires as one warp transaction — the lockstep
+// execution real hardware provides implicitly.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "src/sim/event.hpp"
+
+namespace kconv::sim {
+
+/// Handle to one lane's coroutine. Move-only RAII owner.
+class ThreadProgram {
+ public:
+  struct promise_type {
+    /// The access this lane suspended on (valid while suspended mid-body).
+    Access pending{};
+    /// Error escaping the body; rethrown by the executor.
+    std::exception_ptr error;
+
+    ThreadProgram get_return_object() {
+      return ThreadProgram(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  ThreadProgram() = default;
+  explicit ThreadProgram(Handle h) : h_(h) {}
+  ThreadProgram(ThreadProgram&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  ThreadProgram& operator=(ThreadProgram&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  ThreadProgram(const ThreadProgram&) = delete;
+  ThreadProgram& operator=(const ThreadProgram&) = delete;
+  ~ThreadProgram() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return h_.done(); }
+  void resume() { h_.resume(); }
+  promise_type& promise() const { return h_.promise(); }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_;
+};
+
+namespace detail {
+
+/// Awaitable for a load: the functional read already happened when the
+/// awaitable was built; suspension only exists so the executor can charge
+/// the warp transaction. Memory effects thus apply in lane-resume order
+/// within a round — the same contract as warp-synchronous CUDA code that
+/// separates conflicting accesses with __syncthreads (all kconv kernels do).
+template <typename V>
+struct LoadAwait {
+  Access acc;
+  V value;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(ThreadProgram::Handle h) const noexcept {
+    h.promise().pending = acc;
+  }
+  V await_resume() const noexcept { return value; }
+};
+
+/// Awaitable for a store (write already applied) or a barrier.
+struct VoidAwait {
+  Access acc;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(ThreadProgram::Handle h) const noexcept {
+    h.promise().pending = acc;
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+}  // namespace kconv::sim

@@ -1,0 +1,186 @@
+// ThreadCtx — the device-side programming interface of the simulator.
+//
+// A kernel body receives `ThreadCtx& t` (its blockIdx/threadIdx plus the
+// operations a CUDA thread would have):
+//
+//   float v  = co_await t.ld_global(img, i);          // scalar load
+//   vec2f u  = co_await t.ld_shared<vec2f>(sh, j);    // matched 8B unit load
+//   co_await t.st_global(out, i, t.fma(u[0], w, a));  // FMA is free-running
+//   co_await t.sync();                                // __syncthreads()
+//
+// Loads/stores suspend so the BlockExecutor can retire them as warp
+// transactions; arithmetic only bumps per-lane counters. Vector units
+// (Vec<T,N>) are how a kernel matches its computation data width W_CD to the
+// shared-memory bank width W_SMB, per the paper's Eq. (1).
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/sim/dim.hpp"
+#include "src/sim/memory.hpp"
+#include "src/sim/shared.hpp"
+#include "src/sim/task.hpp"
+
+namespace kconv::sim {
+
+class ThreadCtx {
+ public:
+  // Launch geometry (same names as CUDA built-ins).
+  Dim3 block_idx;
+  Dim3 thread_idx;
+  Dim3 block_dim;
+  Dim3 grid_dim;
+
+  /// Flattened thread index within the block (x fastest).
+  u32 flat_tid() const {
+    return thread_idx.x + block_dim.x * (thread_idx.y + block_dim.y * thread_idx.z);
+  }
+
+  // --- Arithmetic (non-suspending; counted for the timing model) -----------
+
+  /// Scalar fused multiply-add: returns a*b + c, charges one FMA lane-op.
+  float fma(float a, float b, float c) {
+    ++fma_ops_;
+    return a * b + c;
+  }
+
+  /// Vector FMA with a scalar multiplier: out[i] = x[i]*w + acc[i].
+  /// Charges N lane-ops — a thread computing n pixels per unit does n times
+  /// the arithmetic per instruction, which is exactly the point.
+  template <int N>
+  Vec<float, N> fma(const Vec<float, N>& x, float w,
+                    const Vec<float, N>& acc) {
+    Vec<float, N> out;
+    for (int i = 0; i < N; ++i) out[i] = x[i] * w + acc[i];
+    fma_ops_ += N;
+    return out;
+  }
+
+  /// Elementwise vector FMA: out[i] = x[i]*y[i] + acc[i].
+  template <int N>
+  Vec<float, N> fma(const Vec<float, N>& x, const Vec<float, N>& y,
+                    const Vec<float, N>& acc) {
+    Vec<float, N> out;
+    for (int i = 0; i < N; ++i) out[i] = x[i] * y[i] + acc[i];
+    fma_ops_ += N;
+    return out;
+  }
+
+  /// Charges `n` generic ALU lane-ops (index arithmetic a real kernel would
+  /// spend instructions on but that host C++ does for free).
+  void alu(u64 n = 1) { alu_ops_ += n; }
+
+  // --- Global memory ---------------------------------------------------------
+
+  template <typename V, typename T>
+  detail::LoadAwait<V> ld_global(const BufferView<T>& view, i64 idx) {
+    ++alu_ops_;  // address computation a real kernel spends an IADD on
+    return {Access{Op::LoadGlobal, view.addr_of(idx), sizeof(V)},
+            view.template read<V>(idx)};
+  }
+  template <typename T>
+  detail::LoadAwait<T> ld_global(const BufferView<T>& view, i64 idx) {
+    return ld_global<T, T>(view, idx);
+  }
+
+  /// Predicated load: like `pred ? value : V{}` on hardware — the lane
+  /// still occupies its slot in the warp instruction (keeping the warp in
+  /// lockstep) but an inactive lane touches no memory and costs nothing.
+  /// Use at divergence sites (boundary handling) instead of `if (...)
+  /// co_await`, which would let lanes drift out of phase.
+  template <typename V, typename T>
+  detail::LoadAwait<V> ld_global_if(bool pred, const BufferView<T>& view,
+                                    i64 idx) {
+    if (!pred) return {Access{Op::LoadGlobal, 0, 0}, V{}};
+    return ld_global<V, T>(view, idx);
+  }
+  template <typename T>
+  detail::LoadAwait<T> ld_global_if(bool pred, const BufferView<T>& view,
+                                    i64 idx) {
+    return ld_global_if<T, T>(pred, view, idx);
+  }
+
+  template <typename T, typename V>
+  detail::VoidAwait st_global(const BufferView<T>& view, i64 idx,
+                              const V& value) {
+    ++alu_ops_;
+    view.template write<V>(idx, value);
+    return {Access{Op::StoreGlobal, view.addr_of(idx), sizeof(V)}};
+  }
+
+  /// Predicated store (see ld_global_if).
+  template <typename T, typename V>
+  detail::VoidAwait st_global_if(bool pred, const BufferView<T>& view,
+                                 i64 idx, const V& value) {
+    if (!pred) return {Access{Op::StoreGlobal, 0, 0}};
+    return st_global(view, idx, value);
+  }
+
+  // --- Shared memory ----------------------------------------------------------
+
+  /// Materializes a typed view over this block's shared memory.
+  template <typename T>
+  SharedView<T> shared(u32 byte_off, i64 count) {
+    return SharedView<T>(smem_base_, smem_bytes_, byte_off, count);
+  }
+
+  template <typename V, typename T>
+  detail::LoadAwait<V> ld_shared(const SharedView<T>& view, i64 idx) {
+    ++alu_ops_;
+    return {Access{Op::LoadShared, view.addr_of(idx), sizeof(V)},
+            view.template read<V>(idx)};
+  }
+  template <typename T>
+  detail::LoadAwait<T> ld_shared(const SharedView<T>& view, i64 idx) {
+    return ld_shared<T, T>(view, idx);
+  }
+
+  template <typename T, typename V>
+  detail::VoidAwait st_shared(const SharedView<T>& view, i64 idx,
+                              const V& value) {
+    ++alu_ops_;
+    view.template write<V>(idx, value);
+    return {Access{Op::StoreShared, view.addr_of(idx), sizeof(V)}};
+  }
+
+  /// Predicated shared store (see ld_global_if).
+  template <typename T, typename V>
+  detail::VoidAwait st_shared_if(bool pred, const SharedView<T>& view,
+                                 i64 idx, const V& value) {
+    if (!pred) return {Access{Op::StoreShared, 0, 0}};
+    return st_shared(view, idx, value);
+  }
+
+  // --- Constant memory ---------------------------------------------------------
+
+  template <typename V, typename T>
+  detail::LoadAwait<V> ld_const(const ConstView<T>& view, i64 idx) {
+    return {Access{Op::LoadConst, view.addr_of(idx), sizeof(V)},
+            view.template read<V>(idx)};
+  }
+  template <typename T>
+  detail::LoadAwait<T> ld_const(const ConstView<T>& view, i64 idx) {
+    return ld_const<T, T>(view, idx);
+  }
+
+  // --- Synchronization -----------------------------------------------------------
+
+  /// __syncthreads(): suspends until every live lane of the block arrives.
+  detail::VoidAwait sync() { return {Access{Op::Sync, 0, 0}}; }
+
+  // --- Executor interface ----------------------------------------------------------
+
+  void bind_smem(std::byte* base, u32 bytes) {
+    smem_base_ = base;
+    smem_bytes_ = bytes;
+  }
+  u64 fma_ops() const { return fma_ops_; }
+  u64 alu_ops() const { return alu_ops_; }
+
+ private:
+  std::byte* smem_base_ = nullptr;
+  u32 smem_bytes_ = 0;
+  u64 fma_ops_ = 0;
+  u64 alu_ops_ = 0;
+};
+
+}  // namespace kconv::sim

@@ -1,0 +1,140 @@
+#include "src/sim/timing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/error.hpp"
+#include "src/common/strutil.hpp"
+
+namespace kconv::sim {
+
+Occupancy compute_occupancy(const Arch& arch, const LaunchConfig& cfg) {
+  const u64 threads = cfg.block.count();
+  KCONV_CHECK(threads >= 1 && threads <= arch.max_threads_per_block,
+              strf("block of %llu threads unsupported (max %u)",
+                   static_cast<unsigned long long>(threads),
+                   arch.max_threads_per_block));
+  KCONV_CHECK(cfg.shared_bytes <= arch.smem_per_block,
+              strf("block requests %u B shared memory (max %u)",
+                   cfg.shared_bytes, arch.smem_per_block));
+  KCONV_CHECK(cfg.regs_per_thread >= 1 &&
+                  cfg.regs_per_thread <= arch.max_regs_per_thread,
+              strf("%u registers/thread unsupported (max %u)",
+                   cfg.regs_per_thread, arch.max_regs_per_thread));
+
+  const u32 by_threads =
+      static_cast<u32>(arch.max_threads_per_sm / threads);
+  const u32 by_smem =
+      cfg.shared_bytes == 0
+          ? std::numeric_limits<u32>::max()
+          : static_cast<u32>(arch.smem_per_sm / cfg.shared_bytes);
+  const u32 by_regs = static_cast<u32>(
+      arch.regs_per_sm / (threads * cfg.regs_per_thread));
+  const u32 by_blocks = arch.max_blocks_per_sm;
+
+  Occupancy occ;
+  occ.blocks_per_sm = std::min({by_threads, by_smem, by_regs, by_blocks});
+  KCONV_CHECK(occ.blocks_per_sm >= 1,
+              "launch configuration cannot fit a single block on an SM");
+  if (occ.blocks_per_sm == by_threads) {
+    occ.limiter = OccupancyLimiter::Threads;
+  } else if (occ.blocks_per_sm == by_smem) {
+    occ.limiter = OccupancyLimiter::SharedMem;
+  } else if (occ.blocks_per_sm == by_regs) {
+    occ.limiter = OccupancyLimiter::Registers;
+  } else {
+    occ.limiter = OccupancyLimiter::Blocks;
+  }
+  const u32 warps_per_block =
+      static_cast<u32>(ceil_div(static_cast<i64>(threads), arch.warp_size));
+  occ.warps_per_sm = occ.blocks_per_sm * warps_per_block;
+  occ.fraction = static_cast<double>(occ.warps_per_sm) /
+                 (static_cast<double>(arch.max_threads_per_sm) / arch.warp_size);
+  return occ;
+}
+
+TimingEstimate estimate_time(const Arch& arch, const LaunchConfig& cfg,
+                             const KernelStats& stats, u64 blocks_total) {
+  KCONV_CHECK(stats.blocks_executed > 0,
+              "timing estimate requires at least one executed block");
+  TimingEstimate t;
+  t.occupancy = compute_occupancy(arch, cfg);
+  const double R = t.occupancy.blocks_per_sm;
+  const double nb = static_cast<double>(stats.blocks_executed);
+
+  // Per-block averaged demands.
+  const double fma_wi = static_cast<double>(stats.fma_warp_instrs) / nb;
+  const double alu_wi = static_cast<double>(stats.alu_warp_instrs) / nb;
+  const double smem_cycles =
+      static_cast<double>(stats.smem_request_cycles) / nb;
+  const double smem_instrs = static_cast<double>(stats.smem_instrs) / nb;
+  const double gm_instrs = static_cast<double>(stats.gm_instrs) / nb;
+  const double const_reqs = static_cast<double>(stats.const_requests) / nb;
+  const double sectors = static_cast<double>(stats.gm_sectors) / nb;
+  const double sectors_dram =
+      static_cast<double>(stats.gm_sectors_dram) / nb;
+  const double sectors_l2 = sectors - sectors_dram;
+  const double barriers = static_cast<double>(stats.barriers) / nb;
+  const double dep_phases = static_cast<double>(stats.gm_dep_phases) / nb;
+
+  // Pipe demands for one wave of R resident blocks, in SM-cycles.
+  t.pipe_compute = R * (fma_wi + alu_wi) /
+                   (arch.warp_fma_per_cycle() * arch.fma_efficiency);
+  // Constant instructions are absent from the issue pipe: broadcast reads
+  // fold into FMA operands on the modeled architectures.
+  const double total_wi = fma_wi + alu_wi + smem_instrs + gm_instrs;
+  t.pipe_issue = R * total_wi / arch.issue_slots_per_cycle;
+  t.pipe_smem = R * smem_cycles / arch.smem_requests_per_cycle;
+  t.pipe_gmem = R * (sectors_dram * arch.gm_sector_bytes /
+                         (arch.dram_bytes_per_sm_cycle() *
+                          arch.dram_efficiency) +
+                     sectors_l2 * arch.gm_sector_bytes /
+                         arch.l2_bytes_per_sm_cycle());
+  t.pipe_const = R * const_reqs / arch.const_broadcasts_per_cycle;
+
+  // Latency floor: a single block's critical path. One warp issues at most
+  // one instruction per cycle; barriers serialize; GM latency in each
+  // barrier-delimited phase is exposed inversely to how many warps are
+  // around to hide it (4 concurrently pending warps per phase hide it
+  // fully — a Little's-law stand-in).
+  const double hide =
+      std::max(1.0, static_cast<double>(t.occupancy.warps_per_sm) / 4.0);
+  // A lone warp dual-issues at best, hence the /2 on its serial stream.
+  t.latency_floor = static_cast<double>(stats.max_warp_instrs) / nb / 2.0 +
+                    barriers * arch.barrier_cost +
+                    dep_phases * arch.gm_latency / hide;
+
+  const double throughput = std::max(
+      {t.pipe_compute, t.pipe_issue, t.pipe_smem, t.pipe_gmem, t.pipe_const});
+  const double wave_cycles = std::max(throughput, t.latency_floor);
+
+  // Continuous wave count (identical blocks; tail quantization ignored).
+  t.waves = static_cast<double>(blocks_total) / (R * arch.sm_count);
+  t.total_cycles = std::max(wave_cycles * t.waves, t.latency_floor);
+  t.seconds = t.total_cycles / (arch.clock_ghz * 1e9);
+
+  const double flops_total =
+      stats.flops() / nb * static_cast<double>(blocks_total);
+  t.gflops = flops_total / t.seconds / 1e9;
+  t.sm_efficiency = t.gflops / arch.peak_sp_gflops();
+  t.dram_gbps = sectors_dram * arch.gm_sector_bytes *
+                static_cast<double>(blocks_total) / t.seconds / 1e9;
+
+  const struct {
+    double v;
+    const char* n;
+  } pipes[] = {{t.pipe_compute, "compute"}, {t.pipe_issue, "issue"},
+               {t.pipe_smem, "smem"},       {t.pipe_gmem, "gmem"},
+               {t.pipe_const, "const"},     {t.latency_floor, "latency"}};
+  t.bound = "compute";
+  double best = -1.0;
+  for (const auto& p : pipes) {
+    if (p.v > best) {
+      best = p.v;
+      t.bound = p.n;
+    }
+  }
+  return t;
+}
+
+}  // namespace kconv::sim

@@ -1,0 +1,68 @@
+// Analytical timing model.
+//
+// Converts per-block transaction counts (KernelStats) into a cycle estimate
+// using a pipeline-roofline with a latency floor:
+//
+//   wave_cycles = max over pipes of (resident_blocks x per-block demand
+//                                    / pipe capacity),
+//   floored by the per-block critical path (a lone warp's serial issue,
+//   barrier costs, and GM latency exposed when occupancy is too low).
+//
+// Pipes: FP32 compute, instruction issue, shared-memory request cycles
+// (where the paper's bank-width matching pays off), global-memory bandwidth
+// split DRAM/L2, and constant-cache throughput. Prefetching in the kernels
+// shows up naturally: overlapped work makes `max` rather than `sum` the
+// right combiner, and the latency floor captures what cannot be hidden.
+#pragma once
+
+#include <string>
+
+#include "src/sim/arch.hpp"
+#include "src/sim/config.hpp"
+#include "src/sim/stats.hpp"
+
+namespace kconv::sim {
+
+/// Which resource caps the number of concurrently resident blocks per SM.
+enum class OccupancyLimiter : u8 { Threads, SharedMem, Registers, Blocks };
+
+struct Occupancy {
+  u32 blocks_per_sm = 0;
+  u32 warps_per_sm = 0;
+  OccupancyLimiter limiter = OccupancyLimiter::Threads;
+  /// warps_per_sm / max warps the SM supports.
+  double fraction = 0.0;
+};
+
+/// Static occupancy calculation (the CUDA occupancy calculator's job).
+/// Throws if the block cannot run at all (too many threads/smem/regs).
+Occupancy compute_occupancy(const Arch& arch, const LaunchConfig& cfg);
+
+/// The timing estimate for a full grid.
+struct TimingEstimate {
+  double total_cycles = 0.0;
+  double seconds = 0.0;
+  double gflops = 0.0;           // achieved, from functional FMA counts
+  double dram_gbps = 0.0;        // achieved DRAM bandwidth
+  double sm_efficiency = 0.0;    // achieved / peak GFlop/s
+
+  // Per-wave pipe demands in SM-cycles (resident blocks included).
+  double pipe_compute = 0.0;
+  double pipe_issue = 0.0;
+  double pipe_smem = 0.0;
+  double pipe_gmem = 0.0;
+  double pipe_const = 0.0;
+  double latency_floor = 0.0;
+  std::string bound;  // name of the binding pipe
+
+  Occupancy occupancy;
+  double waves = 0.0;
+};
+
+/// Estimates grid execution time. `stats` may cover a sampled subset of
+/// blocks (stats.blocks_executed of them); demands are averaged per block
+/// and scaled to `blocks_total`.
+TimingEstimate estimate_time(const Arch& arch, const LaunchConfig& cfg,
+                             const KernelStats& stats, u64 blocks_total);
+
+}  // namespace kconv::sim

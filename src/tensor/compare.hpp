@@ -1,0 +1,61 @@
+// Numeric comparison helpers for tests and examples.
+#pragma once
+
+#include <cmath>
+
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::tensor {
+
+struct DiffReport {
+  double max_abs = 0.0;
+  double max_rel = 0.0;
+  i64 worst_index = -1;
+  i64 count = 0;
+
+  bool within(double atol, double rtol) const {
+    return max_abs <= atol || max_rel <= rtol;
+  }
+};
+
+/// Elementwise comparison of two equal-shaped tensors.
+inline DiffReport diff(const Tensor& a, const Tensor& b) {
+  KCONV_CHECK(a.shape() == b.shape(), "diff of differently shaped tensors");
+  DiffReport r;
+  r.count = a.size();
+  auto fa = a.flat();
+  auto fb = b.flat();
+  for (i64 i = 0; i < a.size(); ++i) {
+    const double da = fa[static_cast<std::size_t>(i)];
+    const double db = fb[static_cast<std::size_t>(i)];
+    const double abs_err = std::abs(da - db);
+    const double denom = std::max(std::abs(da), std::abs(db));
+    const double rel_err = denom > 0 ? abs_err / denom : 0.0;
+    if (abs_err > r.max_abs) {
+      r.max_abs = abs_err;
+      r.worst_index = i;
+    }
+    r.max_rel = std::max(r.max_rel, rel_err);
+  }
+  return r;
+}
+
+/// True when every element matches within atol OR rtol (numpy-allclose-ish,
+/// tolerant of fp32 reassociation in the device kernels).
+inline bool allclose(const Tensor& a, const Tensor& b, double atol = 1e-4,
+                     double rtol = 1e-4) {
+  KCONV_CHECK(a.shape() == b.shape(), "allclose of differently shaped tensors");
+  auto fa = a.flat();
+  auto fb = b.flat();
+  for (i64 i = 0; i < a.size(); ++i) {
+    const double da = fa[static_cast<std::size_t>(i)];
+    const double db = fb[static_cast<std::size_t>(i)];
+    const double abs_err = std::abs(da - db);
+    if (abs_err > atol + rtol * std::max(std::abs(da), std::abs(db))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kconv::tensor

@@ -1,0 +1,52 @@
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::tensor {
+
+Tensor conv2d_reference(const Tensor& input, const Tensor& filters,
+                        i64 pad) {
+  KCONV_CHECK(input.c() == filters.c(),
+              strf("channel mismatch: input has %lld, filters expect %lld",
+                   static_cast<long long>(input.c()),
+                   static_cast<long long>(filters.c())));
+  KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
+  KCONV_CHECK(pad >= 0, "negative padding");
+  const i64 k = filters.h();
+  const i64 ho = conv_out_extent(input.h(), k, pad);
+  const i64 wo = conv_out_extent(input.w(), k, pad);
+
+  Tensor out(input.n(), filters.n(), ho, wo);
+  for (i64 n = 0; n < input.n(); ++n) {
+    for (i64 f = 0; f < filters.n(); ++f) {
+      for (i64 y = 0; y < ho; ++y) {
+        for (i64 x = 0; x < wo; ++x) {
+          double acc = 0.0;  // double accumulation keeps the oracle tight
+          for (i64 c = 0; c < input.c(); ++c) {
+            for (i64 dy = 0; dy < k; ++dy) {
+              for (i64 dx = 0; dx < k; ++dx) {
+                acc += static_cast<double>(input.at_or_zero(
+                           n, c, y + dy - pad, x + dx - pad)) *
+                       static_cast<double>(filters.at(f, c, dy, dx));
+              }
+            }
+          }
+          out.at(n, f, y, x) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pad_image(const Tensor& input, i64 pad) {
+  KCONV_CHECK(pad >= 0, "negative padding");
+  if (pad == 0) return input;
+  Tensor out(input.n(), input.c(), input.h() + 2 * pad, input.w() + 2 * pad);
+  for (i64 n = 0; n < input.n(); ++n)
+    for (i64 c = 0; c < input.c(); ++c)
+      for (i64 h = 0; h < input.h(); ++h)
+        for (i64 w = 0; w < input.w(); ++w)
+          out.at(n, c, h + pad, w + pad) = input.at(n, c, h, w);
+  return out;
+}
+
+}  // namespace kconv::tensor

@@ -1,0 +1,33 @@
+// Reference CPU convolution — the oracle every device kernel is tested
+// against.
+//
+// Semantics follow the paper / CNN convention: cross-correlation (no filter
+// flip), NCHW input (N, C, Hi, Wi), filter bank (F, C, K, K), output
+// (N, F, Ho, Wo) with Ho = Hi + 2*pad - K + 1. pad = 0 is the `valid` mode
+// the device kernels implement natively.
+#pragma once
+
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::tensor {
+
+/// Direct triple-loop convolution. Slow and obviously correct.
+Tensor conv2d_reference(const Tensor& input, const Tensor& filters,
+                        i64 pad = 0);
+
+/// Output spatial extent for the given input extent / filter / padding.
+inline i64 conv_out_extent(i64 in, i64 k, i64 pad) {
+  const i64 out = in + 2 * pad - k + 1;
+  KCONV_CHECK(out >= 1, strf("filter of size %lld does not fit input of "
+                             "size %lld with pad %lld",
+                             static_cast<long long>(k),
+                             static_cast<long long>(in),
+                             static_cast<long long>(pad)));
+  return out;
+}
+
+/// Zero-pads an image tensor spatially by `pad` on every side. Used by the
+/// public API to offer `same`-style convolution on top of `valid` kernels.
+Tensor pad_image(const Tensor& input, i64 pad);
+
+}  // namespace kconv::tensor

@@ -1,0 +1,129 @@
+#include "src/tensor/fft_ref.hpp"
+
+#include <cmath>
+
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::tensor {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+bool is_pow2(i64 n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+i64 next_pow2(i64 n) {
+  i64 p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+void fft1d(std::vector<cfloat>& data, bool inverse) {
+  const std::size_t n = data.size();
+  KCONV_CHECK(is_pow2(static_cast<i64>(n)), "FFT length must be a power of 2");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * kPi / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const cfloat wlen(static_cast<float>(std::cos(ang)),
+                      static_cast<float>(std::sin(ang)));
+    for (std::size_t i = 0; i < n; i += len) {
+      cfloat w(1.0f, 0.0f);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const cfloat u = data[i + j];
+        const cfloat v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void fft2d(std::vector<cfloat>& data, i64 rows, i64 cols, bool inverse) {
+  KCONV_CHECK(static_cast<i64>(data.size()) == rows * cols,
+              "fft2d buffer size mismatch");
+  std::vector<cfloat> scratch(static_cast<std::size_t>(
+      std::max(rows, cols)));
+  for (i64 r = 0; r < rows; ++r) {
+    scratch.assign(data.begin() + static_cast<std::ptrdiff_t>(r * cols),
+                   data.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols));
+    fft1d(scratch, inverse);
+    std::copy(scratch.begin(), scratch.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(r * cols));
+  }
+  scratch.resize(static_cast<std::size_t>(rows));
+  for (i64 c = 0; c < cols; ++c) {
+    for (i64 r = 0; r < rows; ++r) {
+      scratch[static_cast<std::size_t>(r)] =
+          data[static_cast<std::size_t>(r * cols + c)];
+    }
+    fft1d(scratch, inverse);
+    for (i64 r = 0; r < rows; ++r) {
+      data[static_cast<std::size_t>(r * cols + c)] =
+          scratch[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+Tensor fft_conv_reference(const Tensor& input, const Tensor& filters) {
+  KCONV_CHECK(input.n() == 1, "single image");
+  KCONV_CHECK(input.c() == filters.c(), "channel mismatch");
+  KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
+  const i64 C = input.c(), F = filters.n(), K = filters.h();
+  const i64 Ho = conv_out_extent(input.h(), K, 0);
+  const i64 Wo = conv_out_extent(input.w(), K, 0);
+  const i64 P = next_pow2(std::max(input.h(), K));
+  const i64 Q = next_pow2(std::max(input.w(), K));
+  const std::size_t plane = static_cast<std::size_t>(P * Q);
+
+  // Transform every input channel.
+  std::vector<std::vector<cfloat>> X(static_cast<std::size_t>(C));
+  for (i64 c = 0; c < C; ++c) {
+    auto& x = X[static_cast<std::size_t>(c)];
+    x.assign(plane, cfloat{});
+    for (i64 y = 0; y < input.h(); ++y)
+      for (i64 xx = 0; xx < input.w(); ++xx)
+        x[static_cast<std::size_t>(y * Q + xx)] = input.at(0, c, y, xx);
+    fft2d(x, P, Q, false);
+  }
+
+  Tensor out(1, F, Ho, Wo);
+  std::vector<cfloat> acc(plane);
+  std::vector<cfloat> g(plane);
+  for (i64 f = 0; f < F; ++f) {
+    std::fill(acc.begin(), acc.end(), cfloat{});
+    for (i64 c = 0; c < C; ++c) {
+      // Flipped filter: full linear convolution with the flipped kernel is
+      // cross-correlation, extracted at offset (K-1, K-1).
+      std::fill(g.begin(), g.end(), cfloat{});
+      for (i64 y = 0; y < K; ++y)
+        for (i64 x = 0; x < K; ++x)
+          g[static_cast<std::size_t>(y * Q + x)] =
+              filters.at(f, c, K - 1 - y, K - 1 - x);
+      fft2d(g, P, Q, false);
+      const auto& x = X[static_cast<std::size_t>(c)];
+      for (std::size_t i = 0; i < plane; ++i) acc[i] += x[i] * g[i];
+    }
+    fft2d(acc, P, Q, true);
+    const float scale = 1.0f / static_cast<float>(P * Q);
+    for (i64 y = 0; y < Ho; ++y)
+      for (i64 x = 0; x < Wo; ++x)
+        out.at(0, f, y, x) =
+            acc[static_cast<std::size_t>((y + K - 1) * Q + (x + K - 1))]
+                .real() *
+            scale;
+  }
+  return out;
+}
+
+}  // namespace kconv::tensor

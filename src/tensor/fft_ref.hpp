@@ -1,0 +1,39 @@
+// Reference FFT machinery for FFT-based convolution (the paper's method
+// category (3), refs [12-14]).
+//
+// The frequency-domain route trades arithmetic for memory: filters are
+// zero-padded to the (power-of-two) image size — "which incurs additional
+// memory and computation time" (§1) — transformed once, multiplied
+// pointwise, and inverse-transformed. These host-side helpers define the
+// semantics; the device pipeline lives in src/kernels/fft_conv.*.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::tensor {
+
+using cfloat = std::complex<float>;
+
+/// In-place iterative radix-2 FFT (bit-reversal + butterflies).
+/// `data.size()` must be a power of two. `inverse` applies the conjugate
+/// transform WITHOUT the 1/N scale (callers scale once at the end).
+void fft1d(std::vector<cfloat>& data, bool inverse);
+
+/// In-place 2D FFT over a row-major `rows x cols` buffer (both powers of
+/// two): rows pass then columns pass.
+void fft2d(std::vector<cfloat>& data, i64 rows, i64 cols, bool inverse);
+
+/// Smallest power of two >= n.
+i64 next_pow2(i64 n);
+
+/// Full FFT-based valid convolution (cross-correlation semantics, matching
+/// conv2d_reference): input (1, C, Hi, Wi), filters (F, C, K, K).
+/// Internally pads to P x Q = next_pow2 extents; the cyclic wraparound
+/// lands entirely in the discarded border because the valid region starts
+/// at (K-1, K-1).
+Tensor fft_conv_reference(const Tensor& input, const Tensor& filters);
+
+}  // namespace kconv::tensor

@@ -1,0 +1,32 @@
+#include "src/tensor/gemm_ref.hpp"
+
+namespace kconv::tensor {
+
+Matrix gemm_reference(const Matrix& a, const Matrix& b) {
+  KCONV_CHECK(a.cols == b.rows,
+              strf("GEMM shape mismatch: %lldx%lld * %lldx%lld",
+                   static_cast<long long>(a.rows),
+                   static_cast<long long>(a.cols),
+                   static_cast<long long>(b.rows),
+                   static_cast<long long>(b.cols)));
+  Matrix c(a.rows, b.cols);
+  // ikj order for cache-friendliness; double accumulation in a row buffer
+  // keeps the oracle accurate for large K.
+  std::vector<double> row(static_cast<std::size_t>(b.cols));
+  for (i64 i = 0; i < a.rows; ++i) {
+    std::fill(row.begin(), row.end(), 0.0);
+    for (i64 k = 0; k < a.cols; ++k) {
+      const double av = a.at(i, k);
+      if (av == 0.0) continue;
+      for (i64 j = 0; j < b.cols; ++j) {
+        row[static_cast<std::size_t>(j)] += av * b.at(k, j);
+      }
+    }
+    for (i64 j = 0; j < b.cols; ++j) {
+      c.at(i, j) = static_cast<float>(row[static_cast<std::size_t>(j)]);
+    }
+  }
+  return c;
+}
+
+}  // namespace kconv::tensor

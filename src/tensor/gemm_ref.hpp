@@ -1,0 +1,11 @@
+// Reference CPU GEMM for oracles and the im2col pipeline.
+#pragma once
+
+#include "src/tensor/im2col.hpp"
+
+namespace kconv::tensor {
+
+/// C = A * B for row-major matrices (A: M x K, B: K x N).
+Matrix gemm_reference(const Matrix& a, const Matrix& b);
+
+}  // namespace kconv::tensor

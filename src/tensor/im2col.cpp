@@ -1,0 +1,49 @@
+#include "src/tensor/im2col.hpp"
+
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::tensor {
+
+Matrix im2col(const Tensor& input, i64 n, i64 k, i64 pad) {
+  KCONV_CHECK(n >= 0 && n < input.n(), "image index out of range");
+  const i64 ho = conv_out_extent(input.h(), k, pad);
+  const i64 wo = conv_out_extent(input.w(), k, pad);
+  Matrix m(input.c() * k * k, ho * wo);
+  for (i64 c = 0; c < input.c(); ++c) {
+    for (i64 dy = 0; dy < k; ++dy) {
+      for (i64 dx = 0; dx < k; ++dx) {
+        const i64 row = (c * k + dy) * k + dx;
+        for (i64 y = 0; y < ho; ++y) {
+          for (i64 x = 0; x < wo; ++x) {
+            m.at(row, y * wo + x) =
+                input.at_or_zero(n, c, y + dy - pad, x + dx - pad);
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+Matrix filters_as_matrix(const Tensor& filters) {
+  const i64 k = filters.h();
+  KCONV_CHECK(filters.w() == k, "non-square filters unsupported");
+  Matrix m(filters.n(), filters.c() * k * k);
+  for (i64 f = 0; f < filters.n(); ++f)
+    for (i64 c = 0; c < filters.c(); ++c)
+      for (i64 dy = 0; dy < k; ++dy)
+        for (i64 dx = 0; dx < k; ++dx)
+          m.at(f, (c * k + dy) * k + dx) = filters.at(f, c, dy, dx);
+  return m;
+}
+
+void col2im_output(const Matrix& product, i64 n, Tensor& out) {
+  KCONV_CHECK(product.rows == out.c() && product.cols == out.h() * out.w(),
+              "product shape does not match output tensor");
+  for (i64 f = 0; f < out.c(); ++f)
+    for (i64 y = 0; y < out.h(); ++y)
+      for (i64 x = 0; x < out.w(); ++x)
+        out.at(n, f, y, x) = product.at(f, y * out.w() + x);
+}
+
+}  // namespace kconv::tensor

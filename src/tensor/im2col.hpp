@@ -1,0 +1,43 @@
+// Reference im2col lowering (Chellapilla et al. [7] / Caffe [18]).
+//
+// Unrolls a convolution into a GEMM: the filter bank becomes an
+// F x (C*K*K) matrix, the input becomes a (C*K*K) x (Ho*Wo) patch matrix,
+// and their product is the (F x Ho*Wo) output. This is the memory-hungry
+// baseline the paper contrasts against — each input pixel is duplicated up
+// to K*K times in the patch matrix.
+#pragma once
+
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::tensor {
+
+/// Row-major matrix holder for the GEMM helpers.
+struct Matrix {
+  i64 rows = 0;
+  i64 cols = 0;
+  std::vector<float> data;
+
+  Matrix() = default;
+  Matrix(i64 r, i64 c)
+      : rows(r), cols(c), data(static_cast<std::size_t>(r * c), 0.0f) {
+    KCONV_CHECK(r >= 0 && c >= 0, "negative matrix extent");
+  }
+
+  float& at(i64 r, i64 c) { return data[static_cast<std::size_t>(r * cols + c)]; }
+  float at(i64 r, i64 c) const {
+    return data[static_cast<std::size_t>(r * cols + c)];
+  }
+};
+
+/// Lowers image `n` of `input` into the (C*K*K) x (Ho*Wo) patch matrix.
+/// Row index = (c*K + dy)*K + dx; column index = y*Wo + x.
+Matrix im2col(const Tensor& input, i64 n, i64 k, i64 pad = 0);
+
+/// Flattens an (F, C, K, K) filter bank into an F x (C*K*K) matrix whose
+/// column order matches im2col's row order.
+Matrix filters_as_matrix(const Tensor& filters);
+
+/// Reshapes an F x (Ho*Wo) product back into an output tensor image.
+void col2im_output(const Matrix& product, i64 n, Tensor& out);
+
+}  // namespace kconv::tensor

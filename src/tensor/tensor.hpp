@@ -1,0 +1,96 @@
+// Host-side dense tensors in NCHW layout.
+//
+// The minimal tensor type the library needs: owning float storage, shape
+// arithmetic, deterministic fills. Convolution inputs are (N, C, H, W);
+// filter banks are (F, C, K, K) — matching the paper's Fig. 3 nomenclature
+// (C input channels, F filters of size K x K).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/strutil.hpp"
+#include "src/common/types.hpp"
+
+namespace kconv::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates an (n, c, h, w) tensor initialized to zero.
+  Tensor(i64 n, i64 c, i64 h, i64 w)
+      : shape_{n, c, h, w}, data_(checked_size(n, c, h, w), 0.0f) {}
+
+  /// Shorthand for a single (1, c, h, w) image.
+  static Tensor image(i64 c, i64 h, i64 w) { return Tensor(1, c, h, w); }
+  /// Shorthand for an (f, c, k, k) filter bank.
+  static Tensor filters(i64 f, i64 c, i64 k) { return Tensor(f, c, k, k); }
+
+  i64 n() const { return shape_[0]; }
+  i64 c() const { return shape_[1]; }
+  i64 h() const { return shape_[2]; }
+  i64 w() const { return shape_[3]; }
+  const std::array<i64, 4>& shape() const { return shape_; }
+  i64 size() const { return static_cast<i64>(data_.size()); }
+
+  float& at(i64 n, i64 c, i64 h, i64 w) { return data_[index(n, c, h, w)]; }
+  float at(i64 n, i64 c, i64 h, i64 w) const {
+    return data_[index(n, c, h, w)];
+  }
+
+  /// Zero-padded read: coordinates outside the tensor return 0. Used by the
+  /// reference convolution to define `same`-style boundary handling.
+  float at_or_zero(i64 n, i64 c, i64 h, i64 w) const {
+    if (h < 0 || w < 0 || h >= shape_[2] || w >= shape_[3]) return 0.0f;
+    return at(n, c, h, w);
+  }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  /// Fills with uniform random values in [lo, hi) from `rng`.
+  void fill_random(Rng& rng, float lo = -1.0f, float hi = 1.0f) {
+    for (float& v : data_) v = rng.uniform(lo, hi);
+  }
+
+  /// Fills with a smooth deterministic pattern (useful for eyeballable
+  /// examples where random noise would hide bugs).
+  void fill_pattern() {
+    for (i64 nn = 0; nn < shape_[0]; ++nn)
+      for (i64 cc = 0; cc < shape_[1]; ++cc)
+        for (i64 hh = 0; hh < shape_[2]; ++hh)
+          for (i64 ww = 0; ww < shape_[3]; ++ww)
+            at(nn, cc, hh, ww) =
+                0.01f * static_cast<float>((hh * 7 + ww * 3 + cc * 5 + nn) % 97) -
+                0.5f;
+  }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  static std::size_t checked_size(i64 n, i64 c, i64 h, i64 w) {
+    KCONV_CHECK(n >= 0 && c >= 0 && h >= 0 && w >= 0,
+                strf("negative tensor extent (%lld,%lld,%lld,%lld)",
+                     static_cast<long long>(n), static_cast<long long>(c),
+                     static_cast<long long>(h), static_cast<long long>(w)));
+    return static_cast<std::size_t>(n * c * h * w);
+  }
+
+  std::size_t index(i64 n, i64 c, i64 h, i64 w) const {
+    KCONV_ASSERT(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] &&
+                 h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3]);
+    return static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w);
+  }
+
+  std::array<i64, 4> shape_ = {0, 0, 0, 0};
+  std::vector<float> data_;
+};
+
+}  // namespace kconv::tensor

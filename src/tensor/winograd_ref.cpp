@@ -1,0 +1,110 @@
+#include "src/tensor/winograd_ref.hpp"
+
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::tensor {
+
+// F(2x2, 3x3) transform matrices:
+//   B^T = [1  0 -1  0]   G = [ 1    0    0 ]   A^T = [1 1  1  0]
+//         [0  1  1  0]       [ 1/2  1/2  1/2]        [0 1 -1 -1]
+//         [0 -1  1  0]       [ 1/2 -1/2  1/2]
+//         [0  1  0 -1]       [ 0    0    1 ]
+
+void winograd_input_transform(const float d[16], float v[16]) {
+  // t = B^T d (rows), then v = t B (columns) — both matrices are sparse
+  // 0/±1, so this is pure adds, exactly as a real kernel computes it.
+  float t[16];
+  for (int c = 0; c < 4; ++c) {
+    t[0 * 4 + c] = d[0 * 4 + c] - d[2 * 4 + c];
+    t[1 * 4 + c] = d[1 * 4 + c] + d[2 * 4 + c];
+    t[2 * 4 + c] = d[2 * 4 + c] - d[1 * 4 + c];
+    t[3 * 4 + c] = d[1 * 4 + c] - d[3 * 4 + c];
+  }
+  for (int r = 0; r < 4; ++r) {
+    v[r * 4 + 0] = t[r * 4 + 0] - t[r * 4 + 2];
+    v[r * 4 + 1] = t[r * 4 + 1] + t[r * 4 + 2];
+    v[r * 4 + 2] = t[r * 4 + 2] - t[r * 4 + 1];
+    v[r * 4 + 3] = t[r * 4 + 1] - t[r * 4 + 3];
+  }
+}
+
+void winograd_filter_transform(const float g[9], float u[16]) {
+  // t = G g (4x3), then u = t G^T (4x4).
+  float t[12];
+  for (int c = 0; c < 3; ++c) {
+    const float g0 = g[0 * 3 + c], g1 = g[1 * 3 + c], g2 = g[2 * 3 + c];
+    t[0 * 3 + c] = g0;
+    t[1 * 3 + c] = 0.5f * (g0 + g1 + g2);
+    t[2 * 3 + c] = 0.5f * (g0 - g1 + g2);
+    t[3 * 3 + c] = g2;
+  }
+  for (int r = 0; r < 4; ++r) {
+    const float t0 = t[r * 3 + 0], t1 = t[r * 3 + 1], t2 = t[r * 3 + 2];
+    u[r * 4 + 0] = t0;
+    u[r * 4 + 1] = 0.5f * (t0 + t1 + t2);
+    u[r * 4 + 2] = 0.5f * (t0 - t1 + t2);
+    u[r * 4 + 3] = t2;
+  }
+}
+
+void winograd_output_transform(const float m[16], float y[4]) {
+  // t = A^T m (2x4), then y = t A (2x2).
+  float t[8];
+  for (int c = 0; c < 4; ++c) {
+    t[0 * 4 + c] = m[0 * 4 + c] + m[1 * 4 + c] + m[2 * 4 + c];
+    t[1 * 4 + c] = m[1 * 4 + c] - m[2 * 4 + c] - m[3 * 4 + c];
+  }
+  for (int r = 0; r < 2; ++r) {
+    y[r * 2 + 0] = t[r * 4 + 0] + t[r * 4 + 1] + t[r * 4 + 2];
+    y[r * 2 + 1] = t[r * 4 + 1] - t[r * 4 + 2] - t[r * 4 + 3];
+  }
+}
+
+Tensor winograd_conv_reference(const Tensor& input, const Tensor& filters) {
+  KCONV_CHECK(filters.h() == 3 && filters.w() == 3,
+              "Winograd F(2x2,3x3) requires 3x3 filters");
+  KCONV_CHECK(input.c() == filters.c(), "channel mismatch");
+  KCONV_CHECK(input.n() == 1, "single image");
+  const i64 C = input.c(), F = filters.n();
+  const i64 Ho = conv_out_extent(input.h(), 3, 0);
+  const i64 Wo = conv_out_extent(input.w(), 3, 0);
+  Tensor out(1, F, Ho, Wo);
+
+  // Pre-transform all filters.
+  std::vector<float> U(static_cast<std::size_t>(F * C * 16));
+  for (i64 f = 0; f < F; ++f) {
+    for (i64 c = 0; c < C; ++c) {
+      float g[9];
+      for (int i = 0; i < 9; ++i) g[i] = filters.at(f, c, i / 3, i % 3);
+      winograd_filter_transform(g, &U[static_cast<std::size_t>((f * C + c) * 16)]);
+    }
+  }
+
+  const i64 ty_count = ceil_div(Ho, 2), tx_count = ceil_div(Wo, 2);
+  for (i64 f = 0; f < F; ++f) {
+    for (i64 ty = 0; ty < ty_count; ++ty) {
+      for (i64 tx = 0; tx < tx_count; ++tx) {
+        float m[16] = {};
+        for (i64 c = 0; c < C; ++c) {
+          float d[16];
+          for (int i = 0; i < 16; ++i) {
+            d[i] = input.at_or_zero(0, c, ty * 2 + i / 4, tx * 2 + i % 4);
+          }
+          float v[16];
+          winograd_input_transform(d, v);
+          const float* u = &U[static_cast<std::size_t>((f * C + c) * 16)];
+          for (int i = 0; i < 16; ++i) m[i] += u[i] * v[i];
+        }
+        float y[4];
+        winograd_output_transform(m, y);
+        for (int i = 0; i < 4; ++i) {
+          const i64 oy = ty * 2 + i / 2, ox = tx * 2 + i % 2;
+          if (oy < Ho && ox < Wo) out.at(0, f, oy, ox) = y[i];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kconv::tensor

@@ -1,0 +1,33 @@
+// Reference Winograd F(2x2, 3x3) transforms (Lavin & Gray, CVPR'16 [15]).
+//
+// The paper's related work discusses Winograd as the fast-algorithm
+// alternative to direct convolution for 3x3 filters: 2.25x fewer
+// multiplications per output at the cost of extra memory and
+// transform work. These host-side helpers define the algebra; the device
+// pipeline in src/kernels/winograd_conv.* uses the same matrices.
+//
+//   Y = A^T [ (G g G^T) (.) (B^T d B) ] A
+//
+// with d a 4x4 input tile (stride-2 overlapping), g the 3x3 filter, Y the
+// 2x2 output tile, and (.) elementwise.
+#pragma once
+
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::tensor {
+
+/// V = B^T d B for a 4x4 input tile (in/out row-major 16 floats).
+void winograd_input_transform(const float d[16], float v[16]);
+
+/// U = G g G^T for a 3x3 filter (g row-major 9 floats, u 16 floats).
+void winograd_filter_transform(const float g[9], float u[16]);
+
+/// Y = A^T m A for a 4x4 elementwise-product tile (y: 4 floats, 2x2).
+void winograd_output_transform(const float m[16], float y[4]);
+
+/// Full reference Winograd convolution (valid, K = 3): input (1, C, Hi, Wi),
+/// filters (F, C, 3, 3). Slow and obviously correct; used as the oracle for
+/// the device pipeline and as a cross-check against conv2d_reference.
+Tensor winograd_conv_reference(const Tensor& input, const Tensor& filters);
+
+}  // namespace kconv::tensor

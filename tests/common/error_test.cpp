@@ -1,0 +1,36 @@
+#include "src/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kconv {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(KCONV_CHECK(1 + 1 == 2, "fine"));
+}
+
+TEST(Check, FailingConditionThrowsWithMessage) {
+  try {
+    KCONV_CHECK(false, "the widget exploded");
+    FAIL() << "expected kconv::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the widget exploded"), std::string::npos) << what;
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("false"), std::string::npos) << what;
+  }
+}
+
+TEST(Assert, FailingInvariantThrows) {
+  EXPECT_THROW(KCONV_ASSERT(2 < 1), Error);
+}
+
+TEST(Check, ErrorIsARuntimeError) {
+  // Callers may catch std::runtime_error generically.
+  EXPECT_THROW(KCONV_CHECK(false, "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kconv

@@ -1,0 +1,115 @@
+#include "src/common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+
+namespace kconv {
+namespace {
+
+TEST(DType, Sizes) {
+  EXPECT_EQ(dtype_size(DType::F32), 4u);
+  EXPECT_EQ(dtype_size(DType::F16), 2u);
+  EXPECT_EQ(dtype_size(DType::I8), 1u);
+}
+
+TEST(DType, Names) {
+  EXPECT_STREQ(dtype_name(DType::F32), "f32");
+  EXPECT_STREQ(dtype_name(DType::F16), "f16");
+  EXPECT_STREQ(dtype_name(DType::I8), "i8");
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8, 3), 3);
+}
+
+TEST(RoundUp, Basics) {
+  EXPECT_EQ(round_up(0, 16), 0);
+  EXPECT_EQ(round_up(1, 16), 16);
+  EXPECT_EQ(round_up(16, 16), 16);
+  EXPECT_EQ(round_up(17, 16), 32);
+}
+
+// Property: ceil_div(a,b)*b is the least multiple of b that is >= a.
+class RoundingProperty : public ::testing::TestWithParam<i64> {};
+
+TEST_P(RoundingProperty, CeilDivIsLeastUpperMultiple) {
+  const i64 a = GetParam();
+  for (i64 b : {1, 2, 3, 4, 7, 16, 32}) {
+    const i64 r = round_up(a, b);
+    EXPECT_GE(r, a);
+    EXPECT_EQ(r % b, 0);
+    EXPECT_LT(r - a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, RoundingProperty,
+                         ::testing::Values(0, 1, 5, 15, 16, 17, 31, 100, 255,
+                                           1023, 4096, 99999));
+
+TEST(F16, ExactSmallValues) {
+  // Values exactly representable in binary16 round-trip bit-exactly.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.25f, 1024.0f, 0.125f}) {
+    EXPECT_EQ(static_cast<float>(f16(v)), v) << v;
+  }
+}
+
+TEST(F16, RoundTripErrorBounded) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-8.0f, 8.0f);
+    const float r = static_cast<float>(f16(v));
+    // half has 11 significand bits: relative error <= 2^-11.
+    EXPECT_NEAR(r, v, std::abs(v) * 0x1p-10 + 1e-6f) << v;
+  }
+}
+
+TEST(F16, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(static_cast<float>(f16(1e9f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(f16(-1e9f))));
+  EXPECT_LT(static_cast<float>(f16(-1e9f)), 0.0f);
+}
+
+TEST(F16, SubnormalsRepresented) {
+  const float tiny = 3.0e-6f;  // below the normal half minimum 6.1e-5
+  const float r = static_cast<float>(f16(tiny));
+  EXPECT_GT(r, 0.0f);
+  EXPECT_NEAR(r, tiny, 6e-8f);
+}
+
+TEST(F16, UnderflowToZero) {
+  EXPECT_EQ(static_cast<float>(f16(1e-12f)), 0.0f);
+}
+
+TEST(I8Q, RoundsToNearest) {
+  EXPECT_EQ(static_cast<float>(i8q(3.4f)), 3.0f);
+  EXPECT_EQ(static_cast<float>(i8q(3.6f)), 4.0f);
+  EXPECT_EQ(static_cast<float>(i8q(-3.6f)), -4.0f);
+  EXPECT_EQ(static_cast<float>(i8q(0.0f)), 0.0f);
+}
+
+TEST(I8Q, Saturates) {
+  EXPECT_EQ(static_cast<float>(i8q(1000.0f)), 127.0f);
+  EXPECT_EQ(static_cast<float>(i8q(-1000.0f)), -128.0f);
+}
+
+TEST(Vec, ElementAccessAndWidth) {
+  vec2f v;
+  v[0] = 1.5f;
+  v[1] = -2.5f;
+  EXPECT_EQ(vec2f::width, 2);
+  EXPECT_EQ(v[0], 1.5f);
+  EXPECT_EQ(v[1], -2.5f);
+  static_assert(sizeof(vec2f) == 8, "float2 analogue must be 8 bytes");
+  static_assert(sizeof(vec4f) == 16, "float4 analogue must be 16 bytes");
+  static_assert(sizeof(Vec<f16, 4>) == 8, "half4 must be 8 bytes");
+}
+
+}  // namespace
+}  // namespace kconv

@@ -1,0 +1,69 @@
+// The paper's closed-form communication analysis (§3.2, §4.2) checked both
+// algebraically and against simulator-measured traffic.
+#include "src/core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/kernels/special_conv.hpp"
+#include "src/sim/sim.hpp"
+
+namespace kconv::core {
+namespace {
+
+TEST(Analysis, HaloOverheadShrinksWithTileSize) {
+  // "The proportion of such halo pixels is small" — and it shrinks as the
+  // tile grows.
+  const double small = special_halo_overhead(16, 4, 3);
+  const double paper = special_halo_overhead(256, 8, 3);
+  EXPECT_GT(small, paper);
+  EXPECT_LT(paper, 0.30);
+  EXPECT_NEAR(special_halo_overhead(256, 8, 3),
+              (258.0 * 10.0) / (256.0 * 8.0) - 1.0, 1e-12);
+}
+
+TEST(Analysis, SmemImageRatioFormula) {
+  // (WT+K-1)/(WT*K): the paper's SM traffic reduction.
+  EXPECT_NEAR(general_smem_image_ratio(16, 3), 18.0 / 48.0, 1e-12);
+  EXPECT_NEAR(general_smem_image_ratio(8, 5), 12.0 / 40.0, 1e-12);
+  // Larger WT always reduces the ratio.
+  EXPECT_LT(general_smem_image_ratio(16, 3), general_smem_image_ratio(4, 3));
+  // Ratio approaches 1/K as WT grows.
+  EXPECT_NEAR(general_smem_image_ratio(1000, 3), 1.0 / 3.0, 1e-2);
+}
+
+TEST(Analysis, GmRatioVsGemm) {
+  EXPECT_DOUBLE_EQ(general_gm_ratio_vs_gemm(3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(general_gm_ratio_vs_gemm(7), 1.0 / 7.0);
+}
+
+TEST(Analysis, MeasuredSpecialCaseLoadsMatchHaloFormula) {
+  // Run the special kernel on an exactly tiled image and compare measured
+  // GM load pixels per block with (W+K-1)(H+K-1).
+  Rng rng(3);
+  const i64 k = 3, w = 16, h = 8;
+  // Image sized so that every block is interior-complete: output 32x32.
+  tensor::Tensor img = tensor::Tensor::image(1, 32 + k - 1, 32 + k - 1);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(1, 1, k);
+  flt.fill_random(rng);
+
+  sim::Device dev(sim::kepler_k40m());
+  kernels::SpecialConvConfig cfg;
+  cfg.block_w = w;
+  cfg.block_h = h;
+  const auto run = kernels::special_conv(dev, img, flt, cfg);
+
+  const double blocks = (32.0 / w) * (32.0 / h);
+  const double store_bytes = 32.0 * 32.0 * 4;  // one filter
+  const double load_bytes =
+      static_cast<double>(run.launch.stats.gm_bytes_useful) - store_bytes;
+  const double predicted =
+      blocks * special_gm_pixels_per_block(w, h, k) * 4.0;
+  // Interior blocks hit the bound exactly; boundary halo clamping at the
+  // right/bottom image edge makes the measurement slightly smaller.
+  EXPECT_NEAR(load_bytes / predicted, 1.0, 0.06);
+}
+
+}  // namespace
+}  // namespace kconv::core

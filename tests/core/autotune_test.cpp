@@ -1,0 +1,84 @@
+#include "src/core/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/sim.hpp"
+
+namespace kconv::core {
+namespace {
+
+TEST(AutotuneGeneral, FindsLegalBestAndSortsRanking) {
+  sim::Device dev(sim::kepler_k40m());
+  GeneralSpace space;
+  space.block_w = {16};
+  space.block_h = {4};
+  space.ftb = {8, 16};
+  space.wt = {8, 16};
+  space.ft = {4, 8};
+  space.csh = {1, 2};
+  const auto res = autotune_general(dev, 3, /*c=*/4, /*f=*/16, /*n=*/32,
+                                    space, /*sample=*/2);
+  EXPECT_GT(res.evaluated, 0);
+  EXPECT_EQ(res.evaluated + res.skipped, 16);
+  EXPECT_GT(res.best.gflops, 0.0);
+  for (std::size_t i = 1; i < res.ranking.size(); ++i) {
+    EXPECT_GE(res.ranking[i - 1].gflops, res.ranking[i].gflops);
+  }
+  // The best config must actually be runnable.
+  EXPECT_EQ(res.best.gflops, res.ranking.front().gflops);
+}
+
+TEST(AutotuneGeneral, SkipsIllegalCombinations) {
+  sim::Device dev(sim::kepler_k40m());
+  GeneralSpace space;
+  space.block_w = {16};
+  space.block_h = {4};
+  space.ftb = {64};  // F=16 % 64 != 0 -> all skipped
+  space.wt = {8};
+  space.ft = {4};
+  space.csh = {1};
+  EXPECT_THROW(autotune_general(dev, 3, 4, 16, 32, space, 2), Error);
+}
+
+TEST(AutotuneGeneral, DeterministicAcrossRuns) {
+  sim::Device dev(sim::kepler_k40m());
+  GeneralSpace space;
+  space.block_w = {16};
+  space.block_h = {4};
+  space.ftb = {8, 16};
+  space.wt = {8};
+  space.ft = {4};
+  space.csh = {1, 2};
+  const auto a = autotune_general(dev, 3, 4, 16, 32, space, 2);
+  const auto b = autotune_general(dev, 3, 4, 16, 32, space, 2);
+  EXPECT_EQ(a.best.config.ftb, b.best.config.ftb);
+  EXPECT_DOUBLE_EQ(a.best.gflops, b.best.gflops);
+}
+
+TEST(AutotuneSpecial, SweepsTileSizes) {
+  sim::Device dev(sim::kepler_k40m());
+  SpecialSpace space;
+  space.block_w = {32, 64};
+  space.block_h = {4, 8};
+  const auto res = autotune_special(dev, 3, /*f=*/8, /*n=*/128, space, 2);
+  EXPECT_EQ(res.evaluated, 4);
+  EXPECT_EQ(res.skipped, 0);
+  EXPECT_GT(res.best.gflops, 0.0);
+  for (std::size_t i = 1; i < res.ranking.size(); ++i) {
+    EXPECT_GE(res.ranking[i - 1].gflops, res.ranking[i].gflops);
+  }
+}
+
+TEST(AutotuneSpecial, BiggerTilesWinOnBigImages) {
+  // The paper's DSE found W=256, H=8 best: on a large image, the larger
+  // tile should beat a tiny one in the model too (less halo, fewer blocks).
+  sim::Device dev(sim::kepler_k40m());
+  SpecialSpace space;
+  space.block_w = {32, 256};
+  space.block_h = {8};
+  const auto res = autotune_special(dev, 5, 16, 512, space, 4);
+  EXPECT_EQ(res.best.config.block_w, 256);
+}
+
+}  // namespace
+}  // namespace kconv::core

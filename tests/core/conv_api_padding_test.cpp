@@ -1,0 +1,107 @@
+// `same`-padding behaviour across every algorithm, plus miscellaneous API
+// surface not covered elsewhere.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/core/conv_api.hpp"
+#include "src/sim/sim.hpp"
+#include "src/tensor/compare.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::core {
+namespace {
+
+class SamePaddingAllAlgos : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(SamePaddingAllAlgos, PreservesExtentAndMatchesReference) {
+  const Algo algo = GetParam();
+  Rng rng(71);
+  const i64 c = algo == Algo::Special ? 1 : 3;
+  tensor::Tensor img = tensor::Tensor::image(c, 13, 17);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(4, c, 3);
+  flt.fill_random(rng);
+
+  sim::Device dev(sim::kepler_k40m());
+  ConvOptions opt;
+  opt.algo = algo;
+  opt.padding = Padding::Same;
+  const auto res = conv2d(dev, img, flt, opt);
+  ASSERT_TRUE(res.output_valid) << algo_name(algo);
+  EXPECT_EQ(res.output.h(), 13);
+  EXPECT_EQ(res.output.w(), 17);
+  const double tol = algo == Algo::Fft ? 3e-3 : 5e-4;
+  EXPECT_TRUE(tensor::allclose(res.output,
+                               tensor::conv2d_reference(img, flt, 1), tol,
+                               tol))
+      << algo_name(algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, SamePaddingAllAlgos,
+                         ::testing::Values(Algo::Special, Algo::General,
+                                           Algo::ImplicitGemm,
+                                           Algo::Im2colGemm,
+                                           Algo::NaiveDirect, Algo::Winograd,
+                                           Algo::Fft),
+                         [](const auto& info) {
+                           std::string s = algo_name(info.param);
+                           for (auto& ch : s) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return s;
+                         });
+
+TEST(ConvApiMisc, SampledLaunchSkipsOutputButEstimatesTime) {
+  Rng rng(73);
+  tensor::Tensor img = tensor::Tensor::image(4, 64, 64);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 4, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  ConvOptions opt;
+  opt.launch.sample_max_blocks = 2;
+  const auto res = conv2d(dev, img, flt, opt);
+  EXPECT_FALSE(res.output_valid);
+  EXPECT_GT(res.total_seconds, 0.0);
+  EXPECT_GT(res.effective_gflops, 0.0);
+}
+
+TEST(ConvApiMisc, SampledAndFullTimingAgree) {
+  Rng rng(74);
+  tensor::Tensor img = tensor::Tensor::image(4, 64, 64);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 4, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  const auto full = conv2d(dev, img, flt);
+  ConvOptions opt;
+  opt.launch.sample_max_blocks = 4;
+  const auto sampled = conv2d(dev, img, flt, opt);
+  // Sampling loses inter-block L2 reuse and skips cheap edge blocks, so
+  // the estimate sits a bit above the full run; a 30% band is the
+  // documented accuracy of benchmark mode.
+  EXPECT_NEAR(sampled.total_seconds, full.total_seconds,
+              0.3 * full.total_seconds);
+}
+
+TEST(ConvApiMisc, OneByOneImageEdgeCase) {
+  // Smallest legal problem: 1x1 image, 1x1 filter.
+  tensor::Tensor img = tensor::Tensor::image(1, 1, 1);
+  img.at(0, 0, 0, 0) = 3.0f;
+  tensor::Tensor flt = tensor::Tensor::filters(1, 1, 1);
+  flt.at(0, 0, 0, 0) = -2.0f;
+  sim::Device dev(sim::kepler_k40m());
+  const auto res = conv2d(dev, img, flt);
+  ASSERT_TRUE(res.output_valid);
+  EXPECT_EQ(res.output.at(0, 0, 0, 0), -6.0f);
+}
+
+TEST(ConvApiMisc, FilterLargerThanImageThrows) {
+  sim::Device dev(sim::kepler_k40m());
+  tensor::Tensor img = tensor::Tensor::image(1, 4, 4);
+  tensor::Tensor flt = tensor::Tensor::filters(1, 1, 5);
+  EXPECT_THROW(conv2d(dev, img, flt), Error);
+}
+
+}  // namespace
+}  // namespace kconv::core

@@ -1,0 +1,166 @@
+#include "src/core/conv_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/sim/sim.hpp"
+#include "src/tensor/compare.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::core {
+namespace {
+
+tensor::Tensor image(i64 c, i64 h, i64 w, u64 seed) {
+  Rng rng(seed);
+  tensor::Tensor t = tensor::Tensor::image(c, h, w);
+  t.fill_random(rng);
+  return t;
+}
+
+tensor::Tensor filters(i64 f, i64 c, i64 k, u64 seed) {
+  Rng rng(seed);
+  tensor::Tensor t = tensor::Tensor::filters(f, c, k);
+  t.fill_random(rng);
+  return t;
+}
+
+TEST(ConvApi, AutoPicksSpecialForSingleChannel) {
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(1, 20, 20, 1);
+  const auto flt = filters(4, 1, 3, 2);
+  const auto res = conv2d(dev, img, flt);
+  EXPECT_EQ(res.algo_used, Algo::Special);
+  ASSERT_TRUE(res.output_valid);
+  EXPECT_TRUE(tensor::allclose(res.output,
+                               tensor::conv2d_reference(img, flt)));
+}
+
+TEST(ConvApi, AutoPicksGeneralForMultiChannel) {
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(4, 20, 20, 3);
+  const auto flt = filters(8, 4, 3, 4);
+  const auto res = conv2d(dev, img, flt);
+  EXPECT_EQ(res.algo_used, Algo::General);
+  ASSERT_TRUE(res.output_valid);
+  EXPECT_TRUE(tensor::allclose(res.output,
+                               tensor::conv2d_reference(img, flt), 2e-4,
+                               2e-4));
+}
+
+class AllAlgosAgree : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(AllAlgosAgree, OnAGeneralProblem) {
+  const Algo algo = GetParam();
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(4, 18, 22, 5);
+  const auto flt = filters(8, 4, 3, 6);
+  ConvOptions opt;
+  opt.algo = algo;
+  const auto res = conv2d(dev, img, flt, opt);
+  ASSERT_TRUE(res.output_valid) << algo_name(algo);
+  EXPECT_TRUE(tensor::allclose(res.output,
+                               tensor::conv2d_reference(img, flt), 2e-4,
+                               2e-4))
+      << algo_name(algo);
+  EXPECT_GT(res.effective_gflops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, AllAlgosAgree,
+                         ::testing::Values(Algo::General, Algo::ImplicitGemm,
+                                           Algo::Im2colGemm,
+                                           Algo::NaiveDirect, Algo::Winograd),
+                         [](const auto& info) {
+                           std::string s = algo_name(info.param);
+                           for (auto& ch : s) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return s;
+                         });
+
+TEST(ConvApi, SamePaddingPreservesExtent) {
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(1, 17, 23, 7);
+  const auto flt = filters(2, 1, 5, 8);
+  ConvOptions opt;
+  opt.padding = Padding::Same;
+  const auto res = conv2d(dev, img, flt, opt);
+  ASSERT_TRUE(res.output_valid);
+  EXPECT_EQ(res.output.h(), 17);
+  EXPECT_EQ(res.output.w(), 23);
+  EXPECT_TRUE(tensor::allclose(res.output,
+                               tensor::conv2d_reference(img, flt, 2)));
+}
+
+TEST(ConvApi, SamePaddingRequiresOddFilter) {
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(1, 10, 10, 9);
+  const auto flt = filters(1, 1, 2, 10);
+  ConvOptions opt;
+  opt.padding = Padding::Same;
+  EXPECT_THROW(conv2d(dev, img, flt, opt), Error);
+}
+
+TEST(ConvApi, SpecialAlgoOnMultiChannelThrows) {
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(2, 10, 10, 11);
+  const auto flt = filters(1, 2, 3, 12);
+  ConvOptions opt;
+  opt.algo = Algo::Special;
+  EXPECT_THROW(conv2d(dev, img, flt, opt), Error);
+}
+
+TEST(ConvApi, ChannelMismatchThrows) {
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(2, 10, 10, 13);
+  const auto flt = filters(1, 3, 3, 14);
+  EXPECT_THROW(conv2d(dev, img, flt), Error);
+}
+
+TEST(ConvApi, GeneralConfigAdaptsToAwkwardChannelCounts) {
+  // C=6 and F=24 don't fit the Table 1 defaults (CSH=2 ok, FTB=64 not);
+  // the dispatcher must shrink FTB/CSH rather than fail.
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(6, 16, 16, 15);
+  const auto flt = filters(24, 6, 3, 16);
+  const auto res = conv2d(dev, img, flt);
+  ASSERT_TRUE(res.output_valid);
+  EXPECT_TRUE(tensor::allclose(res.output,
+                               tensor::conv2d_reference(img, flt), 2e-4,
+                               2e-4));
+}
+
+TEST(ConvApi, VecWidthOverridePropagates) {
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(1, 20, 20, 17);
+  const auto flt = filters(2, 1, 3, 18);
+  ConvOptions matched;
+  ConvOptions unmatched;
+  unmatched.vec_width = 1;
+  const auto m = conv2d(dev, img, flt, matched);
+  const auto u = conv2d(dev, img, flt, unmatched);
+  // Unmatched runs W threads instead of W/2: more smem instructions.
+  EXPECT_GT(u.launch.stats.smem_instrs, m.launch.stats.smem_instrs);
+  EXPECT_TRUE(tensor::allclose(m.output, u.output));
+}
+
+TEST(ConvApi, ConvFlopsFormula) {
+  EXPECT_DOUBLE_EQ(conv_flops(3, 4, 5, 10, 12), 2.0 * 3 * 4 * 25 * 120);
+}
+
+TEST(ConvApi, AlgoNames) {
+  EXPECT_STREQ(algo_name(Algo::Special), "special");
+  EXPECT_STREQ(algo_name(Algo::ImplicitGemm), "implicit-gemm");
+  EXPECT_STREQ(algo_name(Algo::Winograd), "winograd");
+}
+
+TEST(ConvApi, WinogradRejectsNon3x3ThroughApi) {
+  sim::Device dev(sim::kepler_k40m());
+  const auto img = image(2, 12, 12, 31);
+  const auto flt = filters(2, 2, 5, 32);
+  ConvOptions opt;
+  opt.algo = Algo::Winograd;
+  EXPECT_THROW(conv2d(dev, img, flt, opt), Error);
+}
+
+}  // namespace
+}  // namespace kconv::core

@@ -1,0 +1,74 @@
+#include "src/core/conv_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/sim/sim.hpp"
+#include "src/tensor/compare.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::core {
+namespace {
+
+TEST(ConvBatched, MatchesPerImageReference) {
+  Rng rng(55);
+  tensor::Tensor batch(3, 4, 14, 16);
+  batch.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 4, 3);
+  flt.fill_random(rng);
+
+  sim::Device dev(sim::kepler_k40m());
+  const auto res = conv2d_batched(dev, batch, flt);
+  ASSERT_TRUE(res.output_valid);
+  EXPECT_EQ(res.output.n(), 3);
+  EXPECT_EQ(res.output.c(), 8);
+
+  const tensor::Tensor ref = tensor::conv2d_reference(batch, flt);
+  EXPECT_TRUE(tensor::allclose(res.output, ref, 2e-4, 2e-4));
+}
+
+TEST(ConvBatched, SingleImageFallsThrough) {
+  Rng rng(56);
+  tensor::Tensor batch(1, 1, 12, 12);
+  batch.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(2, 1, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  const auto res = conv2d_batched(dev, batch, flt);
+  EXPECT_EQ(res.algo_used, Algo::Special);
+  EXPECT_TRUE(res.output_valid);
+}
+
+TEST(ConvBatched, TimeScalesWithBatch) {
+  Rng rng(57);
+  tensor::Tensor one(1, 4, 20, 20);
+  one.fill_random(rng);
+  tensor::Tensor four(4, 4, 20, 20);
+  four.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 4, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  const double t1 = conv2d_batched(dev, one, flt).total_seconds;
+  const double t4 = conv2d_batched(dev, four, flt).total_seconds;
+  EXPECT_NEAR(t4 / t1, 4.0, 0.2);
+}
+
+TEST(ConvBatched, SamePaddingWorksPerImage) {
+  Rng rng(58);
+  tensor::Tensor batch(2, 1, 11, 13);
+  batch.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(2, 1, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  ConvOptions opt;
+  opt.padding = Padding::Same;
+  const auto res = conv2d_batched(dev, batch, flt, opt);
+  ASSERT_TRUE(res.output_valid);
+  EXPECT_EQ(res.output.h(), 11);
+  EXPECT_EQ(res.output.w(), 13);
+  EXPECT_TRUE(tensor::allclose(res.output,
+                               tensor::conv2d_reference(batch, flt, 1)));
+}
+
+}  // namespace
+}  // namespace kconv::core

@@ -1,0 +1,36 @@
+#include "src/core/matching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kconv::core {
+namespace {
+
+TEST(Matching, KeplerEq1Values) {
+  const auto a = sim::kepler_k40m();
+  EXPECT_EQ(matched_vector_width(a, DType::F32), 2);  // float2
+  EXPECT_EQ(matched_vector_width(a, DType::F16), 4);  // half4
+  EXPECT_EQ(matched_vector_width(a, DType::I8), 8);   // char8
+  EXPECT_FALSE(naturally_matched(a, DType::F32));
+}
+
+TEST(Matching, FourByteBankValues) {
+  const auto a = sim::maxwell_like();
+  EXPECT_EQ(matched_vector_width(a, DType::F32), 1);
+  EXPECT_TRUE(naturally_matched(a, DType::F32));
+  EXPECT_EQ(matched_vector_width(a, DType::F16), 2);
+  EXPECT_EQ(matched_vector_width(a, DType::I8), 4);
+}
+
+TEST(Matching, ElementWiderThanBankClampsToOne) {
+  auto a = sim::maxwell_like();
+  EXPECT_EQ(matched_vector_width(a, 16), 1);  // double4-ish unit
+}
+
+TEST(Matching, SpeedupBoundIsTheWidth) {
+  const auto a = sim::kepler_k40m();
+  EXPECT_DOUBLE_EQ(matching_speedup_bound(a, DType::F32), 2.0);
+  EXPECT_DOUBLE_EQ(matching_speedup_bound(a, DType::I8), 8.0);
+}
+
+}  // namespace
+}  // namespace kconv::core

@@ -1,0 +1,76 @@
+#include "src/kernels/device_tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/sim/sim.hpp"
+#include "src/tensor/compare.hpp"
+
+namespace kconv::kernels {
+namespace {
+
+TEST(DevicePlanesTest, PitchIsAlignedPerElementType) {
+  sim::Device dev(sim::kepler_k40m());
+  DevicePlanesT<float> f(dev, 1, 4, 5);
+  EXPECT_EQ(f.view().pitch, 8);  // round_up(5, 4)
+  DevicePlanesT<f16> h(dev, 1, 4, 5);
+  EXPECT_EQ(h.view().pitch, 8);  // round_up(5, 8)
+  DevicePlanesT<i8q> b(dev, 1, 4, 5);
+  EXPECT_EQ(b.view().pitch, 16);  // round_up(5, 16)
+}
+
+TEST(DevicePlanesTest, UploadDownloadRoundTrip) {
+  sim::Device dev(sim::kepler_k40m());
+  Rng rng(3);
+  tensor::Tensor t = tensor::Tensor::image(3, 6, 7);
+  t.fill_random(rng);
+  DevicePlanes planes(dev, 3, 6, 7);
+  planes.upload(t);
+  EXPECT_TRUE(planes.download() == t);
+}
+
+TEST(DevicePlanesTest, F16RoundTripQuantizes) {
+  sim::Device dev(sim::kepler_k40m());
+  tensor::Tensor t = tensor::Tensor::image(1, 2, 2);
+  t.at(0, 0, 0, 0) = 1.0f;        // exact in half
+  t.at(0, 0, 0, 1) = 0.1f;        // rounds
+  DevicePlanesT<f16> planes(dev, 1, 2, 2);
+  planes.upload(t);
+  const tensor::Tensor back = planes.download();
+  EXPECT_EQ(back.at(0, 0, 0, 0), 1.0f);
+  EXPECT_NE(back.at(0, 0, 0, 1), 0.1f);  // not exactly representable
+  EXPECT_NEAR(back.at(0, 0, 0, 1), 0.1f, 1e-4f);
+}
+
+TEST(DevicePlanesTest, IndexMathUsesPitch) {
+  sim::Device dev(sim::kepler_k40m());
+  DevicePlanes planes(dev, 2, 3, 5);
+  const auto& v = planes.view();
+  EXPECT_EQ(v.idx(0, 0, 0), 0);
+  EXPECT_EQ(v.idx(0, 1, 0), v.pitch);
+  EXPECT_EQ(v.idx(1, 0, 0), 3 * v.pitch);
+}
+
+TEST(DevicePlanesTest, ShapeMismatchOnUploadThrows) {
+  sim::Device dev(sim::kepler_k40m());
+  DevicePlanes planes(dev, 2, 3, 5);
+  tensor::Tensor wrong = tensor::Tensor::image(2, 3, 6);
+  EXPECT_THROW(planes.upload(wrong), Error);
+}
+
+TEST(DevicePlanesTest, EmptyAllocationRejected) {
+  sim::Device dev(sim::kepler_k40m());
+  EXPECT_THROW(DevicePlanes(dev, 0, 3, 5), Error);
+}
+
+TEST(FlattenFilters, FilterMajorOrder) {
+  tensor::Tensor flt = tensor::Tensor::filters(2, 3, 3);
+  flt.at(1, 2, 0, 1) = 7.0f;
+  const auto flat = flatten_filters(flt);
+  ASSERT_EQ(flat.size(), 2u * 3 * 9);
+  // Index of (f=1, c=2, y=0, x=1): ((1*3+2)*3+0)*3+1 = 46.
+  EXPECT_EQ(flat[46], 7.0f);
+}
+
+}  // namespace
+}  // namespace kconv::kernels

@@ -1,0 +1,66 @@
+// Randomized shape fuzzing: every convolution algorithm must agree with
+// the CPU oracle on arbitrary (legal) shapes, not just the curated sweeps.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/core/conv_api.hpp"
+#include "src/sim/sim.hpp"
+#include "src/tensor/compare.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::core {
+namespace {
+
+class FuzzConv : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(FuzzConv, RandomShapesMatchReference) {
+  const Algo algo = GetParam();
+  Rng rng(0xC0FF + static_cast<u64>(algo));
+  for (int trial = 0; trial < 12; ++trial) {
+    const i64 k = algo == Algo::Winograd
+                      ? 3
+                      : static_cast<i64>(1 + 2 * rng.below(4));  // 1,3,5,7
+    const i64 c = algo == Algo::Special
+                      ? 1
+                      : static_cast<i64>(1 + rng.below(6));
+    const i64 f = static_cast<i64>(1 + rng.below(12));
+    const i64 hi = k + static_cast<i64>(rng.below(24));
+    const i64 wi = k + static_cast<i64>(rng.below(24));
+
+    tensor::Tensor img = tensor::Tensor::image(c, hi, wi);
+    img.fill_random(rng);
+    tensor::Tensor flt = tensor::Tensor::filters(f, c, k);
+    flt.fill_random(rng);
+
+    sim::Device dev(sim::kepler_k40m());
+    ConvOptions opt;
+    opt.algo = algo;
+    const auto res = conv2d(dev, img, flt, opt);
+    ASSERT_TRUE(res.output_valid)
+        << algo_name(algo) << " K=" << k << " C=" << c << " F=" << f << " "
+        << hi << "x" << wi;
+    const auto ref = tensor::conv2d_reference(img, flt);
+    const double tol = algo == Algo::Fft ? 3e-3 : 5e-4;  // fp32 transforms
+    ASSERT_TRUE(tensor::allclose(res.output, ref, tol, tol))
+        << algo_name(algo) << " K=" << k << " C=" << c << " F=" << f << " "
+        << hi << "x" << wi << " maxabs "
+        << tensor::diff(res.output, ref).max_abs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, FuzzConv,
+                         ::testing::Values(Algo::Special, Algo::General,
+                                           Algo::ImplicitGemm,
+                                           Algo::Im2colGemm,
+                                           Algo::NaiveDirect, Algo::Winograd,
+                                           Algo::Fft),
+                         [](const auto& info) {
+                           std::string s = algo_name(info.param);
+                           for (auto& ch : s) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace kconv::core

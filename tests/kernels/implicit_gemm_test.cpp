@@ -1,0 +1,105 @@
+#include "src/kernels/implicit_gemm_conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/sim/sim.hpp"
+#include "src/tensor/compare.hpp"
+#include "src/tensor/conv_ref.hpp"
+
+namespace kconv::kernels {
+namespace {
+
+struct IShape {
+  i64 k, c, f, hi, wi;
+};
+
+class ImplicitGemmCorrectness : public ::testing::TestWithParam<IShape> {};
+
+TEST_P(ImplicitGemmCorrectness, MatchesReference) {
+  const IShape s = GetParam();
+  Rng rng(311);
+  tensor::Tensor img = tensor::Tensor::image(s.c, s.hi, s.wi);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(s.f, s.c, s.k);
+  flt.fill_random(rng);
+  const tensor::Tensor ref = tensor::conv2d_reference(img, flt);
+
+  sim::Device dev(sim::kepler_k40m());
+  ImplicitGemmConfig cfg;  // small default 64x64x8 tiles
+  const auto run = implicit_gemm_conv(dev, img, flt, cfg);
+  ASSERT_TRUE(run.output_valid);
+  EXPECT_TRUE(tensor::allclose(run.output, ref, 2e-4, 2e-4))
+      << tensor::diff(run.output, ref).max_abs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ImplicitGemmCorrectness,
+    ::testing::Values(IShape{3, 4, 8, 16, 20},   // multi-channel
+                      IShape{3, 1, 6, 18, 18},   // special case C=1
+                      IShape{5, 2, 4, 20, 14},   // K=5
+                      IShape{1, 3, 8, 10, 10},   // pointwise
+                      IShape{7, 2, 4, 16, 16},   // K=7
+                      IShape{3, 2, 70, 9, 9},    // F > tile rows
+                      IShape{3, 2, 4, 40, 7}));  // pixels spanning rows
+
+TEST(ImplicitGemm, CudnnAutoConfigUsesRigidTiles) {
+  const auto cfg = implicit_gemm_auto_config(256, 64, 3);
+  EXPECT_EQ(cfg.bk, 32);
+  EXPECT_EQ(cfg.bm, 128);
+}
+
+TEST(ImplicitGemm, AutoConfigRunsCorrectly) {
+  Rng rng(5);
+  tensor::Tensor img = tensor::Tensor::image(2, 14, 14);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 2, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  const auto run = implicit_gemm_conv(dev, img, flt,
+                                      implicit_gemm_auto_config(8, 2, 3));
+  ASSERT_TRUE(run.output_valid);
+  EXPECT_TRUE(tensor::allclose(run.output,
+                               tensor::conv2d_reference(img, flt), 2e-4,
+                               2e-4));
+}
+
+TEST(ImplicitGemm, ZeroPaddedDepthWastesFlops) {
+  // With C=1, K=3 the real depth is 9 but the rigid 32-slab computes 32:
+  // executed FMA ~= (32/9) x useful — measurable in the stats and the
+  // mechanism behind cuDNN's special-case collapse in Fig. 7.
+  Rng rng(6);
+  tensor::Tensor img = tensor::Tensor::image(1, 34, 34);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 1, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  const auto run = implicit_gemm_conv(dev, img, flt,
+                                      implicit_gemm_auto_config(8, 1, 3));
+  const double useful = 2.0 * 32 * 32 * 9 * 8;
+  const double executed = run.launch.stats.flops();
+  // Padding waste: both the K-depth (32 vs 9) and the M-tile (128 vs 8).
+  EXPECT_GT(executed / useful, 3.0);
+}
+
+TEST(ImplicitGemm, RejectsBadConfig) {
+  sim::Device dev(sim::kepler_k40m());
+  Rng rng(2);
+  tensor::Tensor img = tensor::Tensor::image(2, 10, 10);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(4, 2, 3);
+  flt.fill_random(rng);
+  ImplicitGemmConfig cfg;
+  cfg.tm = 5;  // not a multiple of matched width
+  EXPECT_THROW(implicit_gemm_conv(dev, img, flt, cfg), Error);
+}
+
+TEST(ImplicitGemm, ChannelMismatchThrows) {
+  sim::Device dev(sim::kepler_k40m());
+  tensor::Tensor img = tensor::Tensor::image(2, 10, 10);
+  tensor::Tensor flt = tensor::Tensor::filters(4, 3, 3);
+  EXPECT_THROW(implicit_gemm_conv(dev, img, flt), Error);
+}
+
+}  // namespace
+}  // namespace kconv::kernels

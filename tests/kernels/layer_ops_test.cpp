@@ -1,0 +1,84 @@
+#include "src/kernels/layer_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/sim/sim.hpp"
+#include "src/tensor/compare.hpp"
+
+namespace kconv::kernels {
+namespace {
+
+TEST(MaxPool, MatchesScalarReference) {
+  Rng rng(3);
+  tensor::Tensor img = tensor::Tensor::image(3, 10, 14);
+  img.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  const auto run = max_pool_2x2(dev, img);
+  ASSERT_TRUE(run.output_valid);
+  ASSERT_EQ(run.output.h(), 5);
+  ASSERT_EQ(run.output.w(), 7);
+  for (i64 c = 0; c < 3; ++c) {
+    for (i64 y = 0; y < 5; ++y) {
+      for (i64 x = 0; x < 7; ++x) {
+        const float expect = std::max(
+            std::max(img.at(0, c, 2 * y, 2 * x), img.at(0, c, 2 * y, 2 * x + 1)),
+            std::max(img.at(0, c, 2 * y + 1, 2 * x),
+                     img.at(0, c, 2 * y + 1, 2 * x + 1)));
+        EXPECT_EQ(run.output.at(0, c, y, x), expect);
+      }
+    }
+  }
+}
+
+TEST(MaxPool, OddTailTruncates) {
+  tensor::Tensor img = tensor::Tensor::image(1, 5, 7);
+  sim::Device dev(sim::kepler_k40m());
+  const auto run = max_pool_2x2(dev, img);
+  EXPECT_EQ(run.output.h(), 2);
+  EXPECT_EQ(run.output.w(), 3);
+}
+
+TEST(MaxPool, RejectsTinyInput) {
+  tensor::Tensor img = tensor::Tensor::image(1, 1, 8);
+  sim::Device dev(sim::kepler_k40m());
+  EXPECT_THROW(max_pool_2x2(dev, img), Error);
+}
+
+TEST(BiasRelu, AppliesBiasThenClamps) {
+  tensor::Tensor img = tensor::Tensor::image(2, 3, 4);
+  for (i64 y = 0; y < 3; ++y)
+    for (i64 x = 0; x < 4; ++x) {
+      img.at(0, 0, y, x) = -1.0f;
+      img.at(0, 1, y, x) = 0.25f;
+    }
+  const std::vector<float> bias = {0.4f, 0.5f};
+  sim::Device dev(sim::kepler_k40m());
+  const auto run = bias_relu(dev, img, bias);
+  ASSERT_TRUE(run.output_valid);
+  EXPECT_EQ(run.output.at(0, 0, 1, 1), 0.0f);    // -1 + 0.4 clamps to 0
+  EXPECT_EQ(run.output.at(0, 1, 1, 1), 0.75f);   // 0.25 + 0.5
+}
+
+TEST(BiasRelu, BiasSizeMismatchThrows) {
+  tensor::Tensor img = tensor::Tensor::image(2, 3, 4);
+  const std::vector<float> bias = {1.0f};
+  sim::Device dev(sim::kepler_k40m());
+  EXPECT_THROW(bias_relu(dev, img, bias), Error);
+}
+
+TEST(BiasRelu, CoalescedAndBroadcastTraffic) {
+  // Per warp: one uniform bias sector plus coalesced row accesses.
+  Rng rng(5);
+  tensor::Tensor img = tensor::Tensor::image(1, 4, 128);
+  img.fill_random(rng);
+  const std::vector<float> bias = {0.1f};
+  sim::Device dev(sim::kepler_k40m());
+  const auto run = bias_relu(dev, img, bias);
+  // 4 rows x 128 cols: loads 512 px + 16 bias reads (1/warp), stores 512.
+  // Useful bytes ~ (512*2 + 16) * 4; overfetch should be tiny.
+  EXPECT_LT(run.launch.stats.gm_overfetch(dev.arch().gm_sector_bytes), 1.2);
+}
+
+}  // namespace
+}  // namespace kconv::kernels

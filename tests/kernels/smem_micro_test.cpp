@@ -1,0 +1,80 @@
+// The Fig. 1 microbenchmark as assertions: matched access patterns move n
+// times the SM bytes per request cycle of conventional ones.
+#include "src/kernels/smem_microbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/sim.hpp"
+
+namespace kconv::kernels {
+namespace {
+
+double bytes_per_cycle(const sim::Arch& arch, DType dt, i64 vw,
+                       i64 stride = 1) {
+  sim::Device dev(arch);
+  SmemMicrobenchConfig cfg;
+  cfg.dtype = dt;
+  cfg.vec_width = vw;
+  cfg.stride_units = stride;
+  return smem_microbench(dev, cfg).bytes_per_request_cycle;
+}
+
+TEST(SmemMicro, KeplerFloatConventionalIsHalfBandwidth) {
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::kepler_k40m(), DType::F32, 1), 128.0);
+}
+
+TEST(SmemMicro, KeplerFloatMatchedIsFullBandwidth) {
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::kepler_k40m(), DType::F32, 0), 256.0);
+}
+
+TEST(SmemMicro, KeplerShortDtypesScaleWithWidth) {
+  // f16: 64 -> 256 (4x); i8: 32 -> 256 (8x) — Eq. 1 exactly.
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::kepler_k40m(), DType::F16, 1), 64.0);
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::kepler_k40m(), DType::F16, 0), 256.0);
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::kepler_k40m(), DType::I8, 1), 32.0);
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::kepler_k40m(), DType::I8, 0), 256.0);
+}
+
+TEST(SmemMicro, MaxwellFloatAlreadyMatched) {
+  // 4-byte banks: conventional float IS the matched pattern.
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::maxwell_like(), DType::F32, 1), 128.0);
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::maxwell_like(), DType::F32, 0), 128.0);
+}
+
+TEST(SmemMicro, MaxwellShortDtypesStillMismatch) {
+  // The paper's conclusion: on 4-byte banks, fp16 wastes 2x, int8 4x.
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::maxwell_like(), DType::F16, 1), 64.0);
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::maxwell_like(), DType::F16, 0), 128.0);
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::maxwell_like(), DType::I8, 1), 32.0);
+  EXPECT_DOUBLE_EQ(bytes_per_cycle(sim::maxwell_like(), DType::I8, 0), 128.0);
+}
+
+TEST(SmemMicro, BankConflictStrideCollapsesBandwidth) {
+  // Stride of one full bank row: every lane in the same bank.
+  const double conflicted =
+      bytes_per_cycle(sim::kepler_k40m(), DType::F32, 2, 32);
+  EXPECT_LT(conflicted, 16.0);
+}
+
+TEST(SmemMicro, ReplayFactorDetectsConflicts) {
+  sim::Device dev(sim::kepler_k40m());
+  SmemMicrobenchConfig cfg;
+  cfg.vec_width = 2;
+  cfg.stride_units = 32;
+  const auto r = smem_microbench(dev, cfg);
+  EXPECT_GT(r.replay_factor, 16.0);
+
+  cfg.stride_units = 1;
+  const auto clean = smem_microbench(dev, cfg);
+  EXPECT_DOUBLE_EQ(clean.replay_factor, 1.0);
+}
+
+TEST(SmemMicro, RejectsBadConfig) {
+  sim::Device dev(sim::kepler_k40m());
+  SmemMicrobenchConfig cfg;
+  cfg.threads = 8;  // below a warp
+  EXPECT_THROW(smem_microbench(dev, cfg), Error);
+}
+
+}  // namespace
+}  // namespace kconv::kernels

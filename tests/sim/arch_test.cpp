@@ -1,0 +1,44 @@
+#include "src/sim/arch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kconv::sim {
+namespace {
+
+TEST(Arch, KeplerK40mMatchesDatasheet) {
+  const Arch a = kepler_k40m();
+  EXPECT_EQ(a.smem_bank_bytes, 8u);          // the paper's W_SMB
+  EXPECT_EQ(a.smem_banks, 32u);
+  EXPECT_EQ(a.sm_count, 15u);
+  EXPECT_EQ(a.fp32_lanes_per_sm, 192u);
+  // Peak SP: 15 SMX * 192 lanes * 2 flops * 0.745 GHz = 4291 GFlop/s.
+  EXPECT_NEAR(a.peak_sp_gflops(), 4290.0, 5.0);
+  EXPECT_NEAR(a.warp_fma_per_cycle(), 6.0, 1e-9);
+}
+
+TEST(Arch, FermiHasFourByteBanks) {
+  const Arch a = fermi_m2090();
+  EXPECT_EQ(a.smem_bank_bytes, 4u);
+}
+
+TEST(Arch, MaxwellLikeHasFourByteBanks) {
+  EXPECT_EQ(maxwell_like().smem_bank_bytes, 4u);
+}
+
+TEST(Arch, FourByteBankVariantOnlyChangesBankWidth) {
+  const Arch k8 = kepler_k40m();
+  const Arch k4 = kepler_k40m_4byte_banks();
+  EXPECT_EQ(k4.smem_bank_bytes, 4u);
+  EXPECT_EQ(k4.sm_count, k8.sm_count);
+  EXPECT_EQ(k4.dram_bytes_per_s, k8.dram_bytes_per_s);
+  EXPECT_EQ(k4.fp32_lanes_per_sm, k8.fp32_lanes_per_sm);
+}
+
+TEST(Arch, DramBytesPerSmCycleIsConsistent) {
+  const Arch a = kepler_k40m();
+  // 288 GB/s over 15 SMs at 745 MHz ~ 25.8 bytes per SM-cycle.
+  EXPECT_NEAR(a.dram_bytes_per_sm_cycle(), 25.77, 0.1);
+}
+
+}  // namespace
+}  // namespace kconv::sim

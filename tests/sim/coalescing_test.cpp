@@ -1,0 +1,74 @@
+#include "src/sim/coalescing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kconv::sim {
+namespace {
+
+std::vector<Access> warp(u32 lanes, u64 base, u64 stride, u32 bytes) {
+  std::vector<Access> v;
+  for (u32 i = 0; i < lanes; ++i) {
+    v.push_back(Access{Op::LoadGlobal, base + i * stride, bytes});
+  }
+  return v;
+}
+
+TEST(Coalescing, UnitStrideFloatIsFourSectors) {
+  // 32 lanes x 4B contiguous = 128 B = 4 x 32B sectors.
+  const auto c = analyze_gmem(warp(32, 0, 4, 4), 32);
+  EXPECT_EQ(c.sectors.size(), 4u);
+  EXPECT_EQ(c.lane_bytes, 128u);
+}
+
+TEST(Coalescing, UnitStrideFloat2IsEightSectors) {
+  const auto c = analyze_gmem(warp(32, 0, 8, 8), 32);
+  EXPECT_EQ(c.sectors.size(), 8u);
+}
+
+TEST(Coalescing, MisalignedBaseAddsOneSector) {
+  const auto c = analyze_gmem(warp(32, 16, 4, 4), 32);
+  EXPECT_EQ(c.sectors.size(), 5u);
+}
+
+TEST(Coalescing, FullyScatteredIsOneSectorPerLane) {
+  const auto c = analyze_gmem(warp(32, 0, 4096, 4), 32);
+  EXPECT_EQ(c.sectors.size(), 32u);
+}
+
+TEST(Coalescing, BroadcastIsOneSector) {
+  const auto c = analyze_gmem(warp(32, 128, 0, 4), 32);
+  EXPECT_EQ(c.sectors.size(), 1u);
+  EXPECT_EQ(c.lane_bytes, 128u);
+}
+
+TEST(Coalescing, AccessSpanningSectorBoundaryTouchesBoth) {
+  std::vector<Access> v = {{Op::LoadGlobal, 28, 8}};
+  const auto c = analyze_gmem(v, 32);
+  EXPECT_EQ(c.sectors.size(), 2u);
+  EXPECT_EQ(c.sectors[0], 0u);
+  EXPECT_EQ(c.sectors[1], 32u);
+}
+
+TEST(Coalescing, SectorsAreSortedAndUnique) {
+  std::vector<Access> v = {{Op::LoadGlobal, 96, 4},
+                           {Op::LoadGlobal, 0, 4},
+                           {Op::LoadGlobal, 100, 4},
+                           {Op::LoadGlobal, 64, 4}};
+  const auto c = analyze_gmem(v, 32);
+  ASSERT_EQ(c.sectors.size(), 3u);
+  EXPECT_EQ(c.sectors[0], 0u);
+  EXPECT_EQ(c.sectors[1], 64u);
+  EXPECT_EQ(c.sectors[2], 96u);
+}
+
+TEST(Coalescing, StrideTwoDoublesTraffic) {
+  // Classic coalescing lesson: stride-2 floats touch twice the sectors of
+  // unit stride for the same useful bytes.
+  const auto unit = analyze_gmem(warp(32, 0, 4, 4), 32);
+  const auto strided = analyze_gmem(warp(32, 0, 8, 4), 32);
+  EXPECT_EQ(strided.sectors.size(), 2 * unit.sectors.size());
+  EXPECT_EQ(strided.lane_bytes, unit.lane_bytes);
+}
+
+}  // namespace
+}  // namespace kconv::sim

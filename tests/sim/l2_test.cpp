@@ -1,0 +1,78 @@
+#include "src/sim/l2cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kconv::sim {
+namespace {
+
+TEST(L2, MissThenHit) {
+  L2Cache l2(1024, 32, 2);
+  EXPECT_FALSE(l2.access(0));
+  EXPECT_TRUE(l2.access(0));
+  EXPECT_TRUE(l2.access(16));  // same sector
+  EXPECT_EQ(l2.hits(), 2u);
+  EXPECT_EQ(l2.misses(), 1u);
+}
+
+TEST(L2, DistinctSectorsMissIndependently) {
+  L2Cache l2(1024, 32, 2);
+  EXPECT_FALSE(l2.access(0));
+  EXPECT_FALSE(l2.access(32));
+  EXPECT_TRUE(l2.access(0));
+  EXPECT_TRUE(l2.access(32));
+}
+
+TEST(L2, LruEvictionWithinSet) {
+  // 4 sectors capacity, 2 ways -> 2 sets. Sectors 0, 2, 4 (even) map to
+  // set 0; the third one evicts the least recently used.
+  L2Cache l2(128, 32, 2);
+  EXPECT_FALSE(l2.access(0));        // set 0: {0}
+  EXPECT_FALSE(l2.access(64));       // set 0: {0, 64}
+  EXPECT_TRUE(l2.access(0));         // touch 0 (64 is now LRU)
+  EXPECT_FALSE(l2.access(128));      // evicts 64
+  EXPECT_TRUE(l2.access(0));
+  EXPECT_FALSE(l2.access(64));       // 64 was evicted
+}
+
+TEST(L2, InvalidateDropsEverything) {
+  L2Cache l2(1024, 32, 2);
+  l2.access(0);
+  l2.access(32);
+  l2.invalidate();
+  EXPECT_FALSE(l2.access(0));
+  EXPECT_FALSE(l2.access(32));
+}
+
+TEST(L2, CounterReset) {
+  L2Cache l2(1024, 32, 2);
+  l2.access(0);
+  l2.access(0);
+  l2.reset_counters();
+  EXPECT_EQ(l2.hits(), 0u);
+  EXPECT_EQ(l2.misses(), 0u);
+}
+
+TEST(L2, WorkingSetWithinCapacityAllHitsOnSecondPass) {
+  L2Cache l2(64 * 1024, 32, 16);
+  for (u64 a = 0; a < 32 * 1024; a += 32) l2.access(a);
+  l2.reset_counters();
+  for (u64 a = 0; a < 32 * 1024; a += 32) l2.access(a);
+  EXPECT_EQ(l2.misses(), 0u);
+}
+
+TEST(L2, StreamLargerThanCapacityThrashes) {
+  L2Cache l2(1024, 32, 2);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (u64 a = 0; a < 8 * 1024; a += 32) l2.access(a);
+  }
+  // A streaming working set 8x the capacity should hit (almost) never.
+  EXPECT_LT(static_cast<double>(l2.hits()) / (l2.hits() + l2.misses()), 0.05);
+}
+
+TEST(L2, RejectsSillyGeometry) {
+  EXPECT_THROW(L2Cache(16, 32, 1), Error);
+  EXPECT_THROW(L2Cache(0, 32, 1), Error);
+}
+
+}  // namespace
+}  // namespace kconv::sim

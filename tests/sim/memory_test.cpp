@@ -1,0 +1,143 @@
+#include "src/sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/sim/device.hpp"
+#include "src/sim/shared.hpp"
+
+namespace kconv::sim {
+namespace {
+
+Device make_device() { return Device(kepler_k40m()); }
+
+TEST(DeviceMemory, AllocationsDoNotOverlapAndAreAligned) {
+  Device dev = make_device();
+  auto a = dev.alloc_bytes(100);
+  auto b = dev.alloc_bytes(100);
+  EXPECT_EQ(a->base_addr() % 256, 0u);
+  EXPECT_EQ(b->base_addr() % 256, 0u);
+  EXPECT_GE(b->base_addr(), a->base_addr() + 100);
+}
+
+TEST(DeviceMemory, UploadDownloadRoundTrip) {
+  Device dev = make_device();
+  auto arr = dev.alloc<float>(8);
+  std::vector<float> src = {1, 2, 3, 4, 5, 6, 7, 8};
+  arr.upload(src);
+  EXPECT_EQ(arr.download(), src);
+}
+
+TEST(DeviceMemory, ZeroFills) {
+  Device dev = make_device();
+  auto arr = dev.alloc<float>(4);
+  arr.upload(std::vector<float>{1, 2, 3, 4});
+  arr.zero();
+  EXPECT_EQ(arr.download(), (std::vector<float>{0, 0, 0, 0}));
+}
+
+TEST(BufferViewTest, ScalarReadWrite) {
+  Device dev = make_device();
+  auto arr = dev.alloc<float>(4);
+  auto v = arr.view();
+  v.write(2, 42.0f);
+  EXPECT_EQ(v.read(2), 42.0f);
+}
+
+TEST(BufferViewTest, OutOfBoundsThrows) {
+  Device dev = make_device();
+  auto arr = dev.alloc<float>(4);
+  auto v = arr.view();
+  EXPECT_THROW(v.read(4), Error);
+  EXPECT_THROW(v.read(-1), Error);
+  EXPECT_THROW(v.write(4, 0.0f), Error);
+}
+
+TEST(BufferViewTest, VectorReadNeedsAlignment) {
+  Device dev = make_device();
+  auto arr = dev.alloc<float>(8);
+  auto v = arr.view();
+  EXPECT_NO_THROW(v.read<vec2f>(0));
+  EXPECT_NO_THROW(v.read<vec2f>(2));
+  EXPECT_THROW(v.read<vec2f>(1), Error);  // 4-byte offset for 8-byte unit
+  EXPECT_THROW(v.read<vec4f>(2), Error);  // 8-byte offset for 16-byte unit
+  EXPECT_NO_THROW(v.read<vec4f>(4));
+}
+
+TEST(BufferViewTest, VectorReadAtTailThrows) {
+  Device dev = make_device();
+  auto arr = dev.alloc<float>(5);
+  auto v = arr.view();
+  EXPECT_THROW(v.read<vec2f>(4), Error);  // elements 4..5, size is 5
+}
+
+TEST(BufferViewTest, VectorRoundTrip) {
+  Device dev = make_device();
+  auto arr = dev.alloc<float>(4);
+  auto v = arr.view();
+  vec2f in;
+  in[0] = 1.25f;
+  in[1] = -8.0f;
+  v.write(2, in);
+  const vec2f out = v.read<vec2f>(2);
+  EXPECT_EQ(out[0], 1.25f);
+  EXPECT_EQ(out[1], -8.0f);
+}
+
+TEST(BufferViewTest, SubrangeViewRespectsOffset) {
+  Device dev = make_device();
+  auto buf = dev.alloc_bytes(64);
+  BufferView<float> whole(buf.get(), 0, 16);
+  BufferView<float> sub(buf.get(), 4, 8);
+  whole.write(4, 7.0f);
+  EXPECT_EQ(sub.read(0), 7.0f);
+  EXPECT_THROW(sub.read(8), Error);
+}
+
+TEST(BufferViewTest, ViewLargerThanBufferRejected) {
+  Device dev = make_device();
+  auto buf = dev.alloc_bytes(16);
+  EXPECT_THROW((BufferView<float>(buf.get(), 0, 5)), Error);
+  EXPECT_THROW((BufferView<float>(buf.get(), 2, 3)), Error);
+}
+
+TEST(ConstMemory, CapacityEnforced) {
+  Device dev = make_device();
+  std::vector<float> big(17 * 1024, 1.0f);  // 68 KiB > 64 KiB
+  EXPECT_THROW(dev.alloc_const<float>(big), Error);
+  std::vector<float> ok(16 * 1024, 1.0f);
+  EXPECT_NO_THROW(dev.alloc_const<float>(ok));
+}
+
+TEST(ConstMemory, ViewReadsUploadedData) {
+  Device dev = make_device();
+  std::vector<float> data = {3.5f, -1.0f, 0.25f};
+  auto bank = dev.alloc_const<float>(data);
+  ConstView<float> v(bank.get(), 0, 3);
+  EXPECT_EQ(v.read(0), 3.5f);
+  EXPECT_EQ(v.read(2), 0.25f);
+  EXPECT_THROW(v.read(3), Error);
+}
+
+TEST(SharedLayoutTest, OffsetsAlignedAndPacked) {
+  SharedLayout l;
+  const u32 a = l.alloc<float>(3);       // 12 bytes
+  const u32 b = l.alloc<float>(4);       // starts at 16 (aligned)
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 16u);
+  EXPECT_EQ(l.size(), 32u);
+}
+
+TEST(SharedViewTest, BoundsAndAlignment) {
+  std::vector<std::byte> storage(64);
+  SharedView<float> v(storage.data(), 64, 0, 16);
+  v.write(3, 9.0f);
+  EXPECT_EQ(v.read(3), 9.0f);
+  EXPECT_THROW(v.read(16), Error);
+  EXPECT_THROW(v.read<vec2f>(3), Error);  // misaligned
+  EXPECT_NO_THROW(v.read<vec2f>(4));
+  EXPECT_THROW((SharedView<float>(storage.data(), 64, 0, 17)), Error);
+}
+
+}  // namespace
+}  // namespace kconv::sim

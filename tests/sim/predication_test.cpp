@@ -1,0 +1,150 @@
+// Tests for hardware-style predicated memory operations: inactive lanes
+// keep the warp in lockstep but touch no memory and cost nothing.
+#include <gtest/gtest.h>
+
+#include "src/sim/launch.hpp"
+
+namespace kconv::sim {
+namespace {
+
+/// Every lane issues the same instruction stream; odd lanes are predicated
+/// off for the store. Without predication this pattern would split every
+/// subsequent broadcast (see the special kernel's history in git... or
+/// rather, in the design notes).
+class PredStoreKernel {
+ public:
+  BufferView<float> data;
+
+  ThreadProgram operator()(ThreadCtx& t) const {
+    const i64 tid = t.thread_idx.x;
+    const bool active = tid % 2 == 0;
+    co_await t.st_global_if(active, data, active ? tid : 0, 7.0f);
+    // A second, uniform store: must retire as ONE group per warp (no
+    // divergence) because the predicated op kept lanes aligned.
+    co_await t.st_global(data, 64 + tid, 1.0f);
+  }
+};
+
+TEST(Predication, InactiveLanesWriteNothingAndLanesStayAligned) {
+  Device dev(kepler_k40m());
+  auto arr = dev.alloc<float>(128);
+  arr.zero();
+  PredStoreKernel k;
+  k.data = arr.view();
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {64, 1, 1};
+  const auto res = launch(dev, k, cfg);
+
+  const auto out = arr.download();
+  for (i64 i = 0; i < 64; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i % 2 == 0 ? 7.0f : 0.0f);
+  }
+  for (i64 i = 64; i < 128; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 1.0f);
+  }
+  EXPECT_EQ(res.stats.divergent_retires, 0u);
+}
+
+/// Predicated loads return V{} for inactive lanes and never bounds-check
+/// the dead index.
+class PredLoadKernel {
+ public:
+  BufferView<float> small;  // 4 elements
+  BufferView<float> out;
+
+  ThreadProgram operator()(ThreadCtx& t) const {
+    const i64 tid = t.thread_idx.x;
+    const bool active = tid < 4;
+    // Inactive lanes pass a wildly out-of-range index — legal, unused.
+    const float v =
+        co_await t.ld_global_if(active, small, active ? tid : 999999);
+    co_await t.st_global(out, tid, v + 1.0f);
+  }
+};
+
+TEST(Predication, InactiveLoadYieldsZeroAndSkipsBoundsCheck) {
+  Device dev(kepler_k40m());
+  auto small = dev.alloc<float>(4);
+  small.upload(std::vector<float>{10, 20, 30, 40});
+  auto out = dev.alloc<float>(32);
+  PredLoadKernel k;
+  k.small = small.view();
+  k.out = out.view();
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {32, 1, 1};
+  EXPECT_NO_THROW(launch(dev, k, cfg));
+  const auto o = out.download();
+  EXPECT_EQ(o[0], 11.0f);
+  EXPECT_EQ(o[3], 41.0f);
+  EXPECT_EQ(o[4], 1.0f);  // inactive lane saw V{} == 0
+}
+
+/// Fully predicated-off instructions cost no traffic at all.
+class AllOffKernel {
+ public:
+  BufferView<float> data;
+  u32 sh_off = 0;
+
+  ThreadProgram operator()(ThreadCtx& t) const {
+    auto sh = t.shared<float>(sh_off, 32);
+    co_await t.st_shared_if(false, sh, 0, 1.0f);
+    const float v = co_await t.ld_global_if(false, data, 0);
+    co_await t.st_global_if(false, data, 0, v);
+  }
+};
+
+TEST(Predication, FullyInactiveInstructionsCostNothing) {
+  Device dev(kepler_k40m());
+  auto arr = dev.alloc<float>(4);
+  AllOffKernel k;
+  k.data = arr.view();
+  SharedLayout smem;
+  k.sh_off = smem.alloc<float>(32);
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {32, 1, 1};
+  cfg.shared_bytes = smem.size();
+  const auto res = launch(dev, k, cfg);
+  EXPECT_EQ(res.stats.smem_request_cycles, 0u);
+  EXPECT_EQ(res.stats.gm_sectors, 0u);
+  EXPECT_EQ(res.stats.gm_bytes_useful, 0u);
+}
+
+/// Mixed active/inactive shared store: only active lanes' words count.
+class HalfSharedKernel {
+ public:
+  BufferView<float> data;
+  u32 sh_off = 0;
+
+  ThreadProgram operator()(ThreadCtx& t) const {
+    auto sh = t.shared<float>(sh_off, 64);
+    const i64 tid = t.thread_idx.x;
+    co_await t.st_shared_if(tid < 16, sh, tid, 2.0f);
+    co_await t.sync();
+    const float v = co_await t.ld_shared(sh, tid % 16);
+    co_await t.st_global(data, tid, v);
+  }
+};
+
+TEST(Predication, PartialGroupCountsOnlyActiveBytes) {
+  Device dev(kepler_k40m());
+  auto arr = dev.alloc<float>(32);
+  HalfSharedKernel k;
+  k.data = arr.view();
+  SharedLayout smem;
+  k.sh_off = smem.alloc<float>(64);
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {32, 1, 1};
+  cfg.shared_bytes = smem.size();
+  const auto res = launch(dev, k, cfg);
+  for (float v : arr.download()) EXPECT_EQ(v, 2.0f);
+  // The predicated store moved exactly 16 floats.
+  // (plus the 32-lane broadcast-ish load; check the store's share)
+  EXPECT_GE(res.stats.smem_bytes, 16u * 4u);
+}
+
+}  // namespace
+}  // namespace kconv::sim

@@ -1,0 +1,80 @@
+#include "src/sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/sim.hpp"
+
+namespace kconv::sim {
+namespace {
+
+/// A tiny kernel exercising all memory spaces so the report has content.
+class AllSpacesKernel {
+ public:
+  BufferView<float> gm;
+  ConstView<float> cm;
+  u32 sh_off = 0;
+
+  ThreadProgram operator()(ThreadCtx& t) const {
+    auto sh = t.shared<float>(sh_off, 64);
+    const float c = co_await t.ld_const(cm, 0);
+    const float g = co_await t.ld_global(gm, t.thread_idx.x);
+    co_await t.st_shared(sh, t.thread_idx.x, t.fma(g, c, 1.0f));
+    co_await t.sync();
+    const float v = co_await t.ld_shared(sh, t.thread_idx.x);
+    co_await t.st_global(gm, t.thread_idx.x, v);
+  }
+};
+
+LaunchResult run_once(Device& dev) {
+  auto arr = dev.alloc<float>(64);
+  std::vector<float> cdata = {2.0f};
+  auto cm = dev.alloc_const<float>(cdata);
+  AllSpacesKernel k;
+  k.gm = arr.view();
+  k.cm = ConstView<float>(cm.get(), 0, 1);
+  SharedLayout smem;
+  k.sh_off = smem.alloc<float>(64);
+  LaunchConfig cfg;
+  cfg.grid = {4, 1, 1};
+  cfg.block = {64, 1, 1};
+  cfg.shared_bytes = smem.size();
+  return launch(dev, k, cfg);
+}
+
+TEST(Report, FullReportMentionsEverySection) {
+  Device dev(kepler_k40m());
+  const auto res = run_once(dev);
+  const std::string r = format_report(dev.arch(), res);
+  for (const char* needle :
+       {"Kepler K40m", "GFlop/s", "occupancy", "smem:", "gmem:", "const:",
+        "fma:", "barriers/block"}) {
+    EXPECT_NE(r.find(needle), std::string::npos) << needle << "\n" << r;
+  }
+}
+
+TEST(Report, BriefIsOneLine) {
+  Device dev(kepler_k40m());
+  const auto res = run_once(dev);
+  const std::string b = format_brief(res);
+  EXPECT_EQ(std::count(b.begin(), b.end(), '\n'), 0);
+  EXPECT_NE(b.find("GFlop/s"), std::string::npos);
+}
+
+TEST(Report, JsonHasBalancedBracesAndKeys) {
+  Device dev(kepler_k40m());
+  const auto res = run_once(dev);
+  const std::string j = to_json(dev.arch(), res);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  for (const char* key :
+       {"\"arch\"", "\"seconds\"", "\"gflops\"", "\"bound\"", "\"pipes\"",
+        "\"smem_request_cycles\"", "\"gm_sectors\"", "\"barriers\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
+  // No trailing comma before the closing brace.
+  const auto pos = j.rfind(',');
+  EXPECT_LT(pos, j.rfind('"'));
+}
+
+}  // namespace
+}  // namespace kconv::sim

@@ -1,0 +1,148 @@
+#include "src/sim/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kconv::sim {
+namespace {
+
+LaunchConfig basic_cfg(u32 threads, u32 smem = 0, u32 regs = 32) {
+  LaunchConfig c;
+  c.grid = {64, 1, 1};
+  c.block = {threads, 1, 1};
+  c.shared_bytes = smem;
+  c.regs_per_thread = regs;
+  return c;
+}
+
+TEST(Occupancy, ThreadLimited) {
+  const Arch a = kepler_k40m();
+  const auto occ = compute_occupancy(a, basic_cfg(512, 0, 16));
+  EXPECT_EQ(occ.blocks_per_sm, 4u);  // 2048 / 512
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::Threads);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const Arch a = kepler_k40m();
+  const auto occ = compute_occupancy(a, basic_cfg(64, 20 * 1024, 16));
+  EXPECT_EQ(occ.blocks_per_sm, 2u);  // 48KB / 20KB
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::SharedMem);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const Arch a = kepler_k40m();
+  const auto occ = compute_occupancy(a, basic_cfg(256, 0, 128));
+  EXPECT_EQ(occ.blocks_per_sm, 2u);  // 65536 / (256*128)
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::Registers);
+}
+
+TEST(Occupancy, BlockSlotLimited) {
+  const Arch a = kepler_k40m();
+  const auto occ = compute_occupancy(a, basic_cfg(32, 0, 16));
+  EXPECT_EQ(occ.blocks_per_sm, 16u);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::Blocks);
+}
+
+TEST(Occupancy, RejectsImpossibleBlocks) {
+  const Arch a = kepler_k40m();
+  EXPECT_THROW(compute_occupancy(a, basic_cfg(2048)), Error);          // threads
+  EXPECT_THROW(compute_occupancy(a, basic_cfg(64, 64 * 1024)), Error); // smem
+  LaunchConfig c = basic_cfg(64);
+  c.regs_per_thread = 0;
+  EXPECT_THROW(compute_occupancy(a, c), Error);
+}
+
+KernelStats synthetic_stats() {
+  KernelStats s;
+  s.blocks_executed = 1;
+  s.fma_lane_ops = 32 * 6000;
+  s.fma_warp_instrs = 2 * 6000;  // 2 warps
+  s.smem_instrs = 100;
+  s.smem_request_cycles = 100;
+  s.gm_instrs = 50;
+  s.gm_sectors = 400;
+  s.gm_sectors_dram = 400;
+  s.gm_bytes_useful = 400 * 32;
+  s.barriers = 4;
+  s.max_warp_instrs = 6300;
+  return s;
+}
+
+TEST(Timing, ComputeBoundKernelScalesWithFma) {
+  const Arch a = kepler_k40m();
+  const auto cfg = basic_cfg(64, 0, 32);
+  const auto t1 = estimate_time(a, cfg, synthetic_stats(), 64);
+  KernelStats s2 = synthetic_stats();
+  s2.fma_warp_instrs *= 2;
+  s2.fma_lane_ops *= 2;
+  const auto t2 = estimate_time(a, cfg, s2, 64);
+  EXPECT_NEAR(t2.pipe_compute / t1.pipe_compute, 2.0, 0.1);
+  EXPECT_GT(t2.total_cycles, t1.total_cycles);
+}
+
+TEST(Timing, SmemReplaysLengthenSmemPipe) {
+  const Arch a = kepler_k40m();
+  const auto cfg = basic_cfg(64, 0, 32);
+  KernelStats s = synthetic_stats();
+  s.smem_request_cycles = 50000;  // heavy conflicts
+  const auto t = estimate_time(a, cfg, s, 64);
+  EXPECT_EQ(t.bound, "smem");
+}
+
+TEST(Timing, DramTrafficLengthensGmemPipe) {
+  const Arch a = kepler_k40m();
+  const auto cfg = basic_cfg(64, 0, 32);
+  KernelStats s = synthetic_stats();
+  s.gm_sectors = 100000;
+  s.gm_sectors_dram = 100000;
+  const auto t = estimate_time(a, cfg, s, 64);
+  EXPECT_EQ(t.bound, "gmem");
+}
+
+TEST(Timing, L2HitsCostLessThanDram) {
+  const Arch a = kepler_k40m();
+  const auto cfg = basic_cfg(64, 0, 32);
+  KernelStats dram = synthetic_stats();
+  dram.gm_sectors = 50000;
+  dram.gm_sectors_dram = 50000;
+  KernelStats l2 = dram;
+  l2.gm_sectors_dram = 0;  // everything hits L2
+  const auto td = estimate_time(a, cfg, dram, 64);
+  const auto tl = estimate_time(a, cfg, l2, 64);
+  EXPECT_LT(tl.pipe_gmem, td.pipe_gmem);
+}
+
+TEST(Timing, GflopsNeverExceedsPeak) {
+  const Arch a = kepler_k40m();
+  const auto t = estimate_time(a, basic_cfg(64, 0, 32), synthetic_stats(), 512);
+  EXPECT_LE(t.gflops, a.peak_sp_gflops());
+  EXPECT_GT(t.gflops, 0.0);
+  EXPECT_GT(t.seconds, 0.0);
+}
+
+TEST(Timing, MoreBlocksMeansProportionallyMoreTime) {
+  const Arch a = kepler_k40m();
+  const auto cfg = basic_cfg(64, 0, 32);
+  const auto t1 = estimate_time(a, cfg, synthetic_stats(), 1000);
+  const auto t2 = estimate_time(a, cfg, synthetic_stats(), 2000);
+  EXPECT_NEAR(t2.total_cycles / t1.total_cycles, 2.0, 0.01);
+}
+
+TEST(Timing, RequiresExecutedBlocks) {
+  const Arch a = kepler_k40m();
+  KernelStats empty;
+  EXPECT_THROW(estimate_time(a, basic_cfg(64), empty, 64), Error);
+}
+
+TEST(Timing, DependentPhasesRaiseLatencyFloor) {
+  const Arch a = kepler_k40m();
+  const auto cfg = basic_cfg(64, 0, 32);
+  KernelStats s = synthetic_stats();
+  const auto before = estimate_time(a, cfg, s, 64).latency_floor;
+  s.gm_dep_phases = 50;
+  const auto after = estimate_time(a, cfg, s, 64).latency_floor;
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace kconv::sim

@@ -1,0 +1,163 @@
+#include "src/tensor/conv_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/compare.hpp"
+
+namespace kconv::tensor {
+namespace {
+
+TEST(ConvRef, HandComputed3x3) {
+  // 4x4 image ramp, 3x3 averaging-ish filter, checked by hand.
+  Tensor img = Tensor::image(1, 4, 4);
+  for (i64 y = 0; y < 4; ++y)
+    for (i64 x = 0; x < 4; ++x) img.at(0, 0, y, x) = float(y * 4 + x);
+  Tensor flt = Tensor::filters(1, 1, 3);
+  for (i64 y = 0; y < 3; ++y)
+    for (i64 x = 0; x < 3; ++x) flt.at(0, 0, y, x) = 1.0f;
+
+  const Tensor out = conv2d_reference(img, flt);
+  ASSERT_EQ(out.h(), 2);
+  ASSERT_EQ(out.w(), 2);
+  // Sum of the 3x3 window anchored at (0,0): 0+1+2+4+5+6+8+9+10 = 45.
+  EXPECT_EQ(out.at(0, 0, 0, 0), 45.0f);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 54.0f);
+  EXPECT_EQ(out.at(0, 0, 1, 0), 81.0f);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 90.0f);
+}
+
+TEST(ConvRef, DeltaFilterIsIdentity) {
+  Rng rng(3);
+  Tensor img = Tensor::image(1, 6, 7);
+  img.fill_random(rng);
+  Tensor flt = Tensor::filters(1, 1, 3);
+  flt.at(0, 0, 1, 1) = 1.0f;  // centered delta
+  const Tensor out = conv2d_reference(img, flt, 1);  // same padding
+  EXPECT_TRUE(allclose(out, img));
+}
+
+TEST(ConvRef, CrossCorrelationNotFlipped) {
+  // A filter with a single 1 at (0,0) must pick the TOP-LEFT input of each
+  // window (cross-correlation); a flipped convolution would pick bottom-right.
+  Tensor img = Tensor::image(1, 3, 3);
+  img.at(0, 0, 0, 0) = 7.0f;
+  Tensor flt = Tensor::filters(1, 1, 2);
+  flt.at(0, 0, 0, 0) = 1.0f;
+  const Tensor out = conv2d_reference(img, flt);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 7.0f);
+}
+
+TEST(ConvRef, LinearInTheInput) {
+  Rng rng(11);
+  Tensor a = Tensor::image(2, 8, 8), b = Tensor::image(2, 8, 8);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  Tensor flt = Tensor::filters(3, 2, 3);
+  flt.fill_random(rng);
+
+  Tensor sum = Tensor::image(2, 8, 8);
+  for (i64 i = 0; i < sum.size(); ++i) {
+    sum.flat()[static_cast<std::size_t>(i)] =
+        2.0f * a.flat()[static_cast<std::size_t>(i)] +
+        b.flat()[static_cast<std::size_t>(i)];
+  }
+  const Tensor ca = conv2d_reference(a, flt);
+  const Tensor cb = conv2d_reference(b, flt);
+  const Tensor cs = conv2d_reference(sum, flt);
+  Tensor expect(1, 3, 6, 6);
+  for (i64 i = 0; i < expect.size(); ++i) {
+    expect.flat()[static_cast<std::size_t>(i)] =
+        2.0f * ca.flat()[static_cast<std::size_t>(i)] +
+        cb.flat()[static_cast<std::size_t>(i)];
+  }
+  EXPECT_TRUE(allclose(cs, expect, 1e-4, 1e-4));
+}
+
+TEST(ConvRef, ChannelsAccumulate) {
+  // Two channels with the same image and a filter of ones in both channels
+  // doubles the single-channel response.
+  Rng rng(13);
+  Tensor one = Tensor::image(1, 5, 5);
+  one.fill_random(rng);
+  Tensor two = Tensor::image(2, 5, 5);
+  for (i64 y = 0; y < 5; ++y)
+    for (i64 x = 0; x < 5; ++x) {
+      two.at(0, 0, y, x) = one.at(0, 0, y, x);
+      two.at(0, 1, y, x) = one.at(0, 0, y, x);
+    }
+  Tensor f1 = Tensor::filters(1, 1, 3);
+  Tensor f2 = Tensor::filters(1, 2, 3);
+  for (i64 y = 0; y < 3; ++y)
+    for (i64 x = 0; x < 3; ++x) {
+      f1.at(0, 0, y, x) = 1.0f;
+      f2.at(0, 0, y, x) = 1.0f;
+      f2.at(0, 1, y, x) = 1.0f;
+    }
+  const Tensor o1 = conv2d_reference(one, f1);
+  const Tensor o2 = conv2d_reference(two, f2);
+  for (i64 i = 0; i < o1.size(); ++i) {
+    EXPECT_NEAR(o2.flat()[static_cast<std::size_t>(i)],
+                2.0f * o1.flat()[static_cast<std::size_t>(i)], 1e-4f);
+  }
+}
+
+TEST(ConvRef, OutputExtents) {
+  EXPECT_EQ(conv_out_extent(10, 3, 0), 8);
+  EXPECT_EQ(conv_out_extent(10, 3, 1), 10);
+  EXPECT_EQ(conv_out_extent(10, 1, 0), 10);
+  EXPECT_THROW(conv_out_extent(2, 5, 0), Error);
+}
+
+TEST(ConvRef, ShapeChecks) {
+  Tensor img = Tensor::image(2, 5, 5);
+  Tensor flt = Tensor::filters(1, 3, 3);  // wrong channel count
+  EXPECT_THROW(conv2d_reference(img, flt), Error);
+}
+
+TEST(PadImage, ZeroBorder) {
+  Tensor img = Tensor::image(1, 2, 2);
+  img.at(0, 0, 0, 0) = 1.0f;
+  img.at(0, 0, 1, 1) = 2.0f;
+  const Tensor p = pad_image(img, 1);
+  EXPECT_EQ(p.h(), 4);
+  EXPECT_EQ(p.w(), 4);
+  EXPECT_EQ(p.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(p.at(0, 0, 1, 1), 1.0f);
+  EXPECT_EQ(p.at(0, 0, 2, 2), 2.0f);
+  EXPECT_EQ(p.at(0, 0, 3, 3), 0.0f);
+}
+
+TEST(PadImage, PadZeroIsCopy) {
+  Rng rng(17);
+  Tensor img = Tensor::image(2, 3, 4);
+  img.fill_random(rng);
+  EXPECT_TRUE(pad_image(img, 0) == img);
+}
+
+/// Property sweep: padded reference equals valid reference on the padded
+/// image for many shapes.
+class PadEquivalence
+    : public ::testing::TestWithParam<std::tuple<i64, i64, i64>> {};
+
+TEST_P(PadEquivalence, SamePaddingMatchesManualPad) {
+  const auto [hi, wi, k] = GetParam();
+  Rng rng(23);
+  Tensor img = Tensor::image(2, hi, wi);
+  img.fill_random(rng);
+  Tensor flt = Tensor::filters(2, 2, k);
+  flt.fill_random(rng);
+  const i64 pad = (k - 1) / 2;
+  const Tensor direct = conv2d_reference(img, flt, pad);
+  const Tensor manual = conv2d_reference(pad_image(img, pad), flt, 0);
+  EXPECT_TRUE(allclose(direct, manual, 1e-4, 1e-4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PadEquivalence,
+    ::testing::Values(std::make_tuple(5, 5, 3), std::make_tuple(8, 6, 3),
+                      std::make_tuple(7, 9, 5), std::make_tuple(9, 9, 7),
+                      std::make_tuple(6, 11, 1)));
+
+}  // namespace
+}  // namespace kconv::tensor

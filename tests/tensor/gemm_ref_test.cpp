@@ -1,0 +1,66 @@
+#include "src/tensor/gemm_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace kconv::tensor {
+namespace {
+
+TEST(GemmRef, HandComputed2x2) {
+  Matrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2;
+  a.at(1, 0) = 3; a.at(1, 1) = 4;
+  b.at(0, 0) = 5; b.at(0, 1) = 6;
+  b.at(1, 0) = 7; b.at(1, 1) = 8;
+  const Matrix c = gemm_reference(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(GemmRef, IdentityIsNeutral) {
+  Rng rng(5);
+  Matrix a(4, 4);
+  for (auto& v : a.data) v = rng.uniform(-1, 1);
+  Matrix id(4, 4);
+  for (i64 i = 0; i < 4; ++i) id.at(i, i) = 1.0f;
+  const Matrix c = gemm_reference(a, id);
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    EXPECT_FLOAT_EQ(c.data[i], a.data[i]);
+  }
+}
+
+TEST(GemmRef, RectangularShapes) {
+  Matrix a(3, 5), b(5, 2);
+  for (i64 i = 0; i < 3; ++i)
+    for (i64 k = 0; k < 5; ++k) a.at(i, k) = 1.0f;
+  for (i64 k = 0; k < 5; ++k)
+    for (i64 j = 0; j < 2; ++j) b.at(k, j) = 2.0f;
+  const Matrix c = gemm_reference(a, b);
+  EXPECT_EQ(c.rows, 3);
+  EXPECT_EQ(c.cols, 2);
+  for (float v : c.data) EXPECT_EQ(v, 10.0f);
+}
+
+TEST(GemmRef, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_THROW(gemm_reference(a, b), Error);
+}
+
+TEST(GemmRef, AssociativityHoldsNumerically) {
+  Rng rng(7);
+  Matrix a(4, 6), b(6, 3), c(3, 5);
+  for (auto& v : a.data) v = rng.uniform(-1, 1);
+  for (auto& v : b.data) v = rng.uniform(-1, 1);
+  for (auto& v : c.data) v = rng.uniform(-1, 1);
+  const Matrix left = gemm_reference(gemm_reference(a, b), c);
+  const Matrix right = gemm_reference(a, gemm_reference(b, c));
+  for (std::size_t i = 0; i < left.data.size(); ++i) {
+    EXPECT_NEAR(left.data[i], right.data[i], 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace kconv::tensor

@@ -1,0 +1,89 @@
+#include "src/tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/compare.hpp"
+#include "src/tensor/conv_ref.hpp"
+#include "src/tensor/gemm_ref.hpp"
+
+namespace kconv::tensor {
+namespace {
+
+TEST(Im2col, PatchMatrixShape) {
+  Tensor img = Tensor::image(3, 6, 7);
+  const Matrix m = im2col(img, 0, 3);
+  EXPECT_EQ(m.rows, 3 * 3 * 3);
+  EXPECT_EQ(m.cols, 4 * 5);
+}
+
+TEST(Im2col, RowOrderMatchesFilterFlattening) {
+  // Element (c=1, dy=2, dx=0) of a 3x3 patch must land in row (1*3+2)*3+0.
+  Tensor img = Tensor::image(2, 4, 4);
+  img.at(0, 1, 2, 0) = 9.0f;  // y+dy=2, x+dx=0 for output pixel (0,0)
+  const Matrix m = im2col(img, 0, 3);
+  EXPECT_EQ(m.at((1 * 3 + 2) * 3 + 0, 0), 9.0f);
+}
+
+TEST(Im2col, FiltersAsMatrixLayout) {
+  Tensor flt = Tensor::filters(2, 2, 3);
+  flt.at(1, 0, 2, 1) = 4.0f;
+  const Matrix m = filters_as_matrix(flt);
+  EXPECT_EQ(m.rows, 2);
+  EXPECT_EQ(m.cols, 18);
+  EXPECT_EQ(m.at(1, (0 * 3 + 2) * 3 + 1), 4.0f);
+}
+
+TEST(Im2col, Col2ImRoundTrip) {
+  Matrix prod(2, 6);
+  for (i64 i = 0; i < 12; ++i) prod.data[static_cast<std::size_t>(i)] = float(i);
+  Tensor out(1, 2, 2, 3);
+  col2im_output(prod, 0, out);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(out.at(0, 0, 1, 2), 5.0f);
+  EXPECT_EQ(out.at(0, 1, 0, 0), 6.0f);
+  EXPECT_EQ(out.at(0, 1, 1, 2), 11.0f);
+}
+
+TEST(Im2col, Col2ImShapeMismatchThrows) {
+  Matrix prod(2, 5);
+  Tensor out(1, 2, 2, 3);
+  EXPECT_THROW(col2im_output(prod, 0, out), Error);
+}
+
+TEST(Im2col, ImageIndexOutOfRangeThrows) {
+  Tensor img = Tensor::image(1, 4, 4);
+  EXPECT_THROW(im2col(img, 1, 3), Error);
+}
+
+/// The lowering property the whole GEMM approach rests on:
+/// filters_as_matrix(F) x im2col(I) == conv2d_reference(I, F).
+class LoweringEquivalence
+    : public ::testing::TestWithParam<std::tuple<i64, i64, i64, i64, i64>> {};
+
+TEST_P(LoweringEquivalence, MatchesDirectConvolution) {
+  const auto [c, f, k, hi, wi] = GetParam();
+  Rng rng(31);
+  Tensor img = Tensor::image(c, hi, wi);
+  img.fill_random(rng);
+  Tensor flt = Tensor::filters(f, c, k);
+  flt.fill_random(rng);
+
+  const Tensor direct = conv2d_reference(img, flt);
+  const Matrix prod =
+      gemm_reference(filters_as_matrix(flt), im2col(img, 0, k));
+  Tensor lowered(1, f, direct.h(), direct.w());
+  col2im_output(prod, 0, lowered);
+  EXPECT_TRUE(allclose(direct, lowered, 1e-4, 1e-4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LoweringEquivalence,
+    ::testing::Values(std::make_tuple(1, 1, 3, 6, 6),
+                      std::make_tuple(3, 2, 3, 7, 5),
+                      std::make_tuple(2, 4, 5, 9, 8),
+                      std::make_tuple(4, 3, 1, 5, 5),
+                      std::make_tuple(2, 2, 7, 10, 9)));
+
+}  // namespace
+}  // namespace kconv::tensor

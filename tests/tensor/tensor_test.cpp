@@ -1,0 +1,98 @@
+#include "src/tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/compare.hpp"
+
+namespace kconv::tensor {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t(2, 3, 4, 5);
+  EXPECT_EQ(t.n(), 2);
+  EXPECT_EQ(t.c(), 3);
+  EXPECT_EQ(t.h(), 4);
+  EXPECT_EQ(t.w(), 5);
+  EXPECT_EQ(t.size(), 120);
+}
+
+TEST(Tensor, Helpers) {
+  EXPECT_EQ(Tensor::image(3, 8, 9).c(), 3);
+  const Tensor f = Tensor::filters(6, 3, 5);
+  EXPECT_EQ(f.n(), 6);
+  EXPECT_EQ(f.c(), 3);
+  EXPECT_EQ(f.h(), 5);
+  EXPECT_EQ(f.w(), 5);
+}
+
+TEST(Tensor, RowMajorNCHWLayout) {
+  Tensor t(1, 2, 2, 3);
+  float v = 0.0f;
+  for (i64 c = 0; c < 2; ++c)
+    for (i64 h = 0; h < 2; ++h)
+      for (i64 w = 0; w < 3; ++w) t.at(0, c, h, w) = v++;
+  const auto flat = t.flat();
+  for (i64 i = 0; i < 12; ++i) {
+    EXPECT_EQ(flat[static_cast<std::size_t>(i)], float(i));
+  }
+}
+
+TEST(Tensor, AtOrZeroOutsideBounds) {
+  Tensor t(1, 1, 2, 2);
+  t.at(0, 0, 1, 1) = 5.0f;
+  EXPECT_EQ(t.at_or_zero(0, 0, 1, 1), 5.0f);
+  EXPECT_EQ(t.at_or_zero(0, 0, -1, 0), 0.0f);
+  EXPECT_EQ(t.at_or_zero(0, 0, 0, 2), 0.0f);
+  EXPECT_EQ(t.at_or_zero(0, 0, 2, 0), 0.0f);
+}
+
+TEST(Tensor, NegativeExtentRejected) {
+  EXPECT_THROW(Tensor(1, -1, 2, 2), Error);
+}
+
+TEST(Tensor, FillRandomDeterministic) {
+  Rng a(5), b(5);
+  Tensor x(1, 1, 4, 4), y(1, 1, 4, 4);
+  x.fill_random(a);
+  y.fill_random(b);
+  EXPECT_TRUE(x == y);
+}
+
+TEST(Tensor, FillPatternIsReproducibleAndBounded) {
+  Tensor x(1, 2, 5, 5);
+  x.fill_pattern();
+  for (float v : x.flat()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LE(v, 0.5f);
+  }
+  Tensor y(1, 2, 5, 5);
+  y.fill_pattern();
+  EXPECT_TRUE(x == y);
+}
+
+TEST(Compare, DiffFindsWorstElement) {
+  Tensor a(1, 1, 1, 4), b(1, 1, 1, 4);
+  a.at(0, 0, 0, 2) = 1.0f;
+  b.at(0, 0, 0, 2) = 1.5f;
+  const auto d = diff(a, b);
+  EXPECT_DOUBLE_EQ(d.max_abs, 0.5);
+  EXPECT_EQ(d.worst_index, 2);
+}
+
+TEST(Compare, AllcloseToleratesSmallError) {
+  Tensor a(1, 1, 1, 3), b(1, 1, 1, 3);
+  a.at(0, 0, 0, 0) = 1.0f;
+  b.at(0, 0, 0, 0) = 1.0f + 5e-6f;
+  EXPECT_TRUE(allclose(a, b));
+  b.at(0, 0, 0, 1) = 0.1f;
+  EXPECT_FALSE(allclose(a, b));
+}
+
+TEST(Compare, ShapeMismatchThrows) {
+  Tensor a(1, 1, 2, 2), b(1, 1, 2, 3);
+  EXPECT_THROW(diff(a, b), Error);
+  EXPECT_THROW(allclose(a, b), Error);
+}
+
+}  // namespace
+}  // namespace kconv::tensor
