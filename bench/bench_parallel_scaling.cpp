@@ -1,0 +1,92 @@
+// Host-side parallel-simulation scaling: wall-clock throughput of the
+// multi-threaded launcher (LaunchOptions::num_threads) and the parallel
+// autotune sweep at 1, 2, 4 and all hardware threads.
+//
+// Unlike the other bench binaries this measures the SIMULATOR, not the
+// modeled GPU: blocks simulated per second of host time. Outputs and
+// rankings are thread-count-invariant (see tests/determinism), so every
+// row computes the same result — only the wall clock should move.
+//
+// Each row is also emitted as a JSON line (prefix "JSON ") for scripted
+// consumption.
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/core/autotune.hpp"
+#include "src/kernels/general_conv.hpp"
+
+namespace kconv::bench {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<u32> thread_counts() {
+  const u32 hw = std::thread::hardware_concurrency();
+  std::vector<u32> counts = {1, 2, 4};
+  if (hw > 4) counts.push_back(hw);
+  return counts;
+}
+
+void launch_scaling() {
+  header("parallel launcher scaling (general-case kernel, K=3)");
+  const tensor::Tensor img = make_image(16, 128, 128);
+  const tensor::Tensor flt = make_filters(64, 16, 3);
+  const kernels::GeneralConvConfig cfg = kernels::table1_config(3);
+
+  double base = 0.0;
+  for (const u32 t : thread_counts()) {
+    sim::Device dev(sim::kepler_k40m());
+    sim::LaunchOptions opt;
+    opt.num_threads = t;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto run = kernels::general_conv(dev, img, flt, cfg, opt);
+    const double secs = seconds_since(t0);
+    const double blocks = static_cast<double>(run.launch.blocks_executed);
+    if (t == 1) base = secs;
+    std::printf("threads %2u   %8.3f s   %9.0f blocks/s   speedup %.2fx\n",
+                t, secs, blocks / secs, base / secs);
+    std::printf("JSON {\"bench\":\"launch_scaling\",\"threads\":%u,"
+                "\"seconds\":%.6f,\"blocks\":%.0f,\"blocks_per_sec\":%.1f,"
+                "\"speedup\":%.3f}\n",
+                t, secs, blocks, blocks / secs, base / secs);
+  }
+}
+
+void autotune_scaling() {
+  header("parallel autotune scaling (general-case sweep, K=5)");
+  double base = 0.0;
+  for (const u32 t : thread_counts()) {
+    sim::Device dev(sim::kepler_k40m());
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = core::autotune_general(dev, 5, 8, 64, 64, {}, 2, t);
+    const double secs = seconds_since(t0);
+    if (t == 1) base = secs;
+    std::printf("threads %2u   %8.3f s   %3lld evaluated / %3lld skipped   "
+                "speedup %.2fx\n",
+                t, secs, static_cast<long long>(res.evaluated),
+                static_cast<long long>(res.skipped), base / secs);
+    std::printf("JSON {\"bench\":\"autotune_scaling\",\"threads\":%u,"
+                "\"seconds\":%.6f,\"evaluated\":%lld,\"skipped\":%lld,"
+                "\"speedup\":%.3f}\n",
+                t, secs, static_cast<long long>(res.evaluated),
+                static_cast<long long>(res.skipped), base / secs);
+  }
+}
+
+}  // namespace
+}  // namespace kconv::bench
+
+int main() {
+  kconv::bench::launch_scaling();
+  kconv::bench::autotune_scaling();
+  kconv::bench::footnote(
+      "host-simulation throughput; speedups depend on available cores "
+      "(hardware_concurrency = " +
+      std::to_string(std::thread::hardware_concurrency()) + ")");
+  return 0;
+}

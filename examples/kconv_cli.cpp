@@ -3,7 +3,7 @@
 //   kconv_cli [--algo auto|special|general|implicit-gemm|im2col-gemm|naive]
 //             [--arch kepler|kepler4b|fermi|maxwell]
 //             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
-//             [--sample B] [--json]
+//             [--sample B] [--threads T] [--json]
 //
 // Prints the performance report (or JSON with --json) and verifies against
 // the CPU reference when the launch ran every block.
@@ -28,7 +28,9 @@ namespace {
       "                  naive|winograd|fft]\n"
       "          [--arch kepler|kepler4b|fermi|maxwell]\n"
       "          [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]\n"
-      "          [--sample BLOCKS] [--json]\n",
+      "          [--sample BLOCKS] [--threads T] [--json]\n"
+      "  --threads T   host threads simulating blocks (0 = all cores;\n"
+      "                default 1 = exact-legacy serial semantics)\n",
       argv0);
   std::exit(2);
 }
@@ -36,7 +38,7 @@ namespace {
 }  // namespace
 
 int main(int argc, char** argv) {
-  i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0;
+  i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0, threads = 1;
   std::string algo = "auto", arch_name = "kepler";
   bool same = false, json = false;
 
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
     else if (a == "--n") n = std::atoll(next());
     else if (a == "--vec") vec = std::atoll(next());
     else if (a == "--sample") sample = std::atoll(next());
+    else if (a == "--threads") threads = std::atoll(next());
     else if (a == "--same") same = true;
     else if (a == "--json") json = true;
     else usage(argv[0]);
@@ -79,6 +82,8 @@ int main(int argc, char** argv) {
   opt.padding = same ? core::Padding::Same : core::Padding::Valid;
   opt.vec_width = vec;
   opt.launch.sample_max_blocks = static_cast<u64>(sample);
+  if (threads < 0) usage(argv[0]);
+  opt.launch.num_threads = static_cast<u32>(threads);
 
   Rng rng(1);
   tensor::Tensor img = tensor::Tensor::image(c, n, n);

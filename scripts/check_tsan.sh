@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the determinism suite under ThreadSanitizer and runs it.
+#
+# The parallel launcher and autotuner are the only multi-threaded code in
+# the repo; the determinism-labeled tests drive every parallel path
+# (chunked launches, sampled launches, autotune sweeps), so a clean TSan
+# run here covers the pool's synchronization protocol.
+#
+#   scripts/check_tsan.sh [build-dir]    # default: build-tsan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DKCONV_SANITIZE=thread
+cmake --build "$BUILD_DIR" --target kconv_determinism_test -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L determinism --output-on-failure

@@ -1,0 +1,98 @@
+#include "src/common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace kconv {
+
+u32 ThreadPool::resolve_threads(u32 requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(u32 threads) {
+  const u32 n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  u64 seen_seq = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      ++joined_;
+      ++running_;
+    }
+
+    // Claim chunks until the shared counter runs dry (the "stealing": fast
+    // workers keep claiming whatever slower ones have not).
+    std::exception_ptr err;
+    while (true) {
+      const u64 c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks_) break;
+      const u64 b = begin_ + c * grain_;
+      const u64 e = std::min(b + grain_, end_);
+      try {
+        (*body_)(b, e, static_cast<u32>(c));
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !error_) error_ = err;
+      --running_;
+      if (running_ == 0 && joined_ == workers_.size()) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(u64 begin, u64 end, u64 grain,
+                              const ChunkBody& body) {
+  if (end <= begin) return;
+  KCONV_CHECK(grain >= 1, "parallel_for grain must be positive");
+
+  std::unique_lock<std::mutex> lock(mu_);
+  KCONV_CHECK(body_ == nullptr, "ThreadPool::parallel_for is not reentrant");
+  body_ = &body;
+  begin_ = begin;
+  end_ = end;
+  grain_ = grain;
+  n_chunks_ = (end - begin + grain - 1) / grain;
+  next_chunk_.store(0, std::memory_order_relaxed);
+  joined_ = 0;
+  running_ = 0;
+  error_ = nullptr;
+  ++job_seq_;
+  work_cv_.notify_all();
+
+  // Wait until every worker both observed the job and left its drain loop;
+  // afterwards no worker can still be reading the job state, so it is safe
+  // to reset (and for the next call to rewrite) it.
+  done_cv_.wait(lock, [&] { return joined_ == workers_.size() && running_ == 0; });
+  body_ = nullptr;
+  n_chunks_ = 0;
+  const std::exception_ptr err = error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace kconv

@@ -1,0 +1,78 @@
+// A small chunked work-stealing thread pool for host-side parallelism.
+//
+// The simulator executes thread blocks serially within a worker, but blocks
+// are independent (CUDA semantics: no inter-block ordering), so a launch can
+// shard its block list across host threads. The pool hands out contiguous
+// chunks from a shared atomic counter — workers that finish early steal the
+// remaining chunks, so ragged per-chunk costs still load-balance — while the
+// chunk *indices* stay deterministic, which is what lets callers keep
+// per-chunk state (stats shards, cache replicas) and merge it in index
+// order regardless of which worker ran which chunk.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace kconv {
+
+/// Persistent worker pool executing chunked parallel-for jobs.
+///
+/// One job runs at a time (parallel_for blocks the caller); the workers
+/// survive across jobs so repeated launches do not pay thread creation.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(u32 threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  u32 size() const { return static_cast<u32>(workers_.size()); }
+
+  /// The body of one contiguous chunk: [begin, end) plus the chunk index.
+  using ChunkBody = std::function<void(u64 begin, u64 end, u32 chunk)>;
+
+  /// Splits [begin, end) into chunks of at most `grain` items and runs
+  /// `body` on the workers (chunk k covers [begin + k*grain, ...)). Blocks
+  /// until every chunk finished; rethrows the first exception a body threw
+  /// (remaining chunks still run to completion first).
+  void parallel_for(u64 begin, u64 end, u64 grain, const ChunkBody& body);
+
+  /// Maps a user-facing thread-count request to an actual count:
+  /// 0 = hardware concurrency (at least 1), anything else verbatim.
+  static u32 resolve_threads(u32 requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: new job / shutdown
+  std::condition_variable done_cv_;  // signals caller: job drained
+
+  // State of the in-flight job. Written by the caller under mu_ before the
+  // job_seq_ bump; workers first read it after observing the bump under mu_,
+  // and the caller only rewrites it after every worker checked in and out
+  // again — so the lock-free reads inside the drain loop are race-free.
+  const ChunkBody* body_ = nullptr;
+  u64 begin_ = 0;
+  u64 end_ = 0;
+  u64 grain_ = 1;
+  u64 n_chunks_ = 0;
+  std::atomic<u64> next_chunk_{0};
+  u64 job_seq_ = 0;    // bumped per job so sleeping workers spot new work
+  u32 joined_ = 0;     // workers that observed the current job
+  u32 running_ = 0;    // workers currently inside the drain loop
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace kconv

@@ -3,12 +3,74 @@
 #include <algorithm>
 
 #include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
 
 namespace kconv::core {
 
+namespace {
+
+/// Per-candidate outcome slot. Exactly one worker writes each slot (the
+/// sweep runs with grain 1), so no synchronization is needed beyond the
+/// pool's own join.
+struct Outcome {
+  bool evaluated = false;
+  double gflops = 0.0;
+};
+
+/// Evaluates `eval` for every candidate whose `check` string is empty, on
+/// `num_threads` host threads. Illegal candidates are counted as skipped
+/// without ever constructing a kernel; a defensive catch keeps a candidate
+/// that still throws in the skipped bucket rather than poisoning the sweep.
+template <typename Check, typename Eval>
+std::vector<Outcome> sweep(u64 count, u32 num_threads, const Check& check,
+                           const Eval& eval) {
+  std::vector<Outcome> out(count);
+  const u32 threads = static_cast<u32>(std::min<u64>(
+      ThreadPool::resolve_threads(num_threads), std::max<u64>(count, 1)));
+  const auto body = [&](u64 b, u64 e, u32 /*chunk*/) {
+    for (u64 i = b; i < e; ++i) {
+      if (!check(i).empty()) continue;
+      try {
+        out[i].gflops = eval(i);
+        out[i].evaluated = true;
+      } catch (const Error&) {
+        // Pre-validation should have caught this; count it as skipped.
+      }
+    }
+  };
+  if (threads <= 1 || count <= 1) {
+    body(0, count, 0);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(0, count, 1, body);
+  }
+  return out;
+}
+
+template <typename Scored, typename Result>
+void finish(const std::vector<Scored>& scored,
+            const std::vector<Outcome>& outcomes, Result& res) {
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (outcomes[i].evaluated) {
+      res.ranking.push_back({scored[i], outcomes[i].gflops});
+      ++res.evaluated;
+    } else {
+      ++res.skipped;
+    }
+  }
+  KCONV_CHECK(res.evaluated > 0, "no legal configuration in the search space");
+  std::stable_sort(res.ranking.begin(), res.ranking.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.gflops > b.gflops;
+                   });
+  res.best = res.ranking.front();
+}
+
+}  // namespace
+
 GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
                                        i64 n, const GeneralSpace& space,
-                                       u64 sample_blocks) {
+                                       u64 sample_blocks, u32 num_threads) {
   Rng rng(0xDE5E);
   tensor::Tensor img = tensor::Tensor::image(c, n, n);
   img.fill_random(rng);
@@ -18,7 +80,8 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
   sim::LaunchOptions opt;
   opt.sample_max_blocks = sample_blocks;
 
-  GeneralAutotuneResult res;
+  // Enumeration order is the ranking's tie-break order — keep it fixed.
+  std::vector<kernels::GeneralConvConfig> candidates;
   for (const i64 w : space.block_w) {
     for (const i64 h : space.block_h) {
       for (const i64 ftb : space.ftb) {
@@ -32,31 +95,37 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
               cfg.wt = wt;
               cfg.ft = ft;
               cfg.csh = csh;
-              try {
-                auto run = kernels::general_conv(dev, img, flt, cfg, opt);
-                res.ranking.push_back({cfg, run.launch.timing.gflops});
-                ++res.evaluated;
-              } catch (const Error&) {
-                ++res.skipped;  // illegal tiling for this K/C/F
-              }
+              candidates.push_back(cfg);
             }
           }
         }
       }
     }
   }
-  KCONV_CHECK(res.evaluated > 0, "no legal configuration in the search space");
-  std::stable_sort(res.ranking.begin(), res.ranking.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.gflops > b.gflops;
-                   });
-  res.best = res.ranking.front();
+
+  const sim::Arch& arch = dev.arch();
+  const auto outcomes = sweep(
+      candidates.size(), num_threads,
+      [&](u64 i) {
+        return kernels::general_conv_check(arch, k, c, f, n, n, candidates[i]);
+      },
+      [&](u64 i) {
+        // A fresh device per candidate: scores never depend on what the
+        // sweep ran before (allocator addresses, L2 warmth), so the ranking
+        // is identical for any thread count.
+        sim::Device cand_dev(arch);
+        auto run = kernels::general_conv(cand_dev, img, flt, candidates[i], opt);
+        return run.launch.timing.gflops;
+      });
+
+  GeneralAutotuneResult res;
+  finish(candidates, outcomes, res);
   return res;
 }
 
 SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
                                        const SpecialSpace& space,
-                                       u64 sample_blocks) {
+                                       u64 sample_blocks, u32 num_threads) {
   Rng rng(0xDE5F);
   tensor::Tensor img = tensor::Tensor::image(1, n, n);
   img.fill_random(rng);
@@ -66,27 +135,30 @@ SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
   sim::LaunchOptions opt;
   opt.sample_max_blocks = sample_blocks;
 
-  SpecialAutotuneResult res;
+  std::vector<kernels::SpecialConvConfig> candidates;
   for (const i64 w : space.block_w) {
     for (const i64 h : space.block_h) {
       kernels::SpecialConvConfig cfg;
       cfg.block_w = w;
       cfg.block_h = h;
-      try {
-        auto run = kernels::special_conv(dev, img, flt, cfg, opt);
-        res.ranking.push_back({cfg, run.launch.timing.gflops});
-        ++res.evaluated;
-      } catch (const Error&) {
-        ++res.skipped;
-      }
+      candidates.push_back(cfg);
     }
   }
-  KCONV_CHECK(res.evaluated > 0, "no legal configuration in the search space");
-  std::stable_sort(res.ranking.begin(), res.ranking.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.gflops > b.gflops;
-                   });
-  res.best = res.ranking.front();
+
+  const sim::Arch& arch = dev.arch();
+  const auto outcomes = sweep(
+      candidates.size(), num_threads,
+      [&](u64 i) {
+        return kernels::special_conv_check(arch, k, f, n, n, candidates[i]);
+      },
+      [&](u64 i) {
+        sim::Device cand_dev(arch);
+        auto run = kernels::special_conv(cand_dev, img, flt, candidates[i], opt);
+        return run.launch.timing.gflops;
+      });
+
+  SpecialAutotuneResult res;
+  finish(candidates, outcomes, res);
   return res;
 }
 

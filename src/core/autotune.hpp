@@ -44,9 +44,15 @@ struct GeneralAutotuneResult {
 /// `c`/`f`/`n` define the proxy (modest sizes keep the sweep fast; the
 /// ranking is stable across problem sizes for fixed K, which is why the
 /// paper tabulates per-K configurations).
+///
+/// Candidates are evaluated on `num_threads` host threads (0 = hardware
+/// concurrency), each on a fresh Device cloned from `dev.arch()` so every
+/// score is independent of sweep order; results are merged in enumeration
+/// order, making the ranking identical for any thread count.
 GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
                                        i64 n, const GeneralSpace& space = {},
-                                       u64 sample_blocks = 2);
+                                       u64 sample_blocks = 2,
+                                       u32 num_threads = 0);
 
 struct SpecialSpace {
   std::vector<i64> block_w = {64, 128, 256, 512};
@@ -66,8 +72,10 @@ struct SpecialAutotuneResult {
 };
 
 /// Sweeps the special-case kernel's {W, H} (paper: best is 256 x 8).
+/// Parallel evaluation semantics match `autotune_general`.
 SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
                                        const SpecialSpace& space = {},
-                                       u64 sample_blocks = 4);
+                                       u64 sample_blocks = 4,
+                                       u32 num_threads = 0);
 
 }  // namespace kconv::core

@@ -236,78 +236,149 @@ class GeneralKernel {
   }
 };
 
+/// Everything general_conv derives from (arch, shapes, cfg) before it can
+/// launch: thread-block geometry, staging splits, shared-memory strides and
+/// the LaunchConfig. Computed once, shared by the legality probe and the
+/// runner so they can never disagree.
+struct GeneralLaunchPlan {
+  i64 n = 0;  // vector width (W_SMB / W_CD when matched)
+  i64 Ho = 0, Wo = 0;
+  i64 TX = 0, TY = 0, nbx = 0;
+  i64 rows_halo = 0, cols_halo = 0;
+  i64 stride_img = 0, stride_flt = 0;
+  i64 img_iters = 0, flt_scalars = 0;
+  u32 img_off = 0, flt_off = 0;
+  sim::LaunchConfig lc;
+};
+
+/// Fills `p` for the given problem; returns "" when legal, otherwise the
+/// first violated constraint (the message general_conv throws with).
+std::string plan_general(const sim::Arch& arch, i64 K, i64 C, i64 F, i64 Hi,
+                         i64 Wi, const GeneralConvConfig& cfg,
+                         GeneralLaunchPlan& p) {
+  if (K < 1 || K > kGeneralMaxK) {
+    return strf("filter size %lld outside supported range [1, %lld]",
+                static_cast<long long>(K),
+                static_cast<long long>(kGeneralMaxK));
+  }
+  i64 n = cfg.vec_width;
+  if (n == 0) n = arch.smem_bank_bytes / sizeof(float);
+  if (n != 1 && n != 2 && n != 4) {
+    return strf("unsupported vector width %lld", static_cast<long long>(n));
+  }
+  if (cfg.ftb < 1 || F % cfg.ftb != 0) {
+    return strf("F=%lld must be a multiple of FTB=%lld",
+                static_cast<long long>(F), static_cast<long long>(cfg.ftb));
+  }
+  if (cfg.csh < 1 || C % cfg.csh != 0) {
+    return strf("C=%lld must be a multiple of CSH=%lld",
+                static_cast<long long>(C), static_cast<long long>(cfg.csh));
+  }
+  if (cfg.ft < 1 || cfg.ftb % cfg.ft != 0) {
+    return "FTB must be a multiple of FT";
+  }
+  if (cfg.wt < 1 || cfg.wt > kGeneralMaxWT || cfg.ft > kGeneralMaxFT) {
+    return "WT/FT exceed the kernel's register capacity";
+  }
+  if (cfg.block_w % cfg.wt != 0) {
+    return "block_w must be a multiple of WT (threads tile whole rows)";
+  }
+  if ((cfg.block_w * cfg.block_h) % cfg.wt != 0) {
+    return "block area must be a multiple of WT";
+  }
+  if (cfg.wt % n != 0 || cfg.ft % n != 0 || cfg.ftb % n != 0 ||
+      cfg.block_w % n != 0) {
+    return "WT, FT, FTB and block_w must be multiples of the vector width";
+  }
+  if (cfg.block_w % 4 != 0) return "block_w must be a multiple of 4";
+
+  p.n = n;
+  p.Ho = tensor::conv_out_extent(Hi, K, 0);
+  p.Wo = tensor::conv_out_extent(Wi, K, 0);
+  if (p.Ho < 1 || p.Wo < 1) return "image smaller than the filter";
+  p.TX = cfg.ftb / cfg.ft;
+  p.TY = cfg.block_w * cfg.block_h / cfg.wt;
+  p.nbx = ceil_div(p.Wo, cfg.block_w);
+  p.rows_halo = cfg.block_h + K - 1;
+  p.cols_halo = cfg.block_w + K - 1;
+
+  const i64 nthreads = p.TX * p.TY;
+  p.img_iters =
+      ceil_div(cfg.csh * p.rows_halo * ceil_div(p.cols_halo, n), nthreads);
+  p.flt_scalars = ceil_div(cfg.csh * K * K * cfg.ftb, nthreads);
+  if (p.img_iters > kMaxImgUnits || p.flt_scalars > kMaxFltScalars) {
+    return strf("staging work per thread too large (%lld image units, "
+                "%lld filter values); use more threads or smaller CSH",
+                static_cast<long long>(p.img_iters),
+                static_cast<long long>(p.flt_scalars));
+  }
+
+  sim::SharedLayout smem;
+  p.stride_img = round_up(p.cols_halo + n, 4);
+  // One bank word of padding keeps the transposing filter stores
+  // conflict-free (the paper's Fig. 6 gray box).
+  const i64 pad = cfg.pad_filters ? arch.smem_bank_bytes / sizeof(float) : 0;
+  p.stride_flt = cfg.ftb + pad;
+  p.img_off = smem.alloc<float>(cfg.csh * p.rows_halo * p.stride_img);
+  p.flt_off = smem.alloc<float>(cfg.csh * K * K * p.stride_flt);
+
+  p.lc.grid = sim::Dim3{static_cast<u32>(F / cfg.ftb),
+                        static_cast<u32>(p.nbx * ceil_div(p.Ho, cfg.block_h)),
+                        1};
+  p.lc.block = sim::Dim3{static_cast<u32>(p.TX), static_cast<u32>(p.TY), 1};
+  p.lc.shared_bytes = smem.size();
+  p.lc.regs_per_thread = static_cast<u32>(std::min<i64>(
+      cfg.ft * cfg.wt + (cfg.wt + K - 1) + cfg.ft + p.img_iters * n +
+          p.flt_scalars + 24,
+      arch.max_regs_per_thread));
+  return sim::launch_feasibility_error(arch, p.lc);
+}
+
 template <int N>
 KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
                       const tensor::Tensor& filters,
                       const GeneralConvConfig& cfg,
+                      const GeneralLaunchPlan& p,
                       const sim::LaunchOptions& opt) {
   const i64 K = filters.h();
   const i64 C = input.c();
   const i64 F = filters.n();
   const i64 Hi = input.h(), Wi = input.w();
-  const i64 Ho = tensor::conv_out_extent(Hi, K, 0);
-  const i64 Wo = tensor::conv_out_extent(Wi, K, 0);
 
   GeneralKernel<N> k;
   k.K = K;
   k.C = C;
   k.F = F;
-  k.Ho = Ho;
-  k.Wo = Wo;
+  k.Ho = p.Ho;
+  k.Wo = p.Wo;
   k.W = cfg.block_w;
   k.H = cfg.block_h;
   k.FTB = cfg.ftb;
   k.WT = cfg.wt;
   k.FT = cfg.ft;
   k.CSH = cfg.csh;
-  k.TX = cfg.ftb / cfg.ft;
-  k.TY = cfg.block_w * cfg.block_h / cfg.wt;
-  k.nbx = ceil_div(Wo, cfg.block_w);
-  k.rows_halo = cfg.block_h + K - 1;
-  k.cols_halo = cfg.block_w + K - 1;
+  k.TX = p.TX;
+  k.TY = p.TY;
+  k.nbx = p.nbx;
+  k.rows_halo = p.rows_halo;
+  k.cols_halo = p.cols_halo;
   k.prefetch = cfg.prefetch;
-
-  const i64 nthreads = k.TX * k.TY;
-  const i64 img_units =
-      ceil_div(k.CSH * k.rows_halo * ceil_div(k.cols_halo, N), nthreads);
-  const i64 flt_scalars = ceil_div(k.CSH * K * K * cfg.ftb, nthreads);
-  KCONV_CHECK(img_units <= kMaxImgUnits && flt_scalars <= kMaxFltScalars,
-              strf("staging work per thread too large (%lld image units, "
-                   "%lld filter values); use more threads or smaller CSH",
-                   static_cast<long long>(img_units),
-                   static_cast<long long>(flt_scalars)));
+  k.stride_img = p.stride_img;
+  k.stride_flt = p.stride_flt;
+  k.img_off = p.img_off;
+  k.flt_off = p.flt_off;
 
   DevicePlanes d_in(dev, C, Hi, Wi);
   d_in.upload(input);
-  DevicePlanes d_out(dev, F, Ho, Wo);
+  DevicePlanes d_out(dev, F, p.Ho, p.Wo);
   const auto flat = flatten_filters(filters);
   auto d_filt = dev.alloc<float>(std::span<const float>(flat));
   k.in = d_in.view();
   k.out = d_out.view();
   k.filt = d_filt.view();
 
-  sim::SharedLayout smem;
-  k.stride_img = round_up(k.cols_halo + N, 4);
-  // One bank word of padding keeps the transposing filter stores
-  // conflict-free (the paper's Fig. 6 gray box).
-  const i64 pad =
-      cfg.pad_filters ? dev.arch().smem_bank_bytes / sizeof(float) : 0;
-  k.stride_flt = cfg.ftb + pad;
-  k.img_off = smem.alloc<float>(k.CSH * k.rows_halo * k.stride_img);
-  k.flt_off = smem.alloc<float>(k.CSH * K * K * k.stride_flt);
-
-  sim::LaunchConfig lc;
-  lc.grid = sim::Dim3{static_cast<u32>(F / cfg.ftb),
-                      static_cast<u32>(k.nbx * ceil_div(Ho, cfg.block_h)), 1};
-  lc.block = sim::Dim3{static_cast<u32>(k.TX), static_cast<u32>(k.TY), 1};
-  lc.shared_bytes = smem.size();
-  lc.regs_per_thread = static_cast<u32>(std::min<i64>(
-      cfg.ft * cfg.wt + (cfg.wt + K - 1) + cfg.ft + img_units * N +
-          flt_scalars + 24,
-      dev.arch().max_regs_per_thread));
-
   KernelRun run;
-  run.launch = sim::launch(dev, k, lc, opt);
+  run.launch = sim::launch(dev, k, p.lc, opt);
   if (!run.launch.sampled) {
     run.output = d_out.download();
     run.output_valid = true;
@@ -339,6 +410,12 @@ GeneralConvConfig table1_config(i64 k) {
   return c;
 }
 
+std::string general_conv_check(const sim::Arch& arch, i64 k, i64 c, i64 f,
+                               i64 hi, i64 wi, const GeneralConvConfig& cfg) {
+  GeneralLaunchPlan plan;
+  return plan_general(arch, k, c, f, hi, wi, cfg, plan);
+}
+
 KernelRun general_conv(sim::Device& dev, const tensor::Tensor& input,
                        const tensor::Tensor& filters,
                        const GeneralConvConfig& cfg,
@@ -346,44 +423,17 @@ KernelRun general_conv(sim::Device& dev, const tensor::Tensor& input,
   KCONV_CHECK(input.n() == 1, "general case operates on a single image");
   KCONV_CHECK(filters.c() == input.c(), "channel mismatch");
   KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
-  const i64 K = filters.h();
-  KCONV_CHECK(K >= 1 && K <= kGeneralMaxK,
-              strf("filter size %lld outside supported range [1, %lld]",
-                   static_cast<long long>(K),
-                   static_cast<long long>(kGeneralMaxK)));
 
-  i64 n = cfg.vec_width;
-  if (n == 0) n = dev.arch().smem_bank_bytes / sizeof(float);
-  KCONV_CHECK(n == 1 || n == 2 || n == 4,
-              strf("unsupported vector width %lld",
-                   static_cast<long long>(n)));
+  GeneralLaunchPlan plan;
+  const std::string err =
+      plan_general(dev.arch(), filters.h(), input.c(), filters.n(),
+                   input.h(), input.w(), cfg, plan);
+  KCONV_CHECK(err.empty(), err);
 
-  KCONV_CHECK(cfg.ftb >= 1 && filters.n() % cfg.ftb == 0,
-              strf("F=%lld must be a multiple of FTB=%lld",
-                   static_cast<long long>(filters.n()),
-                   static_cast<long long>(cfg.ftb)));
-  KCONV_CHECK(cfg.csh >= 1 && input.c() % cfg.csh == 0,
-              strf("C=%lld must be a multiple of CSH=%lld",
-                   static_cast<long long>(input.c()),
-                   static_cast<long long>(cfg.csh)));
-  KCONV_CHECK(cfg.ft >= 1 && cfg.ftb % cfg.ft == 0,
-              "FTB must be a multiple of FT");
-  KCONV_CHECK(cfg.wt >= 1 && cfg.wt <= kGeneralMaxWT &&
-                  cfg.ft <= kGeneralMaxFT,
-              "WT/FT exceed the kernel's register capacity");
-  KCONV_CHECK(cfg.block_w % cfg.wt == 0,
-              "block_w must be a multiple of WT (threads tile whole rows)");
-  KCONV_CHECK((cfg.block_w * cfg.block_h) % cfg.wt == 0,
-              "block area must be a multiple of WT");
-  KCONV_CHECK(cfg.wt % n == 0 && cfg.ft % n == 0 && cfg.ftb % n == 0 &&
-                  cfg.block_w % n == 0,
-              "WT, FT, FTB and block_w must be multiples of the vector width");
-  KCONV_CHECK(cfg.block_w % 4 == 0, "block_w must be a multiple of 4");
-
-  switch (n) {
-    case 1: return run_general<1>(dev, input, filters, cfg, opt);
-    case 2: return run_general<2>(dev, input, filters, cfg, opt);
-    default: return run_general<4>(dev, input, filters, cfg, opt);
+  switch (plan.n) {
+    case 1: return run_general<1>(dev, input, filters, cfg, plan, opt);
+    case 2: return run_general<2>(dev, input, filters, cfg, plan, opt);
+    default: return run_general<4>(dev, input, filters, cfg, plan, opt);
   }
 }
 

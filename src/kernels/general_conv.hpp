@@ -51,6 +51,15 @@ inline constexpr i64 kGeneralMaxK = 7;
 inline constexpr i64 kGeneralMaxWT = 16;
 inline constexpr i64 kGeneralMaxFT = 8;
 
+/// Cheap legality probe for a candidate configuration on a (K, C, F, Hi, Wi)
+/// problem: empty string when `general_conv` with the same parameters would
+/// launch, otherwise the reason it would be rejected (divisibility,
+/// register/staging capacity, shared-memory or occupancy limits). Runs no
+/// simulation and allocates nothing — autotuner sweeps use it to skip
+/// illegal points without exceptions as control flow.
+std::string general_conv_check(const sim::Arch& arch, i64 k, i64 c, i64 f,
+                               i64 hi, i64 wi, const GeneralConvConfig& cfg);
+
 /// Runs the general-case kernel: `input` is (1, C, Hi, Wi), `filters` is
 /// (F, C, K, K); output is the valid convolution (1, F, Ho, Wo).
 ///

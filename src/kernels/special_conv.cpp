@@ -66,6 +66,43 @@ KernelRun run_special(sim::Device& dev, const tensor::Tensor& input,
 
 }  // namespace
 
+std::string special_conv_check(const sim::Arch& arch, i64 k, i64 f, i64 hi,
+                               i64 wi, const SpecialConvConfig& cfg) {
+  if (k < 1 || k > kSpecialMaxK) {
+    return strf("filter size %lld outside supported range [1, %lld]",
+                static_cast<long long>(k),
+                static_cast<long long>(kSpecialMaxK));
+  }
+  i64 n = cfg.vec_width;
+  if (n == 0) n = arch.smem_bank_bytes / sizeof(float);  // Eq. (1)
+  if (n != 1 && n != 2 && n != 4) {
+    return strf("unsupported vector width %lld", static_cast<long long>(n));
+  }
+  if (cfg.block_w < 4 || cfg.block_w % 4 != 0) {
+    return "block_w must be a positive multiple of 4";
+  }
+  if (cfg.block_h < 1) return "block_h must be positive";
+  const i64 Ho = tensor::conv_out_extent(hi, k, 0);
+  const i64 Wo = tensor::conv_out_extent(wi, k, 0);
+  if (Ho < 1 || Wo < 1) return "image smaller than the filter";
+  const i64 filt_bytes = f * k * k * static_cast<i64>(sizeof(float));
+  if (filt_bytes > arch.const_capacity) {
+    return strf("filters need %lld B of constant memory (capacity %u)",
+                static_cast<long long>(filt_bytes), arch.const_capacity);
+  }
+
+  sim::SharedLayout smem;
+  (void)smem.alloc<float>(k * round_up(cfg.block_w + k + n, 16));
+  sim::LaunchConfig lc;
+  lc.grid = sim::Dim3{static_cast<u32>(ceil_div(Wo, cfg.block_w)),
+                      static_cast<u32>(ceil_div(Ho, cfg.block_h)), 1};
+  lc.block = sim::Dim3{static_cast<u32>(cfg.block_w / n), 1, 1};
+  lc.shared_bytes = smem.size();
+  lc.regs_per_thread = static_cast<u32>(
+      std::min<i64>(k * (k + n - 1) + 3 * n + 12, arch.max_regs_per_thread));
+  return sim::launch_feasibility_error(arch, lc);
+}
+
 KernelRun special_conv(sim::Device& dev, const tensor::Tensor& input,
                        const tensor::Tensor& filters,
                        const SpecialConvConfig& cfg,
@@ -74,20 +111,13 @@ KernelRun special_conv(sim::Device& dev, const tensor::Tensor& input,
   KCONV_CHECK(input.c() == 1 && filters.c() == 1,
               "special case requires exactly one input channel (C = 1)");
   KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
-  const i64 K = filters.h();
-  KCONV_CHECK(K >= 1 && K <= kSpecialMaxK,
-              strf("filter size %lld outside supported range [1, %lld]",
-                   static_cast<long long>(K),
-                   static_cast<long long>(kSpecialMaxK)));
+  const std::string err =
+      special_conv_check(dev.arch(), filters.h(), filters.n(), input.h(),
+                         input.w(), cfg);
+  KCONV_CHECK(err.empty(), err);
 
   i64 n = cfg.vec_width;
   if (n == 0) n = dev.arch().smem_bank_bytes / sizeof(float);  // Eq. (1)
-  KCONV_CHECK(n == 1 || n == 2 || n == 4,
-              strf("unsupported vector width %lld", static_cast<long long>(n)));
-  KCONV_CHECK(cfg.block_w >= 4 && cfg.block_w % 4 == 0,
-              "block_w must be a positive multiple of 4");
-  KCONV_CHECK(cfg.block_h >= 1, "block_h must be positive");
-
   switch (n) {
     case 1: return run_special<1>(dev, input, filters, cfg, opt);
     case 2: return run_special<2>(dev, input, filters, cfg, opt);

@@ -38,6 +38,15 @@ struct SpecialConvConfig {
 /// 5x5 in the special case; 7 keeps the general-case sizes available too).
 inline constexpr i64 kSpecialMaxK = 7;
 
+/// Cheap legality probe for a candidate configuration on an (K, F, Hi, Wi)
+/// single-channel problem: empty string when `special_conv` with the same
+/// parameters would launch, otherwise the reason it would be rejected
+/// (filter size, tile shape, constant-memory capacity, occupancy). Runs no
+/// simulation and allocates nothing — autotuner sweeps use it to skip
+/// illegal points without exceptions as control flow.
+std::string special_conv_check(const sim::Arch& arch, i64 k, i64 f, i64 hi,
+                               i64 wi, const SpecialConvConfig& cfg);
+
 /// Runs the special-case kernel: `input` is (1, 1, Hi, Wi), `filters` is
 /// (F, 1, K, K), output is the valid convolution (1, F, Hi-K+1, Wi-K+1).
 ///

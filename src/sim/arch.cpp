@@ -16,6 +16,7 @@ Arch kepler_k40m() {
   a.gm_latency = 400;
   a.const_capacity = 64 * 1024;
   a.const_line_bytes = 64;
+  a.const_cache_per_sm = 8 * 1024;
   a.warp_size = 32;
   a.fp32_lanes_per_sm = 192;
   a.issue_slots_per_cycle = 8;
@@ -45,6 +46,7 @@ Arch fermi_m2090() {
   a.gm_latency = 500;
   a.const_capacity = 64 * 1024;
   a.const_line_bytes = 64;
+  a.const_cache_per_sm = 8 * 1024;
   a.warp_size = 32;
   a.fp32_lanes_per_sm = 32;
   a.issue_slots_per_cycle = 2;
@@ -74,6 +76,7 @@ Arch maxwell_like() {
   a.gm_latency = 380;
   a.const_capacity = 64 * 1024;
   a.const_line_bytes = 64;
+  a.const_cache_per_sm = 10 * 1024;  // Maxwell's larger read-only path
   a.warp_size = 32;
   a.fp32_lanes_per_sm = 128;
   a.issue_slots_per_cycle = 8;

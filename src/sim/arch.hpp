@@ -51,6 +51,9 @@ struct Arch {
   u32 const_capacity = 64 * 1024;
   /// Constant cache line size; misses are charged as GM sectors.
   u32 const_line_bytes = 64;
+  /// Per-SM constant cache capacity (the read-only path __constant__ loads
+  /// hit). 8 KiB on Kepler/Fermi; Maxwell-class parts differ.
+  u32 const_cache_per_sm = 8 * 1024;
   /// Broadcast constant requests serviceable per cycle. High because a
   /// warp-uniform constant read folds into an FMA operand on real hardware
   /// (FFMA Rd, Ra, c[bank][ofs], Rc) — only *divergent* constant accesses

@@ -22,11 +22,11 @@ struct Lane {
 };
 
 /// Charges one retired warp transaction to the stats.
-void retire_group(Device& dev, TraceLevel trace, L2Cache* const_cache, Op op,
-                  std::span<const Access> accesses, KernelStats& stats,
-                  bool& segment_had_gm_load, bool& segment_had_sm_store) {
+void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
+                  L2Cache& gm_l2, Op op, std::span<const Access> accesses,
+                  KernelStats& stats, bool& segment_had_gm_load,
+                  bool& segment_had_sm_store) {
   if (trace != TraceLevel::Timing) return;
-  const Arch& arch = dev.arch();
   switch (op) {
     case Op::LoadShared:
     case Op::StoreShared: {
@@ -47,7 +47,7 @@ void retire_group(Device& dev, TraceLevel trace, L2Cache* const_cache, Op op,
       stats.gm_sectors += c.sectors.size();
       stats.gm_bytes_useful += c.lane_bytes;
       for (const u64 sector : c.sectors) {
-        if (!dev.l2().access(sector)) ++stats.gm_sectors_dram;
+        if (!gm_l2.access(sector)) ++stats.gm_sectors_dram;
       }
       if (op == Op::LoadGlobal) segment_had_gm_load = true;
       break;
@@ -70,11 +70,12 @@ void retire_group(Device& dev, TraceLevel trace, L2Cache* const_cache, Op op,
 
 }  // namespace
 
-void run_block(Device& dev, const KernelBody& body, const LaunchConfig& cfg,
-               Dim3 block_idx, TraceLevel trace, u64 max_rounds,
-               L2Cache* const_cache, KernelStats& stats) {
+void run_block(const Arch& arch, const KernelBody& body,
+               const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
+               u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
+               KernelStats& stats) {
   const u32 n_lanes = static_cast<u32>(cfg.block.count());
-  const u32 warp_size = dev.arch().warp_size;
+  const u32 warp_size = arch.warp_size;
   KCONV_ASSERT(n_lanes > 0);
 
   std::vector<std::byte> smem(cfg.shared_bytes);
@@ -147,7 +148,7 @@ void run_block(Device& dev, const KernelBody& body, const LaunchConfig& cfg,
         }
         if (group_acc.empty()) continue;
         ++groups_this_round;
-        retire_group(dev, trace, const_cache, op, group_acc, stats,
+        retire_group(arch, trace, const_cache, gm_l2, op, group_acc, stats,
                      segment_had_gm_load, segment_had_sm_store);
         for (const u32 t : group_lanes) {
           lanes[t].state = LaneState::Ready;

@@ -11,8 +11,9 @@
 
 #include <functional>
 
+#include "src/sim/arch.hpp"
 #include "src/sim/config.hpp"
-#include "src/sim/device.hpp"
+#include "src/sim/l2cache.hpp"
 #include "src/sim/stats.hpp"
 #include "src/sim/task.hpp"
 #include "src/sim/thread_ctx.hpp"
@@ -25,11 +26,14 @@ using KernelBody = std::function<ThreadProgram(ThreadCtx&)>;
 /// Executes the block at `block_idx` and accumulates its statistics.
 ///
 /// `const_cache` models the per-SM constant cache (pass nullptr to treat
-/// every constant line as resident). Throws kconv::Error on device faults
+/// every constant line as resident); `gm_l2` is the L2 the block's global
+/// sectors probe — the device's own L2 on the serial path, a per-worker
+/// shadow on parallel launches. Throws kconv::Error on device faults
 /// (OOB/misaligned accesses, runaway loops) and rethrows exceptions escaping
 /// the kernel body.
-void run_block(Device& dev, const KernelBody& body, const LaunchConfig& cfg,
-               Dim3 block_idx, TraceLevel trace, u64 max_rounds,
-               L2Cache* const_cache, KernelStats& stats);
+void run_block(const Arch& arch, const KernelBody& body,
+               const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
+               u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
+               KernelStats& stats);
 
 }  // namespace kconv::sim

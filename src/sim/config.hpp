@@ -35,6 +35,14 @@ struct LaunchOptions {
   u64 sample_max_blocks = 0;
   /// Invalidate L2 before the launch (true mimics a cold kernel call).
   bool reset_l2 = true;
+  /// Host worker threads simulating the grid's blocks. 1 (default) is the
+  /// exact-legacy serial path: every block runs through the device's single
+  /// L2 and one shared constant cache. >1 shards the block list into
+  /// contiguous chunks, each with its own L2 shadow and constant-cache
+  /// replica (closer to real concurrent SMXs; see docs/MODEL.md §5a —
+  /// outputs and all non-cache counters are identical to the serial path).
+  /// 0 means std::thread::hardware_concurrency().
+  u32 num_threads = 1;
   /// Safety valve against runaway device programs (resume rounds per block).
   u64 max_rounds_per_block = 50'000'000;
 };

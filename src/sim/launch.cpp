@@ -1,10 +1,51 @@
 #include "src/sim/launch.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/common/strutil.hpp"
+#include "src/common/thread_pool.hpp"
 
 namespace kconv::sim::detail {
+
+namespace {
+
+/// The set of blocks a launch executes: either the whole grid or a
+/// deterministic, evenly spaced sample. Ids are computed on the fly — a
+/// full-grid launch never materializes the (possibly multi-million-entry)
+/// id list.
+struct BlockSet {
+  u64 count = 0;
+  bool sampled = false;
+  double stride = 1.0;
+
+  static BlockSet pick(u64 blocks_total, u64 sample_max_blocks) {
+    BlockSet set;
+    if (sample_max_blocks > 0 && sample_max_blocks < blocks_total) {
+      set.sampled = true;
+      set.count = sample_max_blocks;
+      // Deterministic even spacing, offset to avoid always hitting border
+      // blocks (block 0 often touches image edges and is atypical).
+      set.stride = static_cast<double>(blocks_total) / sample_max_blocks;
+    } else {
+      set.count = blocks_total;
+    }
+    return set;
+  }
+
+  u64 flat_id(u64 i) const {
+    if (!sampled) return i;
+    return static_cast<u64>((static_cast<double>(i) + 0.5) * stride);
+  }
+};
+
+Dim3 unflatten(const Dim3& grid, u64 flat) {
+  return Dim3{static_cast<u32>(flat % grid.x),
+              static_cast<u32>((flat / grid.x) % grid.y),
+              static_cast<u32>(flat / (static_cast<u64>(grid.x) * grid.y))};
+}
+
+}  // namespace
 
 LaunchResult launch_impl(Device& dev, const KernelBody& body,
                          const LaunchConfig& cfg, const LaunchOptions& opt) {
@@ -12,48 +53,60 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
   // Validates thread/smem/register limits up front (throws on bad configs).
   (void)compute_occupancy(dev.arch(), cfg);
 
+  const Arch& arch = dev.arch();
   if (opt.reset_l2) {
     dev.l2().invalidate();
   }
   dev.l2().reset_counters();
 
-  // Per-SM constant cache (Kepler: 8 KiB read-only path for __constant__).
-  L2Cache const_cache(8 * 1024, dev.arch().const_line_bytes, 4);
-
   LaunchResult res;
   res.blocks_total = cfg.grid.count();
 
-  // Choose the block set: everything, or an evenly spaced sample.
-  std::vector<u64> flat_ids;
-  if (opt.sample_max_blocks > 0 &&
-      opt.sample_max_blocks < res.blocks_total) {
-    res.sampled = true;
-    const u64 n = opt.sample_max_blocks;
-    flat_ids.reserve(n);
-    // Deterministic even spacing, offset to avoid always hitting border
-    // blocks (block 0 often touches image edges and is atypical).
-    const double stride = static_cast<double>(res.blocks_total) / n;
-    for (u64 i = 0; i < n; ++i) {
-      flat_ids.push_back(
-          static_cast<u64>((static_cast<double>(i) + 0.5) * stride));
+  const BlockSet set = BlockSet::pick(res.blocks_total, opt.sample_max_blocks);
+  res.sampled = set.sampled;
+
+  const u32 threads = static_cast<u32>(std::min<u64>(
+      ThreadPool::resolve_threads(opt.num_threads), set.count));
+
+  if (threads <= 1) {
+    // Exact-legacy serial path: one shared per-SM constant cache, every
+    // block's sectors through the device's single L2 (which therefore stays
+    // warm across blocks — and across launches when reset_l2 is off).
+    L2Cache const_cache(arch.const_cache_per_sm, arch.const_line_bytes, 4);
+    for (u64 i = 0; i < set.count; ++i) {
+      run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
+                opt.trace, opt.max_rounds_per_block, &const_cache, dev.l2(),
+                res.stats);
     }
   } else {
-    flat_ids.reserve(res.blocks_total);
-    for (u64 i = 0; i < res.blocks_total; ++i) flat_ids.push_back(i);
-  }
-
-  for (const u64 flat : flat_ids) {
-    const Dim3 bidx{static_cast<u32>(flat % cfg.grid.x),
-                    static_cast<u32>((flat / cfg.grid.x) % cfg.grid.y),
-                    static_cast<u32>(flat / (static_cast<u64>(cfg.grid.x) *
-                                             cfg.grid.y))};
-    run_block(dev, body, cfg, bidx, opt.trace, opt.max_rounds_per_block,
-              &const_cache, res.stats);
+    // Parallel path: contiguous chunks of the block list, one stats shard,
+    // L2 shadow, and constant-cache replica per chunk. Shard state depends
+    // only on the chunk partition (a pure function of count and thread
+    // count), not on host scheduling, so a given num_threads is exactly
+    // reproducible; outputs and all non-cache counters match the serial
+    // path bit for bit (docs/MODEL.md §5a).
+    const u64 grain = static_cast<u64>(
+        ceil_div(static_cast<i64>(set.count), static_cast<i64>(threads)));
+    const u64 n_chunks = static_cast<u64>(
+        ceil_div(static_cast<i64>(set.count), static_cast<i64>(grain)));
+    std::vector<KernelStats> shards(n_chunks);
+    ThreadPool pool(threads);
+    pool.parallel_for(0, set.count, grain, [&](u64 b, u64 e, u32 chunk) {
+      L2Cache l2_shadow(arch.l2_capacity, arch.gm_sector_bytes);
+      L2Cache const_cache(arch.const_cache_per_sm, arch.const_line_bytes, 4);
+      KernelStats& stats = shards[chunk];
+      for (u64 i = b; i < e; ++i) {
+        run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
+                  opt.trace, opt.max_rounds_per_block, &const_cache,
+                  l2_shadow, stats);
+      }
+    });
+    for (const KernelStats& s : shards) res.stats += s;  // index order
   }
   res.blocks_executed = res.stats.blocks_executed;
 
   if (opt.trace == TraceLevel::Timing) {
-    res.timing = estimate_time(dev.arch(), cfg, res.stats, res.blocks_total);
+    res.timing = estimate_time(arch, cfg, res.stats, res.blocks_total);
   }
   return res;
 }

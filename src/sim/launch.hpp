@@ -9,11 +9,16 @@
 // const`. Launches run every block by default (functional output complete);
 // benchmark callers set LaunchOptions::sample_max_blocks to execute a
 // deterministic, evenly spaced subset and scale the timing estimate.
+// LaunchOptions::num_threads > 1 simulates the block list on multiple host
+// threads (contiguous chunks, per-chunk stats shards and L2/constant-cache
+// replicas, merged in index order): outputs and all non-cache counters are
+// bit-identical to the serial path; see docs/MODEL.md §5a.
 #pragma once
 
 #include <concepts>
 
 #include "src/sim/block_exec.hpp"
+#include "src/sim/device.hpp"
 #include "src/sim/timing.hpp"
 
 namespace kconv::sim {

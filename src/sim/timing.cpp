@@ -8,19 +8,37 @@
 
 namespace kconv::sim {
 
-Occupancy compute_occupancy(const Arch& arch, const LaunchConfig& cfg) {
+std::string launch_feasibility_error(const Arch& arch,
+                                     const LaunchConfig& cfg) {
   const u64 threads = cfg.block.count();
-  KCONV_CHECK(threads >= 1 && threads <= arch.max_threads_per_block,
-              strf("block of %llu threads unsupported (max %u)",
-                   static_cast<unsigned long long>(threads),
-                   arch.max_threads_per_block));
-  KCONV_CHECK(cfg.shared_bytes <= arch.smem_per_block,
-              strf("block requests %u B shared memory (max %u)",
-                   cfg.shared_bytes, arch.smem_per_block));
-  KCONV_CHECK(cfg.regs_per_thread >= 1 &&
-                  cfg.regs_per_thread <= arch.max_regs_per_thread,
-              strf("%u registers/thread unsupported (max %u)",
-                   cfg.regs_per_thread, arch.max_regs_per_thread));
+  if (threads < 1 || threads > arch.max_threads_per_block) {
+    return strf("block of %llu threads unsupported (max %u)",
+                static_cast<unsigned long long>(threads),
+                arch.max_threads_per_block);
+  }
+  if (cfg.shared_bytes > arch.smem_per_block) {
+    return strf("block requests %u B shared memory (max %u)",
+                cfg.shared_bytes, arch.smem_per_block);
+  }
+  if (cfg.regs_per_thread < 1 ||
+      cfg.regs_per_thread > arch.max_regs_per_thread) {
+    return strf("%u registers/thread unsupported (max %u)",
+                cfg.regs_per_thread, arch.max_regs_per_thread);
+  }
+  const u64 by_smem = cfg.shared_bytes == 0
+                          ? 1
+                          : arch.smem_per_sm / cfg.shared_bytes;
+  const u64 by_regs = arch.regs_per_sm / (threads * cfg.regs_per_thread);
+  if (arch.max_threads_per_sm / threads < 1 || by_smem < 1 || by_regs < 1) {
+    return "launch configuration cannot fit a single block on an SM";
+  }
+  return {};
+}
+
+Occupancy compute_occupancy(const Arch& arch, const LaunchConfig& cfg) {
+  const std::string err = launch_feasibility_error(arch, cfg);
+  KCONV_CHECK(err.empty(), err);
+  const u64 threads = cfg.block.count();
 
   const u32 by_threads =
       static_cast<u32>(arch.max_threads_per_sm / threads);

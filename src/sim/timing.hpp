@@ -38,6 +38,13 @@ struct Occupancy {
 /// Throws if the block cannot run at all (too many threads/smem/regs).
 Occupancy compute_occupancy(const Arch& arch, const LaunchConfig& cfg);
 
+/// Non-throwing feasibility probe: empty string when `cfg` can run on
+/// `arch`, otherwise the reason it cannot (what compute_occupancy would
+/// throw). Lets sweeps reject illegal configurations without using
+/// exceptions as control flow.
+std::string launch_feasibility_error(const Arch& arch,
+                                     const LaunchConfig& cfg);
+
 /// The timing estimate for a full grid.
 struct TimingEstimate {
   double total_cycles = 0.0;
