@@ -3,7 +3,7 @@
 //   kconv_cli [--algo auto|special|general|implicit-gemm|im2col-gemm|naive]
 //             [--arch kepler|kepler4b|fermi|maxwell]
 //             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
-//             [--sample B] [--threads T] [--json]
+//             [--sample B] [--threads T] [--replay] [--json]
 //
 // Prints the performance report (or JSON with --json) and verifies against
 // the CPU reference when the launch ran every block.
@@ -28,9 +28,10 @@ namespace {
       "                  naive|winograd|fft]\n"
       "          [--arch kepler|kepler4b|fermi|maxwell]\n"
       "          [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]\n"
-      "          [--sample BLOCKS] [--threads T] [--json]\n"
+      "          [--sample BLOCKS] [--threads T] [--replay] [--json]\n"
       "  --threads T   host threads simulating blocks (0 = all cores;\n"
-      "                default 1 = exact-legacy serial semantics)\n",
+      "                default 1 = exact-legacy serial semantics)\n"
+      "  --replay      trace-replay repeated block classes (MODEL.md \u00a75b)\n",
       argv0);
   std::exit(2);
 }
@@ -40,7 +41,7 @@ namespace {
 int main(int argc, char** argv) {
   i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0, threads = 1;
   std::string algo = "auto", arch_name = "kepler";
-  bool same = false, json = false;
+  bool same = false, json = false, replay = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
     else if (a == "--sample") sample = std::atoll(next());
     else if (a == "--threads") threads = std::atoll(next());
     else if (a == "--same") same = true;
+    else if (a == "--replay") replay = true;
     else if (a == "--json") json = true;
     else usage(argv[0]);
   }
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
   opt.launch.sample_max_blocks = static_cast<u64>(sample);
   if (threads < 0) usage(argv[0]);
   opt.launch.num_threads = static_cast<u32>(threads);
+  opt.launch.replay = replay;
 
   Rng rng(1);
   tensor::Tensor img = tensor::Tensor::image(c, n, n);

@@ -79,6 +79,10 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
 
   sim::LaunchOptions opt;
   opt.sample_max_blocks = sample_blocks;
+  // Probe launches replay repeated block classes (exact counters on the
+  // serial inner launches, so scores and rankings are unchanged — only
+  // faster). See docs/MODEL.md §5b.
+  opt.replay = true;
 
   // Enumeration order is the ranking's tie-break order — keep it fixed.
   std::vector<kernels::GeneralConvConfig> candidates;
@@ -134,6 +138,7 @@ SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
 
   sim::LaunchOptions opt;
   opt.sample_max_blocks = sample_blocks;
+  opt.replay = true;
 
   std::vector<kernels::SpecialConvConfig> candidates;
   for (const i64 w : space.block_w) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 
 #include "src/kernels/device_tensor.hpp"
 #include "src/sim/sim.hpp"
@@ -36,6 +37,44 @@ class SpecialKernelT {
   i64 sh_stride = 0;  // elements of T per SM row slot
   i64 n_tail = 0;     // threads loading the right halo piece
   u32 sh_off = 0;
+
+  /// Block equivalence class for trace replay (docs/MODEL.md §5b). Lane
+  /// predicates here are per-thread constants (main_ok / tail_ok /
+  /// write_ok) plus the row count, and because lanes are ordered by column
+  /// each predicate is characterized by its count of active lanes. Packing
+  /// the exact counts — rather than edge/interior flags — matters: the
+  /// tail loads of the second-to-last column can clip at the image edge
+  /// too, so "last block" alone would not determine the masks.
+  u64 replay_class(sim::Dim3 b) const {
+    const i64 nthreads = W / N;
+    const auto active = [](i64 base, i64 bound, i64 cap) {
+      // Lanes with base + lane*N < bound, lane in [0, cap).
+      if (bound <= base) return i64{0};
+      return std::min(cap, ceil_div(bound - base, i64{N}));
+    };
+    const i64 main_n = active(b.x * W, in.w, nthreads);
+    const i64 tail_n = active(b.x * W + W, in.w, n_tail);
+    const i64 write_n = active(b.x * W, Wo, nthreads);
+    const i64 rows = std::min<i64>(H, Ho - static_cast<i64>(b.y) * H);
+    return static_cast<u64>(main_n) | (static_cast<u64>(tail_n) << 16) |
+           (static_cast<u64>(write_n) << 32) | (static_cast<u64>(rows) << 48);
+  }
+
+  /// Per-block buffer anchors for coroutine-free functional replay
+  /// (docs/MODEL.md §5b): image accesses are affine in the tile's top-left
+  /// pixel, and the constant filter bank is block-independent. Declared for
+  /// the fp32 instantiation only — the short-dtype variants convert on
+  /// load/store, which the tape's float value slots cannot represent, so
+  /// they keep the coroutine fast-forward path.
+  void replay_origins(sim::Dim3 b, sim::ReplayOrigins& o) const
+      requires std::same_as<T, float>
+  {
+    const i64 row0 = static_cast<i64>(b.y) * H;
+    const i64 col0 = static_cast<i64>(b.x) * W;
+    o.add(in.buf, in.idx(0, row0, col0));
+    o.add(out.buf, out.idx(0, row0, col0));
+    o.add(filt, 0);
+  }
 
   sim::ThreadProgram operator()(sim::ThreadCtx& t) const {
     using VecN = Vec<T, N>;

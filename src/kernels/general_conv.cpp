@@ -28,6 +28,37 @@ class GeneralKernel {
   u32 img_off = 0, flt_off = 0;
   bool prefetch = true;
 
+  /// Block equivalence class for trace replay (docs/MODEL.md §5b). Control
+  /// flow and every predicate depend only on whether the spatial tile sits
+  /// on the right edge and/or the bottom edge of the output: interior tiles
+  /// have provably always-true bounds checks (Hi = Ho+K-1, and a non-last
+  /// tile ends at least K-1 pixels before the image edge), while each edge
+  /// flavor corresponds to exactly one sx (or sy) value, making its
+  /// predication mask a constant of the class. The filter-group coordinate
+  /// b.x shifts addresses only.
+  u64 replay_class(sim::Dim3 b) const {
+    const i64 sx = b.y % nbx;
+    const i64 sy = b.y / nbx;
+    const i64 nby = ceil_div(Ho, H);
+    return static_cast<u64>((sx == nbx - 1 ? 1 : 0) |
+                            (sy == nby - 1 ? 2 : 0));
+  }
+
+  /// Per-block buffer anchors for coroutine-free functional replay
+  /// (docs/MODEL.md §5b). Every address the kernel issues is affine in the
+  /// block coordinates with these anchors: image accesses are relative to
+  /// the tile's top-left input pixel, output accesses to the tile's first
+  /// output pixel of the block's first filter, and filter accesses to the
+  /// filter group's first scalar.
+  void replay_origins(sim::Dim3 b, sim::ReplayOrigins& o) const {
+    const i64 sx = static_cast<i64>(b.y) % nbx;
+    const i64 sy = static_cast<i64>(b.y) / nbx;
+    const i64 fblk = b.x;
+    o.add(in.buf, in.idx(0, sy * H, sx * W));
+    o.add(out.buf, out.idx(fblk * FTB, sy * H, sx * W));
+    o.add(filt, fblk * FTB * C * K * K);
+  }
+
   sim::ThreadProgram operator()(sim::ThreadCtx& t) const {
     using VecN = Vec<float, N>;
     const i64 tx = t.thread_idx.x;

@@ -26,6 +26,19 @@ class ImplicitGemmKernel {
   u32 a_off = 0, b_off = 0;
   bool prefetch = true;
 
+  /// Block equivalence class for trace replay (docs/MODEL.md §5b). The
+  /// only block-dependent predicates are the partial-tile guards
+  /// `m0 + m < F` and `p0 + col < Np`: full tiles have them always true,
+  /// and each partial flavor matches exactly one b.y (resp. b.x), so its
+  /// masks are constants of the class. The im2col div/mod addressing is
+  /// non-affine in p0, but replay re-analyzes addresses per block anyway.
+  u64 replay_class(sim::Dim3 b) const {
+    const i64 Np = Ho * Wo;
+    const bool partial_n = (static_cast<i64>(b.x) + 1) * BN > Np;
+    const bool partial_m = (static_cast<i64>(b.y) + 1) * BM > F;
+    return (partial_n ? 1u : 0u) | (partial_m ? 2u : 0u);
+  }
+
   sim::ThreadProgram operator()(sim::ThreadCtx& t) const {
     using VecN = Vec<float, N>;
     const i64 tx = t.thread_idx.x;

@@ -7,6 +7,7 @@
 #include "src/sim/banks.hpp"
 #include "src/sim/coalescing.hpp"
 #include "src/sim/constmem.hpp"
+#include "src/sim/trace.hpp"
 
 namespace kconv::sim {
 
@@ -19,13 +20,16 @@ struct Lane {
   ThreadCtx ctx;
   LaneState state = LaneState::Ready;
   u64 events = 0;  // retired suspensions (memory instrs + barriers)
+  u64 hash = kTraceHashInit;  // event-stream hash (capture mode only)
 };
 
-/// Charges one retired warp transaction to the stats.
+/// Charges one retired warp transaction to the stats. `gmem_scratch` is the
+/// per-block sector buffer: reused across every transaction of the block so
+/// the hot loop performs no allocations once its capacity is warm.
 void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
                   L2Cache& gm_l2, Op op, std::span<const Access> accesses,
                   KernelStats& stats, bool& segment_had_gm_load,
-                  bool& segment_had_sm_store) {
+                  bool& segment_had_sm_store, GmemCost& gmem_scratch) {
   if (trace != TraceLevel::Timing) return;
   switch (op) {
     case Op::LoadShared:
@@ -41,7 +45,8 @@ void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
     }
     case Op::LoadGlobal:
     case Op::StoreGlobal: {
-      const GmemCost c = analyze_gmem(accesses, arch.gm_sector_bytes);
+      analyze_gmem(accesses, arch.gm_sector_bytes, gmem_scratch);
+      const GmemCost& c = gmem_scratch;
       if (c.lane_bytes == 0) break;  // every lane predicated off
       ++stats.gm_instrs;
       stats.gm_sectors += c.sectors.size();
@@ -73,7 +78,7 @@ void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
 void run_block(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
                u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
-               KernelStats& stats) {
+               KernelStats& stats, BlockTrace* capture) {
   const u32 n_lanes = static_cast<u32>(cfg.block.count());
   const u32 warp_size = arch.warp_size;
   KCONV_ASSERT(n_lanes > 0);
@@ -104,6 +109,10 @@ void run_block(const Arch& arch, const KernelBody& body,
   // Scratch reused across retires.
   std::vector<Access> group_acc;
   std::vector<u32> group_lanes;
+  GmemCost gmem_scratch;
+  group_acc.reserve(warp_size);
+  group_lanes.reserve(warp_size);
+  gmem_scratch.sectors.reserve(2 * warp_size);
 
   while (done_count < n_lanes) {
     KCONV_CHECK(++rounds <= max_rounds,
@@ -149,10 +158,27 @@ void run_block(const Arch& arch, const KernelBody& body,
         if (group_acc.empty()) continue;
         ++groups_this_round;
         retire_group(arch, trace, const_cache, gm_l2, op, group_acc, stats,
-                     segment_had_gm_load, segment_had_sm_store);
+                     segment_had_gm_load, segment_had_sm_store, gmem_scratch);
         for (const u32 t : group_lanes) {
           lanes[t].state = LaneState::Ready;
           ++lanes[t].events;
+        }
+        if (capture != nullptr) {
+          for (u32 i = 0; i < group_lanes.size(); ++i) {
+            lanes[group_lanes[i]].hash =
+                trace_hash_access(lanes[group_lanes[i]].hash, group_acc[i]);
+          }
+          // Address-dependent transactions keep their lane lists so replay
+          // can regroup that block's own accesses in the same retire order
+          // (= the L2 / constant-cache probe order).
+          if (op == Op::LoadGlobal || op == Op::StoreGlobal ||
+              op == Op::LoadConst) {
+            capture->txs.push_back(
+                {op, static_cast<u32>(capture->tx_lanes.size()),
+                 static_cast<u32>(group_lanes.size())});
+            capture->tx_lanes.insert(capture->tx_lanes.end(),
+                                     group_lanes.begin(), group_lanes.end());
+          }
         }
       }
       if (groups_this_round > 1) {
@@ -177,6 +203,9 @@ void run_block(const Arch& arch, const KernelBody& body,
           if (lane.state == LaneState::Blocked) {
             lane.state = LaneState::Ready;
             ++lane.events;
+            if (capture != nullptr) {
+              lane.hash = trace_hash_access(lane.hash, Access{Op::Sync, 0, 0});
+            }
           }
         }
         ++stats.barriers;
@@ -211,6 +240,16 @@ void run_block(const Arch& arch, const KernelBody& body,
         std::max(stats.max_warp_instrs, max_events + max_fma + max_alu);
   }
   ++stats.blocks_executed;
+
+  if (capture != nullptr) {
+    capture->captured_block = block_idx;
+    capture->lane_hash.resize(n_lanes);
+    capture->lane_events.resize(n_lanes);
+    for (u32 t = 0; t < n_lanes; ++t) {
+      capture->lane_hash[t] = lanes[t].hash;
+      capture->lane_events[t] = static_cast<u32>(lanes[t].events);
+    }
+  }
 }
 
 }  // namespace kconv::sim

@@ -20,6 +20,8 @@
 
 namespace kconv::sim {
 
+struct BlockTrace;
+
 /// Type-erased kernel body: builds one lane's coroutine from its context.
 using KernelBody = std::function<ThreadProgram(ThreadCtx&)>;
 
@@ -31,9 +33,14 @@ using KernelBody = std::function<ThreadProgram(ThreadCtx&)>;
 /// shadow on parallel launches. Throws kconv::Error on device faults
 /// (OOB/misaligned accesses, runaway loops) and rethrows exceptions escaping
 /// the kernel body.
+///
+/// When `capture` is non-null the executor additionally records the block's
+/// replayable trace (trace.hpp): its global/constant warp transactions in
+/// retire order and each lane's event-stream hash. Execution itself is
+/// unchanged — a captured block charges exactly what it would have anyway.
 void run_block(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
                u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
-               KernelStats& stats);
+               KernelStats& stats, BlockTrace* capture = nullptr);
 
 }  // namespace kconv::sim

@@ -6,10 +6,11 @@
 
 namespace kconv::sim {
 
-GmemCost analyze_gmem(std::span<const Access> lanes, u32 sector_bytes) {
+void analyze_gmem(std::span<const Access> lanes, u32 sector_bytes,
+                  GmemCost& cost) {
   KCONV_ASSERT(sector_bytes > 0);
-  GmemCost cost;
-  cost.sectors.reserve(lanes.size());
+  cost.sectors.clear();
+  cost.lane_bytes = 0;
   for (const Access& a : lanes) {
     if (a.bytes == 0) continue;  // predicated-off lane
     cost.lane_bytes += a.bytes;
@@ -22,7 +23,6 @@ GmemCost analyze_gmem(std::span<const Access> lanes, u32 sector_bytes) {
   std::sort(cost.sectors.begin(), cost.sectors.end());
   cost.sectors.erase(std::unique(cost.sectors.begin(), cost.sectors.end()),
                      cost.sectors.end());
-  return cost;
 }
 
 }  // namespace kconv::sim

@@ -23,7 +23,19 @@ struct GmemCost {
   u64 lane_bytes = 0;
 };
 
-/// Groups the lanes' byte ranges into `sector_bytes`-aligned sectors.
-GmemCost analyze_gmem(std::span<const Access> lanes, u32 sector_bytes);
+/// Groups the lanes' byte ranges into `sector_bytes`-aligned sectors,
+/// reusing `out`'s capacity. This is the hot-loop form: one warp global
+/// instruction is analyzed per call, so executors keep a single GmemCost
+/// alive for the whole block instead of allocating a sector vector per
+/// transaction.
+void analyze_gmem(std::span<const Access> lanes, u32 sector_bytes,
+                  GmemCost& out);
+
+/// Convenience form returning a fresh GmemCost (tests, one-off callers).
+inline GmemCost analyze_gmem(std::span<const Access> lanes, u32 sector_bytes) {
+  GmemCost cost;
+  analyze_gmem(lanes, sector_bytes, cost);
+  return cost;
+}
 
 }  // namespace kconv::sim

@@ -43,6 +43,12 @@ struct LaunchOptions {
   /// outputs and all non-cache counters are identical to the serial path).
   /// 0 means std::thread::hardware_concurrency().
   u32 num_threads = 1;
+  /// Trace-capture block replay (docs/MODEL.md §5b): run the scheduler once
+  /// per block equivalence class and fast-forward the remaining blocks,
+  /// re-analyzing only their address-dependent costs. Takes effect only for
+  /// kernels that declare a replay_class hook; outputs stay bit-identical
+  /// and serial-launch counters exact. Off by default (exact legacy path).
+  bool replay = false;
   /// Safety valve against runaway device programs (resume rounds per block).
   u64 max_rounds_per_block = 50'000'000;
 };

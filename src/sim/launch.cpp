@@ -48,7 +48,9 @@ Dim3 unflatten(const Dim3& grid, u64 flat) {
 }  // namespace
 
 LaunchResult launch_impl(Device& dev, const KernelBody& body,
-                         const LaunchConfig& cfg, const LaunchOptions& opt) {
+                         const LaunchConfig& cfg, const LaunchOptions& opt,
+                         const BlockClassifier& classify,
+                         const ReplayOriginsFn& origins) {
   KCONV_CHECK(cfg.grid.count() >= 1, "empty grid");
   // Validates thread/smem/register limits up front (throws on bad configs).
   (void)compute_occupancy(dev.arch(), cfg);
@@ -68,15 +70,30 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
   const u32 threads = static_cast<u32>(std::min<u64>(
       ThreadPool::resolve_threads(opt.num_threads), set.count));
 
+  // Replay engages only when both the caller opted in AND the kernel
+  // declared a classifier; otherwise every block is unique (legacy path).
+  const bool replaying = opt.replay && static_cast<bool>(classify);
+
   if (threads <= 1) {
     // Exact-legacy serial path: one shared per-SM constant cache, every
     // block's sectors through the device's single L2 (which therefore stays
     // warm across blocks — and across launches when reset_l2 is off).
     L2Cache const_cache(arch.const_cache_per_sm, arch.const_line_bytes, 4);
-    for (u64 i = 0; i < set.count; ++i) {
-      run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
-                opt.trace, opt.max_rounds_per_block, &const_cache, dev.l2(),
-                res.stats);
+    if (replaying) {
+      ReplayRunner runner(arch, body, cfg, opt.trace,
+                          opt.max_rounds_per_block, classify, origins);
+      for (u64 i = 0; i < set.count; ++i) {
+        runner.run(unflatten(cfg.grid, set.flat_id(i)), &const_cache,
+                   dev.l2(), res.stats);
+      }
+      runner.finish(res.stats);
+      res.blocks_replayed = runner.blocks_replayed();
+    } else {
+      for (u64 i = 0; i < set.count; ++i) {
+        run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
+                  opt.trace, opt.max_rounds_per_block, &const_cache, dev.l2(),
+                  res.stats);
+      }
     }
   } else {
     // Parallel path: contiguous chunks of the block list, one stats shard,
@@ -90,18 +107,34 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     const u64 n_chunks = static_cast<u64>(
         ceil_div(static_cast<i64>(set.count), static_cast<i64>(grain)));
     std::vector<KernelStats> shards(n_chunks);
+    std::vector<u64> replayed(n_chunks, 0);
     ThreadPool pool(threads);
     pool.parallel_for(0, set.count, grain, [&](u64 b, u64 e, u32 chunk) {
       L2Cache l2_shadow(arch.l2_capacity, arch.gm_sector_bytes);
       L2Cache const_cache(arch.const_cache_per_sm, arch.const_line_bytes, 4);
       KernelStats& stats = shards[chunk];
-      for (u64 i = b; i < e; ++i) {
-        run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
-                  opt.trace, opt.max_rounds_per_block, &const_cache,
-                  l2_shadow, stats);
+      if (replaying) {
+        // Per-chunk trace table, like the per-chunk cache replicas: each
+        // chunk captures its own class representatives, so shard contents
+        // stay a pure function of the chunk partition.
+        ReplayRunner runner(arch, body, cfg, opt.trace,
+                            opt.max_rounds_per_block, classify, origins);
+        for (u64 i = b; i < e; ++i) {
+          runner.run(unflatten(cfg.grid, set.flat_id(i)), &const_cache,
+                     l2_shadow, stats);
+        }
+        runner.finish(stats);
+        replayed[chunk] = runner.blocks_replayed();
+      } else {
+        for (u64 i = b; i < e; ++i) {
+          run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
+                    opt.trace, opt.max_rounds_per_block, &const_cache,
+                    l2_shadow, stats);
+        }
       }
     });
     for (const KernelStats& s : shards) res.stats += s;  // index order
+    for (const u64 r : replayed) res.blocks_replayed += r;
   }
   res.blocks_executed = res.stats.blocks_executed;
 

@@ -19,6 +19,7 @@
 
 #include "src/sim/block_exec.hpp"
 #include "src/sim/device.hpp"
+#include "src/sim/replay.hpp"
 #include "src/sim/timing.hpp"
 
 namespace kconv::sim {
@@ -29,6 +30,25 @@ concept DeviceKernel = requires(const K k, ThreadCtx& t) {
   { k(t) } -> std::same_as<ThreadProgram>;
 };
 
+/// Kernels opting into trace replay declare which blocks are congruent
+/// (identical control flow, predication and shared-memory offsets; only
+/// global/constant addresses may shift). See docs/MODEL.md §5b for the
+/// contract — violations are detected at replay time, not silent.
+template <typename K>
+concept ReplayClassified = requires(const K k, Dim3 b) {
+  { k.replay_class(b) } -> std::convertible_to<u64>;
+};
+
+/// Kernels additionally declaring per-block buffer anchors promise their
+/// blocks are *relocatable*: congruent blocks' global/constant addresses
+/// differ by exactly the per-buffer anchor deltas. Functional replay of
+/// such kernels skips the lane coroutines entirely and interprets the
+/// class's recorded dataflow tape (trace.hpp) on rebased addresses.
+template <typename K>
+concept ReplayRelocatable = requires(const K k, Dim3 b, ReplayOrigins& o) {
+  { k.replay_origins(b, o) };
+};
+
 struct LaunchResult {
   /// Raw statistics over the blocks actually executed.
   KernelStats stats;
@@ -36,21 +56,41 @@ struct LaunchResult {
   TimingEstimate timing;
   u64 blocks_total = 0;
   u64 blocks_executed = 0;
+  /// Blocks served by trace replay instead of per-event scheduling (always
+  /// counted in blocks_executed too; 0 unless LaunchOptions::replay is set
+  /// and the kernel declares a replay_class hook).
+  u64 blocks_replayed = 0;
   bool sampled = false;
 };
 
 namespace detail {
 /// Non-template core: validates the config, picks the block set, runs it.
+/// `classify` and `origins` may be empty (hooks not declared).
 LaunchResult launch_impl(Device& dev, const KernelBody& body,
-                         const LaunchConfig& cfg, const LaunchOptions& opt);
+                         const LaunchConfig& cfg, const LaunchOptions& opt,
+                         const BlockClassifier& classify = {},
+                         const ReplayOriginsFn& origins = {});
 }  // namespace detail
 
 /// Launches `kernel` over `cfg.grid` x `cfg.block` threads on `dev`.
 template <DeviceKernel K>
 LaunchResult launch(Device& dev, const K& kernel, const LaunchConfig& cfg,
                     const LaunchOptions& opt = {}) {
+  BlockClassifier classify;
+  ReplayOriginsFn origins;
+  if constexpr (ReplayClassified<K>) {
+    classify = [&kernel](Dim3 b) {
+      return static_cast<u64>(kernel.replay_class(b));
+    };
+    if constexpr (ReplayRelocatable<K>) {
+      origins = [&kernel](Dim3 b, ReplayOrigins& o) {
+        kernel.replay_origins(b, o);
+      };
+    }
+  }
   return detail::launch_impl(
-      dev, [&kernel](ThreadCtx& t) { return kernel(t); }, cfg, opt);
+      dev, [&kernel](ThreadCtx& t) { return kernel(t); }, cfg, opt, classify,
+      origins);
 }
 
 }  // namespace kconv::sim

@@ -89,6 +89,10 @@ class BufferView {
   i64 size() const { return count_; }
   bool valid() const { return buf_ != nullptr; }
 
+  /// The backing allocation (identity anchor for replay-origin declarations
+  /// and the functional storage the dataflow tape reads/writes).
+  DeviceBuffer* buffer() const { return buf_; }
+
   /// Flat device byte address of element `idx` (for transaction analysis).
   u64 addr_of(i64 idx) const {
     return buf_->base_addr() + (elem_offset_ + idx) * sizeof(T);
@@ -176,6 +180,9 @@ class ConstView {
 
   i64 size() const { return count_; }
   bool valid() const { return buf_ != nullptr; }
+
+  /// The backing bank (identity anchor for replay-origin declarations).
+  const ConstBuffer* buffer() const { return buf_; }
 
   u64 addr_of(i64 idx) const {
     return buf_->base_addr() + (elem_offset_ + idx) * sizeof(T);

@@ -1,0 +1,630 @@
+#include "src/sim/replay.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+#include "src/common/strutil.hpp"
+#include "src/sim/constmem.hpp"
+
+namespace kconv::sim {
+
+ReplayRunner::ReplayRunner(const Arch& arch, const KernelBody& body,
+                           const LaunchConfig& cfg, TraceLevel trace,
+                           u64 max_rounds, const BlockClassifier& classify,
+                           const ReplayOriginsFn& origins)
+    : arch_(arch),
+      body_(body),
+      cfg_(cfg),
+      trace_level_(trace),
+      max_rounds_(max_rounds),
+      classify_(classify),
+      origins_fn_(origins) {
+  gmem_scratch_.sectors.reserve(2 * arch.warp_size);
+}
+
+void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
+                       KernelStats& stats) {
+  const u64 cls = classify_(block_idx);
+  const auto it = classes_.find(cls);
+  if (it != classes_.end()) {
+    ClassState& cs = it->second;
+    if (cs.tape_ready && cs.validated) {
+      enqueue_tape(block_idx, cs, stats);
+    } else {
+      replay(block_idx, cs.trace, const_cache, gm_l2, stats);
+      if (cs.tape_ready) {
+        // The first fast-forward block of the class doubles as the tape's
+        // relocation proof: its recorded access streams must match the
+        // rebased tape exactly before later blocks skip the coroutines.
+        validate_tape(block_idx, cs);
+        cs.validated = true;
+      }
+    }
+    ++blocks_replayed_;
+    return;
+  }
+
+  // First block of its class: direct execution with trace capture. The
+  // block-local stat delta, minus everything replay recomputes per block,
+  // becomes the class's invariant contribution; the compute attribution is
+  // kept separately for the tape path (which has no lanes to recount).
+  ClassState cs;
+  KernelStats local;
+  run_block(arch_, body_, cfg_, block_idx, trace_level_, max_rounds_,
+            const_cache, gm_l2, local, &cs.trace);
+  cs.trace.invariant = local;
+  KernelStats& cmp = cs.trace.compute;
+  cmp.fma_lane_ops = local.fma_lane_ops;
+  cmp.fma_warp_instrs = local.fma_warp_instrs;
+  cmp.alu_lane_ops = local.alu_lane_ops;
+  cmp.alu_warp_instrs = local.alu_warp_instrs;
+  cmp.max_warp_instrs = local.max_warp_instrs;
+  KernelStats& inv = cs.trace.invariant;
+  inv.fma_lane_ops = 0;
+  inv.fma_warp_instrs = 0;
+  inv.alu_lane_ops = 0;
+  inv.alu_warp_instrs = 0;
+  inv.gm_sectors = 0;
+  inv.gm_sectors_dram = 0;
+  inv.const_line_misses = 0;
+  inv.max_warp_instrs = 0;
+  inv.blocks_executed = 0;
+  stats += local;
+  // The dataflow tape only serves functional launches (timing launches
+  // need the per-block transaction walk anyway) of relocatable kernels.
+  if (trace_level_ == TraceLevel::Functional && origins_fn_) {
+    capture_tape(block_idx, cs);
+  }
+  classes_.emplace(cls, std::move(cs));
+}
+
+void ReplayRunner::replay(Dim3 block_idx, const BlockTrace& trace,
+                          L2Cache* const_cache, L2Cache& gm_l2,
+                          KernelStats& stats) {
+  const u32 n_lanes = static_cast<u32>(cfg_.block.count());
+  KCONV_ASSERT(trace.lane_events.size() == n_lanes);
+
+  // Fresh zeroed shared memory, exactly like a direct run_block.
+  smem_.assign(cfg_.shared_bytes, std::byte{0});
+  recorders_.resize(n_lanes);
+  lanes_.clear();
+  lanes_.resize(n_lanes);  // capacity reused; fresh ctx/prog per block
+  for (u32 t = 0; t < n_lanes; ++t) {
+    recorders_[t].reset(trace.lane_events[t]);
+    ReplayLane& lane = lanes_[t];
+    lane.ctx.grid_dim = cfg_.grid;
+    lane.ctx.block_dim = cfg_.block;
+    lane.ctx.block_idx = block_idx;
+    lane.ctx.thread_idx = Dim3{t % cfg_.block.x,
+                               (t / cfg_.block.x) % cfg_.block.y,
+                               t / (cfg_.block.x * cfg_.block.y)};
+    lane.ctx.bind_smem(smem_.data(), cfg_.shared_bytes);
+    lane.ctx.bind_recorder(&recorders_[t]);
+    lane.prog = body_(lane.ctx);
+    KCONV_CHECK(lane.prog.valid(), "kernel body returned an empty program");
+  }
+
+  // Fast-forward: one pass resumes every live lane to its next barrier (or
+  // to completion) — the lane's memory ops record instead of suspending.
+  // Each pass is one barrier segment, so pass boundaries ARE the barrier
+  // semantics; per-lane order within a segment is free (task.hpp contract).
+  // Runaway loops are caught by the recorder's event cap.
+  u32 done_count = 0;
+  while (done_count < n_lanes) {
+    for (u32 t = 0; t < n_lanes; ++t) {
+      ReplayLane& lane = lanes_[t];
+      if (lane.done) continue;
+      lane.prog.resume();
+      if (lane.prog.done()) {
+        if (lane.prog.promise().error) {
+          std::rethrow_exception(lane.prog.promise().error);
+        }
+        lane.done = true;
+        ++done_count;
+      } else {
+        KCONV_ASSERT(lane.prog.promise().pending.op == Op::Sync);
+      }
+    }
+  }
+
+  // Congruence check: the replayed block must have issued the same event
+  // stream (ops, widths, shared offsets, sync placement) as the captured
+  // one. A mismatch means the kernel's replay_class is wrong — fail loudly
+  // rather than charge wrong counters.
+  for (u32 t = 0; t < n_lanes; ++t) {
+    KCONV_CHECK(
+        recorders_[t].events == trace.lane_events[t] &&
+            recorders_[t].hash == trace.lane_hash[t],
+        strf("replay congruence violation in lane %u: block (%u,%u,%u) is "
+             "not congruent with captured block (%u,%u,%u) — the kernel's "
+             "replay_class declares non-equivalent blocks equivalent",
+             t, block_idx.x, block_idx.y, block_idx.z,
+             trace.captured_block.x, trace.captured_block.y,
+             trace.captured_block.z));
+  }
+
+  stats += trace.invariant;
+
+  if (trace_level_ == TraceLevel::Timing) {
+    // Walk the recorded global/constant transactions in retire order,
+    // regrouping this block's own addresses, and re-run the
+    // address-dependent analyzers. Probe order matches direct execution,
+    // so on a serial launch even the cache counters are bit-identical.
+    cursors_.assign(n_lanes, 0);
+    for (const ReplayTx& tx : trace.txs) {
+      group_.clear();
+      for (u32 i = 0; i < tx.lane_count; ++i) {
+        const u32 t = trace.tx_lanes[tx.lane_begin + i];
+        LaneRecorder& rec = recorders_[t];
+        KCONV_ASSERT(cursors_[t] < rec.analyzed.size());
+        const Access& a = rec.analyzed[cursors_[t]++];
+        KCONV_ASSERT(a.op == tx.op);
+        group_.push_back(a);
+      }
+      if (tx.op == Op::LoadConst) {
+        const ConstCost c = analyze_const(group_, arch_.const_line_bytes);
+        if (const_cache != nullptr) {
+          for (u32 i = 0; i < c.lines_touched; ++i) {
+            if (!const_cache->access(c.line_addrs[i])) {
+              ++stats.const_line_misses;
+            }
+          }
+        }
+      } else {
+        analyze_gmem(group_, arch_.gm_sector_bytes, gmem_scratch_);
+        stats.gm_sectors += gmem_scratch_.sectors.size();
+        for (const u64 sector : gmem_scratch_.sectors) {
+          if (!gm_l2.access(sector)) ++stats.gm_sectors_dram;
+        }
+      }
+    }
+    for (u32 t = 0; t < n_lanes; ++t) {
+      KCONV_ASSERT(cursors_[t] == recorders_[t].analyzed.size());
+    }
+  }
+
+  // Compute attribution, identical to run_block's per-warp aggregation
+  // (recorder event counts equal the direct path's retired suspensions).
+  const u32 warp_size = arch_.warp_size;
+  const u32 n_warps = static_cast<u32>(ceil_div(n_lanes, warp_size));
+  for (u32 w = 0; w < n_warps; ++w) {
+    const u32 lo = w * warp_size;
+    const u32 hi = std::min(lo + warp_size, n_lanes);
+    u64 max_fma = 0, max_alu = 0, max_events = 0;
+    for (u32 t = lo; t < hi; ++t) {
+      stats.fma_lane_ops += lanes_[t].ctx.fma_ops();
+      stats.alu_lane_ops += lanes_[t].ctx.alu_ops();
+      max_fma = std::max(max_fma, lanes_[t].ctx.fma_ops());
+      max_alu = std::max(max_alu, lanes_[t].ctx.alu_ops());
+      max_events = std::max(max_events, static_cast<u64>(recorders_[t].events));
+    }
+    stats.fma_warp_instrs += max_fma;
+    stats.alu_warp_instrs += max_alu;
+    stats.max_warp_instrs =
+        std::max(stats.max_warp_instrs, max_events + max_fma + max_alu);
+  }
+  ++stats.blocks_executed;
+}
+
+void ReplayRunner::capture_tape(Dim3 block_idx, ClassState& cs) {
+  origins_fn_(block_idx, cs.origins);
+  const u32 n_lanes = static_cast<u32>(cfg_.block.count());
+  cs.tape.lanes.assign(n_lanes, LaneTape{});
+  builders_.resize(n_lanes);
+
+  // Tagging re-run of the captured block: same fast-forward scheduling as
+  // replay(), but with a tape builder bound instead of a recorder — loads
+  // return NaN-boxed slots, fma records the dataflow, no functional memory
+  // is touched (the capture run already produced the block's outputs).
+  smem_.assign(cfg_.shared_bytes, std::byte{0});
+  lanes_.clear();
+  lanes_.resize(n_lanes);
+  for (u32 t = 0; t < n_lanes; ++t) {
+    builders_[t].reset(&cs.tape.lanes[t], &cs.origins);
+    ReplayLane& lane = lanes_[t];
+    lane.ctx.grid_dim = cfg_.grid;
+    lane.ctx.block_dim = cfg_.block;
+    lane.ctx.block_idx = block_idx;
+    lane.ctx.thread_idx = Dim3{t % cfg_.block.x,
+                               (t / cfg_.block.x) % cfg_.block.y,
+                               t / (cfg_.block.x * cfg_.block.y)};
+    lane.ctx.bind_smem(smem_.data(), cfg_.shared_bytes);
+    lane.ctx.bind_tape(&builders_[t]);
+    lane.prog = body_(lane.ctx);
+    KCONV_CHECK(lane.prog.valid(), "kernel body returned an empty program");
+  }
+  u32 done_count = 0;
+  while (done_count < n_lanes) {
+    for (u32 t = 0; t < n_lanes; ++t) {
+      ReplayLane& lane = lanes_[t];
+      if (lane.done) continue;
+      lane.prog.resume();
+      if (lane.prog.done()) {
+        if (lane.prog.promise().error) {
+          std::rethrow_exception(lane.prog.promise().error);
+        }
+        lane.done = true;
+        ++done_count;
+      } else {
+        KCONV_ASSERT(lane.prog.promise().pending.op == Op::Sync);
+      }
+    }
+  }
+
+  // Shrink each lane's register file to its peak liveness — the builder's
+  // SSA-style allocation would otherwise make the interpreter DRAM-bound.
+  for (LaneTape& lt : cs.tape.lanes) compact_lane_tape(lt);
+
+  // Summarize and pre-validate the tape so the interpreter's hot loop can
+  // run unchecked: shared offsets are block-invariant (checked here, once),
+  // and global/constant offsets reduce to per-origin spans that run_tape
+  // checks against each block's own anchor.
+  cs.tape.max_slots = 0;
+  for (const LaneTape& lt : cs.tape.lanes) {
+    cs.tape.max_slots = std::max(cs.tape.max_slots, lt.n_slots);
+    for (const TapeEntry& e : lt.entries) {
+      switch (e.op) {
+        case TapeOp::LoadSm:
+        case TapeOp::StoreSm: {
+          const bool masked = (e.flags & kTapeMasked) != 0;
+          KCONV_CHECK(masked || (e.rel >= 0 &&
+                                 static_cast<u64>(e.rel) + 4ull * e.width <=
+                                     cfg_.shared_bytes),
+                      "tape shared access outside the block's shared memory");
+          break;
+        }
+        case TapeOp::LoadGm:
+        case TapeOp::LoadConst:
+        case TapeOp::StoreGm: {
+          if ((e.flags & kTapeMasked) != 0) break;
+          FuncTape::OriginSpan& sp = cs.tape.spans[e.a];
+          const i64 rel_end = e.rel + 4ll * e.width;
+          if (!sp.used) {
+            sp.used = true;
+            sp.min_rel = e.rel;
+            sp.max_rel_end = rel_end;
+          } else {
+            sp.min_rel = std::min(sp.min_rel, static_cast<i64>(e.rel));
+            sp.max_rel_end = std::max(sp.max_rel_end, rel_end);
+          }
+          sp.widths |= 1u << (e.width - 1);
+          sp.has_store = sp.has_store || e.op == TapeOp::StoreGm;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  cs.tape_ready = true;
+}
+
+ReplayOrigins ReplayRunner::resolve_origins(Dim3 block_idx,
+                                            const ClassState& cs) const {
+  ReplayOrigins o;
+  origins_fn_(block_idx, o);
+  KCONV_CHECK(o.count == cs.origins.count,
+              "replay_origins declared a different buffer set for blocks of "
+              "the same class");
+  for (u32 i = 0; i < o.count; ++i) {
+    KCONV_CHECK(o.entries[i].id == cs.origins.entries[i].id &&
+                    o.entries[i].is_const == cs.origins.entries[i].is_const &&
+                    o.entries[i].bytes == cs.origins.entries[i].bytes,
+                "replay_origins declared a different buffer set for blocks "
+                "of the same class");
+  }
+  return o;
+}
+
+void ReplayRunner::validate_tape(Dim3 block_idx, const ClassState& cs) {
+  const ReplayOrigins o = resolve_origins(block_idx, cs);
+  const u32 n_lanes = static_cast<u32>(cfg_.block.count());
+  for (u32 t = 0; t < n_lanes; ++t) {
+    const LaneRecorder& rec = recorders_[t];
+    std::size_t j = 0;
+    for (const TapeEntry& e : cs.tape.lanes[t].entries) {
+      Op op;
+      switch (e.op) {
+        case TapeOp::LoadGm: op = Op::LoadGlobal; break;
+        case TapeOp::StoreGm: op = Op::StoreGlobal; break;
+        case TapeOp::LoadConst: op = Op::LoadConst; break;
+        default: continue;
+      }
+      const bool ok = j < rec.analyzed.size();
+      KCONV_CHECK(
+          ok, strf("tape validation failed in lane %u of block (%u,%u,%u): "
+                   "fewer accesses than the tape records",
+                   t, block_idx.x, block_idx.y, block_idx.z));
+      const Access& a = rec.analyzed[j++];
+      const bool masked = (e.flags & kTapeMasked) != 0;
+      const u64 want_addr = masked ? 0 : o.entries[e.a].addr + e.rel;
+      const u32 want_bytes = masked ? 0 : 4u * e.width;
+      KCONV_CHECK(
+          a.op == op && a.addr == want_addr && a.bytes == want_bytes,
+          strf("tape validation failed in lane %u of block (%u,%u,%u): the "
+               "replay_origins declaration does not relocate this block's "
+               "accesses (got addr=%llu bytes=%u, tape expects addr=%llu "
+               "bytes=%u)",
+               t, block_idx.x, block_idx.y, block_idx.z,
+               static_cast<unsigned long long>(a.addr), a.bytes,
+               static_cast<unsigned long long>(want_addr), want_bytes));
+    }
+    KCONV_CHECK(
+        j == rec.analyzed.size(),
+        strf("tape validation failed in lane %u of block (%u,%u,%u): more "
+             "accesses than the tape records",
+             t, block_idx.x, block_idx.y, block_idx.z));
+  }
+}
+
+void ReplayRunner::enqueue_tape(Dim3 block_idx, ClassState& cs,
+                                KernelStats& stats) {
+  const ReplayOrigins o = resolve_origins(block_idx, cs);
+
+  // Whole-block validation against the per-origin spans, so the batched
+  // interpreter runs unchecked: the captured block's accesses were bounds-
+  // and alignment-checked by its direct run, offsets are class-invariant,
+  // and this block shifts them by a per-origin delta — so it stays in
+  // bounds iff the span does, and stays naturally aligned iff the delta is
+  // a multiple of every access width the origin sees.
+  ClassState::PendingBlock pb{};
+  for (u32 i = 0; i < o.count; ++i) {
+    const FuncTape::OriginSpan& sp = cs.tape.spans[i];
+    if (!sp.used) continue;
+    const ReplayOrigins::Entry& og = o.entries[i];
+    const i64 anchor = static_cast<i64>(og.anchor_off);
+    const i64 delta = static_cast<i64>(og.addr) -
+                      static_cast<i64>(cs.origins.entries[i].addr);
+    bool aligned = true;
+    for (u32 w = sp.widths; w != 0; w &= w - 1) {
+      const i64 bytes = 4ll * (std::countr_zero(w) + 1);
+      aligned = aligned && delta % bytes == 0;
+    }
+    KCONV_CHECK(
+        anchor + sp.min_rel >= 0 &&
+            anchor + sp.max_rel_end <= static_cast<i64>(og.bytes) && aligned &&
+            (!sp.has_store || og.data != nullptr),
+        strf("tape relocation failed for block (%u,%u,%u): the "
+             "replay_origins declaration does not keep this block's "
+             "accesses in bounds and aligned",
+             block_idx.x, block_idx.y, block_idx.z));
+    pb.rbase[i] = og.cdata + anchor;
+    pb.wbase[i] = og.data == nullptr ? nullptr : og.data + anchor;
+  }
+  cs.pending.push_back(pb);
+  if (cs.pending.size() >= kTapeBatch) flush_tape(cs, stats);
+}
+
+void ReplayRunner::flush_tape(ClassState& cs, KernelStats& stats) {
+  const u32 batch = static_cast<u32>(cs.pending.size());
+  if (batch == 0) return;
+  if (batch == kTapeBatch) {
+    run_tape_batch<kTapeBatch>(cs, batch);
+  } else {
+    run_tape_batch<0>(cs, batch);
+  }
+  for (u32 b = 0; b < batch; ++b) {
+    stats += cs.trace.invariant;
+    stats += cs.trace.compute;
+    ++stats.blocks_executed;
+  }
+  cs.pending.clear();
+}
+
+void ReplayRunner::finish(KernelStats& stats) {
+  for (auto& [cls, cs] : classes_) flush_tape(cs, stats);
+}
+
+namespace {
+
+// Multiply-add inner loops of the batched interpreter, over wB = width * B
+// contiguous floats with the batch innermost. A destination run never
+// aliases the entry's operand runs (the operands are live at the entry, and
+// compaction only hands out dead or fresh slots) — hence the restrict.
+//
+// The x86 paths are spelled out with intrinsics: GCC completely unrolls the
+// natural nested batch loop into scalar code and never re-vectorizes it,
+// which measures ~9x slower than SSE on the replay benchmark. Multiplies
+// and adds stay separate instructions — a fused multiply-add would break
+// bit-identity with direct execution's unfused arithmetic.
+
+/// dst[i] = xs[i] * wv[i % B] + ac[i]: one weight vector scaling `width`
+/// stacked x vectors (the merged-Axpy shape note_axpy records).
+template <u32 B>
+inline void axpy_batch(float* __restrict dst, const float* __restrict xs,
+                       const float* __restrict wv, const float* __restrict ac,
+                       u32 wB) {
+#if defined(__SSE2__)
+  if constexpr (B % 4 == 0) {
+    __m128 w[B / 4];
+    for (u32 v = 0; v < B / 4; ++v) w[v] = _mm_loadu_ps(wv + 4 * v);
+    for (u32 i = 0; i < wB; i += B) {
+      for (u32 v = 0; v < B / 4; ++v) {
+        const u32 o = i + 4 * v;
+        _mm_storeu_ps(dst + o,
+                      _mm_add_ps(_mm_mul_ps(_mm_loadu_ps(xs + o), w[v]),
+                                 _mm_loadu_ps(ac + o)));
+      }
+    }
+    return;
+  }
+#endif
+  for (u32 i = 0; i < wB; i += B) {
+    for (u32 b = 0; b < B; ++b) {
+      dst[i + b] = xs[i + b] * wv[b] + ac[i + b];
+    }
+  }
+}
+
+/// dst[i] = xs[i] * ys[i] + ac[i]: plain elementwise multiply-add.
+template <u32 B>
+inline void fma_vec_batch(float* __restrict dst, const float* __restrict xs,
+                          const float* __restrict ys,
+                          const float* __restrict ac, u32 wB) {
+#if defined(__SSE2__)
+  if constexpr (B % 4 == 0) {
+    for (u32 i = 0; i < wB; i += 4) {
+      _mm_storeu_ps(dst + i,
+                    _mm_add_ps(_mm_mul_ps(_mm_loadu_ps(xs + i),
+                                          _mm_loadu_ps(ys + i)),
+                               _mm_loadu_ps(ac + i)));
+    }
+    return;
+  }
+#endif
+  for (u32 i = 0; i < wB; ++i) {
+    dst[i] = xs[i] * ys[i] + ac[i];
+  }
+}
+
+}  // namespace
+
+/// The batched interpreter. Value slots and shared memory are interleaved
+/// with the batch innermost — regs[slot * B + b] — so a shared-memory copy
+/// for all B blocks is one contiguous memcpy, and the multiply-add loops
+/// run contiguously across the batch (vectorizing when NB is a compile-time
+/// constant). Only global loads/stores touch per-block memory and pay a
+/// scalar scatter/gather against each block's rebased base pointers.
+template <u32 NB>
+void ReplayRunner::run_tape_batch(const ClassState& cs, u32 batch) {
+  const u32 B = NB == 0 ? batch : NB;
+  const u32 n_lanes = static_cast<u32>(cfg_.block.count());
+  const u32 max_slots = cs.tape.max_slots;
+  const std::size_t sm_floats = (cfg_.shared_bytes + 3) / 4;
+  regs_.resize(static_cast<std::size_t>(n_lanes) * max_slots * B);
+  smem_batch_.assign(sm_floats * B, 0.0f);
+  tape_cursors_.assign(n_lanes, 0);
+  const ClassState::PendingBlock* pend = cs.pending.data();
+  float* const sm = smem_batch_.data();
+
+  // Same barrier semantics as the coroutine paths: each outer pass runs
+  // every unfinished lane to its next Sync (or to completion), so shared
+  // memory written in one segment is visible to every lane in the next.
+  bool pending = true;
+  while (pending) {
+    pending = false;
+    for (u32 t = 0; t < n_lanes; ++t) {
+      const LaneTape& tape = cs.tape.lanes[t];
+      const TapeEntry* es = tape.entries.data();
+      const u32 n_e = static_cast<u32>(tape.entries.size());
+      u32 cur = tape_cursors_[t];
+      if (cur >= n_e) continue;
+      float* regs =
+          regs_.data() + static_cast<std::size_t>(t) * max_slots * B;
+      bool hit_sync = false;
+      for (; cur < n_e && !hit_sync; ++cur) {
+        const TapeEntry& e = es[cur];
+        switch (e.op) {
+          case TapeOp::Axpy: {
+            const float* wv = regs + static_cast<std::size_t>(e.a) * B;
+            const float* xs = regs + static_cast<std::size_t>(e.b) * B;
+            const float* ac =
+                regs + static_cast<std::size_t>(static_cast<u32>(e.rel)) * B;
+            float* dst = regs + static_cast<std::size_t>(e.dst) * B;
+            const u32 wB = static_cast<u32>(e.width) * B;
+            if constexpr (NB != 0) {
+              axpy_batch<NB>(dst, xs, wv, ac, wB);
+            } else {
+              for (u32 i = 0; i < wB; i += B) {
+                for (u32 b = 0; b < B; ++b) {
+                  dst[i + b] = xs[i + b] * wv[b] + ac[i + b];
+                }
+              }
+            }
+            break;
+          }
+          case TapeOp::FmaVec: {
+            const float* xs = regs + static_cast<std::size_t>(e.a) * B;
+            const float* ys = regs + static_cast<std::size_t>(e.b) * B;
+            const float* ac =
+                regs + static_cast<std::size_t>(static_cast<u32>(e.rel)) * B;
+            float* dst = regs + static_cast<std::size_t>(e.dst) * B;
+            const u32 wB = static_cast<u32>(e.width) * B;
+            if constexpr (NB != 0) {
+              fma_vec_batch<NB>(dst, xs, ys, ac, wB);
+            } else {
+              for (u32 i = 0; i < wB; ++i) {
+                dst[i] = xs[i] * ys[i] + ac[i];
+              }
+            }
+            break;
+          }
+          case TapeOp::LoadSm: {
+            std::memcpy(regs + static_cast<std::size_t>(e.dst) * B,
+                        sm + static_cast<std::size_t>(e.rel / 4) * B,
+                        4ull * e.width * B);
+            break;
+          }
+          case TapeOp::StoreSm: {
+            if ((e.flags & kTapeMasked) == 0) {
+              std::memcpy(sm + static_cast<std::size_t>(e.rel / 4) * B,
+                          regs + static_cast<std::size_t>(e.b) * B,
+                          4ull * e.width * B);
+            }
+            break;
+          }
+          case TapeOp::LoadGm:
+          case TapeOp::LoadConst: {
+            float* d = regs + static_cast<std::size_t>(e.dst) * B;
+            if ((e.flags & kTapeMasked) != 0) {
+              std::memset(d, 0, 4ull * e.width * B);
+            } else {
+              for (u32 b = 0; b < B; ++b) {
+                const std::byte* src = pend[b].rbase[e.a] + e.rel;
+                for (u32 i = 0; i < e.width; ++i) {
+                  std::memcpy(&d[static_cast<std::size_t>(i) * B + b],
+                              src + 4ull * i, 4);
+                }
+              }
+            }
+            break;
+          }
+          case TapeOp::StoreGm: {
+            if ((e.flags & kTapeMasked) == 0) {
+              const float* s = regs + static_cast<std::size_t>(e.b) * B;
+              for (u32 b = 0; b < B; ++b) {
+                std::byte* d = pend[b].wbase[e.a] + e.rel;
+                for (u32 i = 0; i < e.width; ++i) {
+                  std::memcpy(d + 4ull * i,
+                              &s[static_cast<std::size_t>(i) * B + b], 4);
+                }
+              }
+            }
+            break;
+          }
+          case TapeOp::LoadLit: {
+            const u32 bits = static_cast<u32>(e.rel);
+            float lit;
+            std::memcpy(&lit, &bits, sizeof(lit));
+            float* d = regs + static_cast<std::size_t>(e.dst) * B;
+            for (u32 b = 0; b < B; ++b) d[b] = lit;
+            break;
+          }
+          case TapeOp::Gather: {
+            const u32* g = tape.gather.data() + e.a;
+            float* d = regs + static_cast<std::size_t>(e.dst) * B;
+            for (u32 i = 0; i < e.width; ++i) {
+              std::memcpy(d + static_cast<std::size_t>(i) * B,
+                          regs + static_cast<std::size_t>(g[i]) * B,
+                          4ull * B);
+            }
+            break;
+          }
+          case TapeOp::Sync: {
+            hit_sync = true;  // consumed by the loop increment
+            break;
+          }
+        }
+      }
+      tape_cursors_[t] = cur;
+      if (cur < n_e) pending = true;
+    }
+  }
+}
+
+}  // namespace kconv::sim

@@ -16,9 +16,11 @@
 #include "src/sim/l2cache.hpp"     // IWYU pragma: export
 #include "src/sim/launch.hpp"      // IWYU pragma: export
 #include "src/sim/memory.hpp"      // IWYU pragma: export
+#include "src/sim/replay.hpp"      // IWYU pragma: export
 #include "src/sim/report.hpp"      // IWYU pragma: export
 #include "src/sim/shared.hpp"      // IWYU pragma: export
 #include "src/sim/stats.hpp"       // IWYU pragma: export
 #include "src/sim/task.hpp"        // IWYU pragma: export
 #include "src/sim/thread_ctx.hpp"  // IWYU pragma: export
+#include "src/sim/trace.hpp"       // IWYU pragma: export
 #include "src/sim/timing.hpp"      // IWYU pragma: export

@@ -73,12 +73,16 @@ namespace detail {
 /// the warp transaction. Memory effects thus apply in lane-resume order
 /// within a round — the same contract as warp-synchronous CUDA code that
 /// separates conflicting accesses with __syncthreads (all kconv kernels do).
+/// That contract is also what lets replay mode set `ready`: with no
+/// conflicting cross-lane accesses between barriers, skipping the
+/// suspension entirely leaves memory state bit-identical (MODEL.md §5b).
 template <typename V>
 struct LoadAwait {
   Access acc;
   V value;
+  bool ready = false;
 
-  bool await_ready() const noexcept { return false; }
+  bool await_ready() const noexcept { return ready; }
   void await_suspend(ThreadProgram::Handle h) const noexcept {
     h.promise().pending = acc;
   }
@@ -88,8 +92,9 @@ struct LoadAwait {
 /// Awaitable for a store (write already applied) or a barrier.
 struct VoidAwait {
   Access acc;
+  bool ready = false;
 
-  bool await_ready() const noexcept { return false; }
+  bool await_ready() const noexcept { return ready; }
   void await_suspend(ThreadProgram::Handle h) const noexcept {
     h.promise().pending = acc;
   }

@@ -19,6 +19,7 @@
 #include "src/sim/memory.hpp"
 #include "src/sim/shared.hpp"
 #include "src/sim/task.hpp"
+#include "src/sim/trace.hpp"
 
 namespace kconv::sim {
 
@@ -40,6 +41,9 @@ class ThreadCtx {
   /// Scalar fused multiply-add: returns a*b + c, charges one FMA lane-op.
   float fma(float a, float b, float c) {
     ++fma_ops_;
+    if (tape_ != nullptr) [[unlikely]] {
+      return LaneTapeBuilder::tag_value(tape_->note_axpy(&a, b, &c, 1));
+    }
     return a * b + c;
   }
 
@@ -49,9 +53,13 @@ class ThreadCtx {
   template <int N>
   Vec<float, N> fma(const Vec<float, N>& x, float w,
                     const Vec<float, N>& acc) {
+    fma_ops_ += N;
+    if (tape_ != nullptr) [[unlikely]] {
+      return tape_tagged<Vec<float, N>>(
+          tape_->note_axpy(&x[0], w, &acc[0], N));
+    }
     Vec<float, N> out;
     for (int i = 0; i < N; ++i) out[i] = x[i] * w + acc[i];
-    fma_ops_ += N;
     return out;
   }
 
@@ -59,9 +67,13 @@ class ThreadCtx {
   template <int N>
   Vec<float, N> fma(const Vec<float, N>& x, const Vec<float, N>& y,
                     const Vec<float, N>& acc) {
+    fma_ops_ += N;
+    if (tape_ != nullptr) [[unlikely]] {
+      return tape_tagged<Vec<float, N>>(
+          tape_->note_fma_vec(&x[0], &y[0], &acc[0], N));
+    }
     Vec<float, N> out;
     for (int i = 0; i < N; ++i) out[i] = x[i] * y[i] + acc[i];
-    fma_ops_ += N;
     return out;
   }
 
@@ -74,8 +86,11 @@ class ThreadCtx {
   template <typename V, typename T>
   detail::LoadAwait<V> ld_global(const BufferView<T>& view, i64 idx) {
     ++alu_ops_;  // address computation a real kernel spends an IADD on
-    return {Access{Op::LoadGlobal, view.addr_of(idx), sizeof(V)},
-            view.template read<V>(idx)};
+    const Access a{Op::LoadGlobal, view.addr_of(idx), sizeof(V)};
+    if (tape_ != nullptr) [[unlikely]] {
+      return {a, tape_load<V>(view.buffer(), a.addr, true, false), true};
+    }
+    return {a, view.template read<V>(idx), record(a)};
   }
   template <typename T>
   detail::LoadAwait<T> ld_global(const BufferView<T>& view, i64 idx) {
@@ -90,7 +105,13 @@ class ThreadCtx {
   template <typename V, typename T>
   detail::LoadAwait<V> ld_global_if(bool pred, const BufferView<T>& view,
                                     i64 idx) {
-    if (!pred) return {Access{Op::LoadGlobal, 0, 0}, V{}};
+    if (!pred) {
+      const Access a{Op::LoadGlobal, 0, 0};
+      if (tape_ != nullptr) [[unlikely]] {
+        return {a, tape_load<V>(nullptr, 0, false, false), true};
+      }
+      return {a, V{}, record(a)};
+    }
     return ld_global<V, T>(view, idx);
   }
   template <typename T>
@@ -103,15 +124,31 @@ class ThreadCtx {
   detail::VoidAwait st_global(const BufferView<T>& view, i64 idx,
                               const V& value) {
     ++alu_ops_;
+    const Access a{Op::StoreGlobal, view.addr_of(idx), sizeof(V)};
+    if (tape_ != nullptr) [[unlikely]] {
+      tape_store(value, [&](const float* e, u32 n) {
+        tape_->note_store_gm(view.buffer(), a.addr, e, n, true);
+      });
+      return {a, true};
+    }
     view.template write<V>(idx, value);
-    return {Access{Op::StoreGlobal, view.addr_of(idx), sizeof(V)}};
+    return {a, record(a)};
   }
 
   /// Predicated store (see ld_global_if).
   template <typename T, typename V>
   detail::VoidAwait st_global_if(bool pred, const BufferView<T>& view,
                                  i64 idx, const V& value) {
-    if (!pred) return {Access{Op::StoreGlobal, 0, 0}};
+    if (!pred) {
+      const Access a{Op::StoreGlobal, 0, 0};
+      if (tape_ != nullptr) [[unlikely]] {
+        tape_store(value, [&](const float* e, u32 n) {
+          tape_->note_store_gm(nullptr, 0, e, n, false);
+        });
+        return {a, true};
+      }
+      return {a, record(a)};
+    }
     return st_global(view, idx, value);
   }
 
@@ -126,8 +163,16 @@ class ThreadCtx {
   template <typename V, typename T>
   detail::LoadAwait<V> ld_shared(const SharedView<T>& view, i64 idx) {
     ++alu_ops_;
-    return {Access{Op::LoadShared, view.addr_of(idx), sizeof(V)},
-            view.template read<V>(idx)};
+    const Access a{Op::LoadShared, view.addr_of(idx), sizeof(V)};
+    if (tape_ != nullptr) [[unlikely]] {
+      if constexpr (kTapeFloatElems<V>) {
+        constexpr u32 n = sizeof(V) / sizeof(float);
+        return {a, tape_tagged<V>(tape_->note_load_sm(a.addr, n)), true};
+      } else {
+        tape_->unsupported("non-float shared load");
+      }
+    }
+    return {a, view.template read<V>(idx), record(a)};
   }
   template <typename T>
   detail::LoadAwait<T> ld_shared(const SharedView<T>& view, i64 idx) {
@@ -138,15 +183,31 @@ class ThreadCtx {
   detail::VoidAwait st_shared(const SharedView<T>& view, i64 idx,
                               const V& value) {
     ++alu_ops_;
+    const Access a{Op::StoreShared, view.addr_of(idx), sizeof(V)};
+    if (tape_ != nullptr) [[unlikely]] {
+      tape_store(value, [&](const float* e, u32 n) {
+        tape_->note_store_sm(a.addr, e, n, true);
+      });
+      return {a, true};
+    }
     view.template write<V>(idx, value);
-    return {Access{Op::StoreShared, view.addr_of(idx), sizeof(V)}};
+    return {a, record(a)};
   }
 
   /// Predicated shared store (see ld_global_if).
   template <typename T, typename V>
   detail::VoidAwait st_shared_if(bool pred, const SharedView<T>& view,
                                  i64 idx, const V& value) {
-    if (!pred) return {Access{Op::StoreShared, 0, 0}};
+    if (!pred) {
+      const Access a{Op::StoreShared, 0, 0};
+      if (tape_ != nullptr) [[unlikely]] {
+        tape_store(value, [&](const float* e, u32 n) {
+          tape_->note_store_sm(0, e, n, false);
+        });
+        return {a, true};
+      }
+      return {a, record(a)};
+    }
     return st_shared(view, idx, value);
   }
 
@@ -154,8 +215,19 @@ class ThreadCtx {
 
   template <typename V, typename T>
   detail::LoadAwait<V> ld_const(const ConstView<T>& view, i64 idx) {
-    return {Access{Op::LoadConst, view.addr_of(idx), sizeof(V)},
-            view.template read<V>(idx)};
+    const Access a{Op::LoadConst, view.addr_of(idx), sizeof(V)};
+    if (tape_ != nullptr) [[unlikely]] {
+      if constexpr (kTapeFloatElems<V>) {
+        constexpr u32 n = sizeof(V) / sizeof(float);
+        return {a,
+                tape_tagged<V>(
+                    tape_->note_load_const(view.buffer(), a.addr, n)),
+                true};
+      } else {
+        tape_->unsupported("non-float constant load");
+      }
+    }
+    return {a, view.template read<V>(idx), record(a)};
   }
   template <typename T>
   detail::LoadAwait<T> ld_const(const ConstView<T>& view, i64 idx) {
@@ -165,7 +237,17 @@ class ThreadCtx {
   // --- Synchronization -----------------------------------------------------------
 
   /// __syncthreads(): suspends until every live lane of the block arrives.
-  detail::VoidAwait sync() { return {Access{Op::Sync, 0, 0}}; }
+  /// Under replay the barrier is still a real suspension — it is the one
+  /// scheduling point fast-forward execution preserves — but it is recorded
+  /// like any other event so the congruence hash covers sync placement.
+  detail::VoidAwait sync() {
+    const Access a{Op::Sync, 0, 0};
+    if (tape_ != nullptr) [[unlikely]] {
+      tape_->note_sync();
+    }
+    (void)record(a);
+    return {a, false};
+  }
 
   // --- Executor interface ----------------------------------------------------------
 
@@ -173,14 +255,77 @@ class ThreadCtx {
     smem_base_ = base;
     smem_bytes_ = bytes;
   }
+  /// Replay mode (MODEL.md §5b): while a recorder is bound, memory ops are
+  /// noted instead of suspending, so a lane runs barrier-to-barrier in one
+  /// resume. nullptr (default) restores exact direct-execution behavior.
+  void bind_recorder(LaneRecorder* rec) { recorder_ = rec; }
+  /// Tagging mode (MODEL.md §5b): while a tape builder is bound, loads
+  /// return NaN-boxed value slots, fma records the dataflow, and stores
+  /// record which slots leave the block — no functional memory is touched.
+  /// Like fast-forward, only sync() suspends.
+  void bind_tape(LaneTapeBuilder* tape) { tape_ = tape; }
   u64 fma_ops() const { return fma_ops_; }
   u64 alu_ops() const { return alu_ops_; }
 
  private:
+  /// Notes `a` in the bound recorder; returns whether the awaitable should
+  /// skip its suspension (true exactly in replay mode).
+  bool record(const Access& a) {
+    if (recorder_ == nullptr) return false;
+    recorder_->note(a);
+    return true;
+  }
+
+  /// A value of type V whose float elements are the tags of `width`
+  /// consecutive slots starting at `base`.
+  template <typename V>
+  V tape_tagged(u32 base) {
+    static_assert(kTapeFloatElems<V>);
+    if constexpr (std::is_same_v<V, float>) {
+      return LaneTapeBuilder::tag_value(base);
+    } else {
+      V out;
+      for (u32 i = 0; i < sizeof(V) / sizeof(float); ++i) {
+        out[static_cast<int>(i)] = LaneTapeBuilder::tag_value(base + i);
+      }
+      return out;
+    }
+  }
+
+  /// Tag-mode global/const load: records the entry, returns fresh tags.
+  template <typename V>
+  V tape_load(const DeviceBuffer* buf, u64 addr, bool pred, bool is_const) {
+    if constexpr (kTapeFloatElems<V>) {
+      constexpr u32 n = sizeof(V) / sizeof(float);
+      (void)is_const;
+      return tape_tagged<V>(tape_->note_load_gm(buf, addr, n, pred));
+    } else {
+      tape_->unsupported("non-float global load");
+    }
+  }
+
+  /// Tag-mode store: decomposes V into float elements and hands them to the
+  /// builder (which resolves each element's slot).
+  template <typename V, typename F>
+  void tape_store(const V& value, F&& note) {
+    if constexpr (kTapeFloatElems<V>) {
+      constexpr u32 n = sizeof(V) / sizeof(float);
+      if constexpr (std::is_same_v<V, float>) {
+        note(&value, n);
+      } else {
+        note(&value[0], n);
+      }
+    } else {
+      tape_->unsupported("non-float store");
+    }
+  }
+
   std::byte* smem_base_ = nullptr;
   u32 smem_bytes_ = 0;
   u64 fma_ops_ = 0;
   u64 alu_ops_ = 0;
+  LaneRecorder* recorder_ = nullptr;
+  LaneTapeBuilder* tape_ = nullptr;
 };
 
 }  // namespace kconv::sim

@@ -1,0 +1,326 @@
+// Block traces for the capture/replay engine (docs/MODEL.md §5b).
+//
+// The kconv kernels issue congruent access patterns from every block of an
+// equivalence class: identical control flow, identical predication masks,
+// identical shared-memory offsets (SharedView addresses are block-local
+// already), with only global/constant addresses shifted by the block
+// origin. Running the scheduler once per class is therefore enough: the
+// first block of a class is executed normally and leaves behind a
+// BlockTrace; every later block of the class *replays* against it
+// (replay.hpp), re-running only the address-dependent analyzers
+// (coalescing + L2) on that block's own addresses and taking every
+// translation-invariant counter from the trace.
+#pragma once
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+#include "src/sim/dim.hpp"
+#include "src/sim/event.hpp"
+#include "src/sim/memory.hpp"
+#include "src/sim/stats.hpp"
+
+namespace kconv::sim {
+
+// --- Event-stream hashing ------------------------------------------------
+//
+// Capture and replay both fold each lane's event stream (operation kind,
+// width, shared-memory offset; sync points) into an FNV-1a hash. Equal
+// hashes certify that a replayed block is congruent with the trace — the
+// contract a replay_class declaration promises — so a misdeclared
+// classifier is detected instead of silently producing wrong counters.
+
+inline constexpr u64 kTraceHashInit = 1469598103934665603ull;
+
+inline constexpr u64 trace_hash_fold(u64 h, u64 v) {
+  h ^= v;
+  h *= 1099511628211ull;
+  return h;
+}
+
+/// Folds one lane event. Global/constant addresses are excluded — they are
+/// the part that legitimately shifts between blocks of a class — while
+/// shared-memory offsets (block-local, must match exactly) are included.
+inline constexpr u64 trace_hash_access(u64 h, const Access& a) {
+  h = trace_hash_fold(h, (static_cast<u64>(a.op) << 32) | a.bytes);
+  if (a.op == Op::LoadShared || a.op == Op::StoreShared) {
+    h = trace_hash_fold(h, a.addr);
+  }
+  return h;
+}
+
+/// One retired warp transaction whose cost depends on addresses (global or
+/// constant): replay re-analyzes it against the replayed lanes' own
+/// addresses. `lane_begin/lane_count` index BlockTrace::tx_lanes, listing
+/// the lanes that participated, in the captured retire order.
+struct ReplayTx {
+  Op op;
+  u32 lane_begin = 0;
+  u32 lane_count = 0;
+};
+
+/// Everything recorded from the first executed block of a class.
+struct BlockTrace {
+  /// Per-block stat delta for every translation-invariant counter: shared
+  /// memory (bank conflicts), constant broadcasts, instruction/byte counts,
+  /// barriers, phase structure, divergence. The address-dependent counters
+  /// (gm_sectors, gm_sectors_dram, const_line_misses) and the compute
+  /// attribution (fma/alu/max_warp_instrs, recomputed from the replayed
+  /// lanes) are zero here.
+  KernelStats invariant;
+  /// The captured block's compute attribution (fma/alu lane-ops, warp
+  /// instructions, max_warp_instrs) — class-invariant, since congruent
+  /// blocks execute identical control flow. Fast-forward replay recomputes
+  /// these from the replayed lanes; the coroutine-free tape path adds this
+  /// delta instead.
+  KernelStats compute;
+  /// Global/constant transactions in retire order (= cache probe order).
+  std::vector<ReplayTx> txs;
+  std::vector<u32> tx_lanes;
+  /// Per-lane congruence certificate: event-stream hash + retired events.
+  std::vector<u64> lane_hash;
+  std::vector<u32> lane_events;
+  /// Block the trace was captured from (for diagnostics).
+  Dim3 captured_block{};
+};
+
+/// Per-lane recorder driving fast-forward execution (replay.hpp). While a
+/// ThreadCtx is bound to one, memory operations do not suspend: each access
+/// is folded into the stream hash, and global/constant accesses — the ones
+/// whose cost must be re-analyzed per block — are kept for the transaction
+/// walk. `sync()` still suspends (it is the only scheduling point replay
+/// preserves). The event cap bounds runaway loops that the round limit
+/// would have caught on the direct path.
+struct LaneRecorder {
+  std::vector<Access> analyzed;
+  u64 hash = kTraceHashInit;
+  u32 events = 0;
+  u32 max_events = 0;
+
+  void reset(u32 cap) {
+    analyzed.clear();
+    hash = kTraceHashInit;
+    events = 0;
+    max_events = cap;
+  }
+
+  void note(const Access& a) {
+    KCONV_CHECK(events < max_events,
+                "replayed lane exceeded its recorded event count — "
+                "replay_class declared two non-congruent blocks equivalent");
+    ++events;
+    hash = trace_hash_access(hash, a);
+    if (a.op == Op::LoadGlobal || a.op == Op::StoreGlobal ||
+        a.op == Op::LoadConst) {
+      analyzed.push_back(a);
+    }
+  }
+};
+
+// --- Functional dataflow tape --------------------------------------------
+//
+// Fast-forward execution still pays for the lane coroutines; at functional
+// trace level that cost dominates, and the arithmetic itself (every FMA
+// goes through ThreadCtx) is recordable. Kernels that additionally declare
+//
+//   void replay_origins(Dim3 block_idx, ReplayOrigins& out) const;
+//
+// promise that congruent blocks' global/constant addresses differ from the
+// captured block's by exactly the difference of the declared per-buffer
+// anchor addresses (a uniform per-buffer shift). For such kernels the
+// captured block is re-run once in *tagging* mode: loads return NaN-boxed
+// value slots instead of data, ThreadCtx::fma decodes its operands' slots
+// and records the multiply-add, and stores record which slots leave the
+// block. The result is a relocatable load-compute-store tape; later blocks
+// of the class are produced by interpreting the tape against their own
+// rebased addresses — no coroutines at all. The first replayed block of a
+// class still executes in fast-forward and is checked event-by-event
+// against the rebased tape before the class is trusted.
+//
+// The tagging contract (violations throw): every arithmetic operation on
+// loaded values must go through ThreadCtx::fma — plain C++ may only *copy*
+// values (register shuffles, float-to-float casts) — and control flow must
+// not depend on them. All kconv float kernels satisfy this by construction
+// (flops must be counted to be timed).
+
+/// Per-buffer address anchors a kernel declares for one block.
+struct ReplayOrigins {
+  static constexpr u32 kMaxOrigins = 8;
+  struct Entry {
+    const void* id = nullptr;        // buffer identity (pointer compare)
+    std::byte* data = nullptr;       // host storage (null for const banks)
+    const std::byte* cdata = nullptr;
+    u64 bytes = 0;
+    u64 addr = 0;  // device byte address the tape's offsets are relative to
+    u64 anchor_off = 0;  // byte offset of the anchor within the storage
+    bool is_const = false;
+  };
+  Entry entries[kMaxOrigins];
+  u32 count = 0;
+
+  template <typename T>
+  void add(const BufferView<T>& v, i64 anchor_elem) {
+    DeviceBuffer* b = v.buffer();
+    const u64 addr = v.addr_of(anchor_elem);
+    push({b, b->data(), b->data(), b->size_bytes(), addr,
+          addr - b->base_addr(), false});
+  }
+  template <typename T>
+  void add(const ConstView<T>& v, i64 anchor_elem) {
+    const ConstBuffer* b = v.buffer();
+    const u64 addr = v.addr_of(anchor_elem);
+    push({b, nullptr, b->data(), b->size_bytes(), addr,
+          addr - b->base_addr(), true});
+  }
+
+ private:
+  void push(const Entry& e) {
+    KCONV_CHECK(count < kMaxOrigins, "too many replay origins declared");
+    entries[count++] = e;
+  }
+};
+
+/// True when V is made of float elements the tape can tag (float or
+/// Vec<float, N>). Kernels with other storage types (f16, i8q) keep the
+/// coroutine fast-forward path.
+template <typename V>
+inline constexpr bool kTapeFloatElems = std::is_same_v<V, float>;
+template <int N>
+inline constexpr bool kTapeFloatElems<Vec<float, N>> = true;
+
+enum class TapeOp : u8 {
+  LoadGm,     // regs[dst..dst+w) <- origin a, byte offset rel (zeros if masked)
+  LoadConst,  // same, constant bank origin
+  LoadSm,     // regs[dst..dst+w) <- shared bytes [rel, rel+4w)
+  LoadLit,    // regs[dst] <- bit_cast<float>(u32(rel))
+  StoreGm,    // origin a, byte offset rel <- regs[b..b+w) (no-op if masked)
+  StoreSm,    // shared bytes [rel, rel+4w) <- regs[b..b+w)
+  Axpy,       // regs[dst+i] = regs[b+i] * regs[a] + regs[u32(rel)+i]
+  FmaVec,     // regs[dst+i] = regs[a+i] * regs[b+i] + regs[u32(rel)+i]
+  Gather,     // regs[dst+i] = regs[gather[a+i]]
+  Sync,       // barrier segment boundary
+};
+
+/// One recorded dataflow step. `rel` is narrow on purpose: global offsets
+/// are relative to the block's own declared anchor, so they span only the
+/// block's footprint — the builder rejects kernels whose accesses stray
+/// further than ±2 GiB from their anchors. Keeping the entry at 20 bytes
+/// matters; the interpreter streams the whole tape once per block.
+struct TapeEntry {
+  TapeOp op;
+  u8 flags = 0;  // kTapeMasked: predicated-off lane slot
+  u16 width = 0;
+  u32 dst = 0;  // first destination slot (slot-producing ops)
+  u32 a = 0;
+  u32 b = 0;
+  i32 rel = 0;
+};
+static_assert(sizeof(TapeEntry) == 20);
+
+/// Slot-producing entries (the ones whose `dst` run is meaningful).
+inline constexpr bool tape_op_allocates(TapeOp op) {
+  return op == TapeOp::LoadGm || op == TapeOp::LoadConst ||
+         op == TapeOp::LoadSm || op == TapeOp::LoadLit ||
+         op == TapeOp::Axpy || op == TapeOp::FmaVec || op == TapeOp::Gather;
+}
+
+inline constexpr u8 kTapeMasked = 1;
+
+/// One lane's recorded dataflow for one block of the class.
+struct LaneTape {
+  std::vector<TapeEntry> entries;
+  std::vector<u32> gather;  // slot lists for Gather entries
+  u32 n_slots = 0;
+};
+
+/// Renames the tape's value slots through an exact-size free list so the
+/// interpreter's register file shrinks from one-slot-per-produced-value
+/// (SSA-style, as the builder allocates) to roughly the tape's peak number
+/// of simultaneously live values. Without this the register file is tens
+/// of megabytes per block and the interpreter is DRAM-bound; compacted it
+/// is cache-resident. Runs once per lane at capture time.
+void compact_lane_tape(LaneTape& lt);
+
+/// The class's functional tape: one LaneTape per lane of the block.
+///
+/// Per-origin spans summarize every global/constant offset the tape
+/// touches, so the interpreter validates a whole block with one bounds
+/// check per origin (offsets are class-invariant; only the anchor moves)
+/// and one alignment check per distinct access width (the captured block's
+/// own addresses were checked by its direct run — a rebased address keeps
+/// natural alignment exactly when the anchor delta is a multiple of the
+/// width). Shared offsets are block-invariant and validated at capture.
+struct FuncTape {
+  struct OriginSpan {
+    i64 min_rel = 0;
+    i64 max_rel_end = 0;  // one past the last byte touched
+    u32 widths = 0;       // bit i set: some access of 4*(i+1) bytes
+    bool used = false;
+    bool has_store = false;
+  };
+  std::vector<LaneTape> lanes;
+  OriginSpan spans[ReplayOrigins::kMaxOrigins];
+  u32 max_slots = 0;
+};
+
+/// Builds one LaneTape while the captured block re-executes in tagging
+/// mode (bound to a ThreadCtx like a LaneRecorder). Values are NaN-boxed
+/// slot ids: quiet-NaN prefix + 22-bit payload `slot + 1`.
+class LaneTapeBuilder {
+ public:
+  static constexpr u32 kTagBits = 0x7FC00000u;
+  static constexpr u32 kTagMask = 0xFFC00000u;
+  static constexpr u32 kPayloadMask = 0x003FFFFFu;
+  static constexpr u32 kMaxSlots = kPayloadMask - 1;
+
+  void reset(LaneTape* tape, const ReplayOrigins* origins) {
+    tape_ = tape;
+    origins_ = origins;
+    literals_.clear();
+    last_merge_ = SIZE_MAX;
+    last_merge_dst_end_ = 0;
+  }
+
+  static float tag_value(u32 slot) {
+    const u32 bits = kTagBits | (slot + 1);
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+  }
+
+  u32 note_load_gm(const void* buf, u64 addr, u32 n, bool pred);
+  u32 note_load_const(const void* buf, u64 addr, u32 n);
+  u32 note_load_sm(u64 byte_off, u32 n);
+  void note_store_gm(const void* buf, u64 addr, const float* elems, u32 n,
+                     bool pred);
+  void note_store_sm(u64 byte_off, const float* elems, u32 n, bool pred);
+  u32 note_axpy(const float* xs, float w, const float* acc, u32 n);
+  u32 note_fma_vec(const float* xs, const float* ys, const float* acc, u32 n);
+  void note_sync();
+  [[noreturn]] void unsupported(const char* what) const;
+
+ private:
+  u32 alloc(u32 n);
+  /// Slot of a value: decodes the tag, or interns a literal (emitting its
+  /// LoadLit on first use).
+  u32 slot_of(float v);
+  /// Base slot of `n` consecutive value slots, emitting a Gather when the
+  /// operands are not already contiguous.
+  u32 run_of(const float* elems, u32 n);
+  u32 origin_index(const void* buf, bool want_const) const;
+
+  LaneTape* tape_ = nullptr;
+  const ReplayOrigins* origins_ = nullptr;
+  std::unordered_map<u32, u32> literals_;  // float bits -> slot
+  // Merge window for note_axpy / note_load_sm: index of the last mergeable
+  // entry and one past its destination slots. Widening is only legal while
+  // no other entry (or slot allocation) has intervened, keeping the merged
+  // entry's destination run contiguous in slot space.
+  std::size_t last_merge_ = SIZE_MAX;
+  u32 last_merge_dst_end_ = 0;
+};
+
+}  // namespace kconv::sim
