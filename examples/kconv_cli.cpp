@@ -3,7 +3,8 @@
 //   kconv_cli [--algo auto|special|general|implicit-gemm|im2col-gemm|naive]
 //             [--arch kepler|kepler4b|fermi|maxwell]
 //             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
-//             [--sample B] [--threads T] [--replay] [--json]
+//             [--sample B] [--threads T] [--replay] [--no-pattern-cache]
+//             [--json]
 //
 // Prints the performance report (or JSON with --json) and verifies against
 // the CPU reference when the launch ran every block.
@@ -28,10 +29,14 @@ namespace {
       "                  naive|winograd|fft]\n"
       "          [--arch kepler|kepler4b|fermi|maxwell]\n"
       "          [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]\n"
-      "          [--sample BLOCKS] [--threads T] [--replay] [--json]\n"
+      "          [--sample BLOCKS] [--threads T] [--replay]\n"
+      "          [--no-pattern-cache] [--json]\n"
       "  --threads T   host threads simulating blocks (0 = all cores;\n"
       "                default 1 = exact-legacy serial semantics)\n"
-      "  --replay      trace-replay repeated block classes (MODEL.md \u00a75b)\n",
+      "  --replay      trace-replay repeated block classes (MODEL.md \u00a75b)\n"
+      "  --no-pattern-cache\n"
+      "                disable warp access-pattern memoization (MODEL.md\n"
+      "                \u00a75c; results are bit-identical either way)\n",
       argv0);
   std::exit(2);
 }
@@ -41,7 +46,7 @@ namespace {
 int main(int argc, char** argv) {
   i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0, threads = 1;
   std::string algo = "auto", arch_name = "kepler";
-  bool same = false, json = false, replay = false;
+  bool same = false, json = false, replay = false, pattern_cache = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
     else if (a == "--threads") threads = std::atoll(next());
     else if (a == "--same") same = true;
     else if (a == "--replay") replay = true;
+    else if (a == "--no-pattern-cache") pattern_cache = false;
     else if (a == "--json") json = true;
     else usage(argv[0]);
   }
@@ -87,6 +93,7 @@ int main(int argc, char** argv) {
   if (threads < 0) usage(argv[0]);
   opt.launch.num_threads = static_cast<u32>(threads);
   opt.launch.replay = replay;
+  opt.launch.pattern_cache = pattern_cache;
 
   Rng rng(1);
   tensor::Tensor img = tensor::Tensor::image(c, n, n);

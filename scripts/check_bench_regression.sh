@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Compares fresh bench artifacts against the committed baselines and fails
+# on throughput regressions.
+#
+#   scripts/check_bench_regression.sh [bench-out-dir] [baseline-dir]
+#     defaults: bench-out, bench/baselines
+#
+# Every numeric field ending in "blocks_per_sec" that appears in both the
+# baseline and the fresh artifact is compared; a drop beyond the tolerance
+# fails the check. Fields present on only one side are reported but not
+# fatal (new shapes/modes need a baseline refresh, not a red build).
+#
+#   KCONV_BENCH_TOLERANCE   fractional allowed drop, default 0.10 (= 10%)
+#
+# Baselines are host-dependent wall-clock numbers: refresh them
+# (scripts/run_benches.sh && cp bench-out/BENCH_<name>.json
+# bench/baselines/) whenever the benching host changes or an intentional
+# perf change lands, and say so in the commit message.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT_DIR="${1:-bench-out}"
+BASE_DIR="${2:-bench/baselines}"
+TOLERANCE="${KCONV_BENCH_TOLERANCE:-0.10}"
+
+if [[ ! -d "$BASE_DIR" ]]; then
+  echo "error: baseline dir $BASE_DIR not found" >&2
+  exit 1
+fi
+if [[ ! -d "$OUT_DIR" ]]; then
+  echo "error: $OUT_DIR not found — run scripts/run_benches.sh first" >&2
+  exit 1
+fi
+
+status=0
+found=0
+for base in "$BASE_DIR"/BENCH_*.json; do
+  [[ -f "$base" ]] || continue
+  name="$(basename "$base")"
+  cur="$OUT_DIR/$name"
+  if [[ ! -f "$cur" ]]; then
+    echo "MISS $name (no fresh artifact in $OUT_DIR)" >&2
+    status=1
+    continue
+  fi
+  found=1
+  TOLERANCE="$TOLERANCE" python3 - "$base" "$cur" "$name" <<'EOF' || status=1
+import json, os, sys
+
+tolerance = float(os.environ["TOLERANCE"])
+base_path, cur_path, name = sys.argv[1:4]
+
+def throughputs(node, path, out):
+    """Collect every *blocks_per_sec field, keyed by a stable path built
+    from the name/mode labels rather than list positions."""
+    if isinstance(node, dict):
+        label = node.get("name") or node.get("mode")
+        here = path + [str(label)] if label else path
+        for key, value in node.items():
+            if key.endswith("blocks_per_sec") and isinstance(value, (int, float)):
+                out[".".join(here + [key])] = float(value)
+            else:
+                throughputs(value, here, out)
+    elif isinstance(node, list):
+        for item in node:
+            throughputs(item, path, out)
+
+base, cur = {}, {}
+throughputs(json.load(open(base_path)), [], base)
+throughputs(json.load(open(cur_path)), [], cur)
+
+failed = False
+for key in sorted(base):
+    if key not in cur:
+        print(f"note {name}: {key} missing from fresh run (baseline stale?)")
+        continue
+    drop = 1.0 - cur[key] / base[key] if base[key] > 0 else 0.0
+    verdict = "FAIL" if drop > tolerance else "ok  "
+    if drop > tolerance:
+        failed = True
+    print(f"{verdict} {name}: {key}  base={base[key]:.1f} "
+          f"now={cur[key]:.1f} ({-drop:+.1%})")
+for key in sorted(set(cur) - set(base)):
+    print(f"note {name}: {key} has no baseline (refresh bench/baselines)")
+
+sys.exit(1 if failed else 0)
+EOF
+done
+
+if [[ "$found" -eq 0 ]]; then
+  echo "error: no BENCH_*.json baselines in $BASE_DIR" >&2
+  exit 1
+fi
+
+exit "$status"

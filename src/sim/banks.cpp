@@ -1,14 +1,32 @@
 #include "src/sim/banks.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "src/common/error.hpp"
 
 namespace kconv::sim {
 
+namespace {
+
+/// kByteMask[off][len]: the byte mask of `len` contiguous bytes starting at
+/// byte `off` of a bank word (off + len <= 8). Precomputed so the hot loop
+/// sets a chunk's bytes in one table load instead of a per-byte shift loop.
+constexpr auto kByteMask = [] {
+  std::array<std::array<u8, 9>, 8> m{};
+  for (u32 off = 0; off < 8; ++off) {
+    for (u32 len = 0; off + len <= 8; ++len) {
+      m[off][len] = static_cast<u8>(((1u << len) - 1u) << off);
+    }
+  }
+  return m;
+}();
+
+}  // namespace
+
 SmemCost analyze_smem(std::span<const Access> lanes, u32 banks,
                       u32 bank_bytes) {
-  KCONV_ASSERT(banks > 0 && bank_bytes > 0);
+  KCONV_ASSERT(banks > 0 && bank_bytes > 0 && bank_bytes <= 8);
   SmemCost cost;
   if (lanes.empty()) return cost;
 
@@ -30,12 +48,10 @@ SmemCost analyze_smem(std::span<const Access> lanes, u32 banks,
     const u64 end = a.addr + a.bytes;
     while (begin < end) {
       const u64 word = begin / bank_bytes;
-      const u64 word_end = (word + 1) * bank_bytes;
-      const u64 chunk_end = std::min<u64>(end, word_end);
-      u8 mask = 0;
-      for (u64 b = begin; b < chunk_end; ++b) {
-        mask = static_cast<u8>(mask | (1u << (b - word * bank_bytes)));
-      }
+      const u32 off = static_cast<u32>(begin - word * bank_bytes);
+      const u32 len =
+          static_cast<u32>(std::min<u64>(end - begin, bank_bytes - off));
+      const u8 mask = kByteMask[off][len];
       bool found = false;
       for (std::size_t i = 0; i < n_words; ++i) {
         if (words[i].word == word) {
@@ -48,7 +64,7 @@ SmemCost analyze_smem(std::span<const Access> lanes, u32 banks,
         KCONV_ASSERT(n_words < 128);
         words[n_words++] = WordUse{word, mask};
       }
-      begin = chunk_end;
+      begin += len;
     }
   }
 

@@ -1,25 +1,25 @@
 #include "src/sim/block_exec.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 #include <vector>
 
 #include "src/common/strutil.hpp"
 #include "src/sim/banks.hpp"
 #include "src/sim/coalescing.hpp"
 #include "src/sim/constmem.hpp"
+#include "src/sim/pattern_cache.hpp"
 #include "src/sim/trace.hpp"
 
 namespace kconv::sim {
 
 namespace {
 
-enum class LaneState : u8 { Ready, Pending, Blocked, Done };
-
 struct Lane {
   ThreadProgram prog;
   ThreadCtx ctx;
-  LaneState state = LaneState::Ready;
-  u64 events = 0;  // retired suspensions (memory instrs + barriers)
+  bool done = false;
   u64 hash = kTraceHashInit;  // event-stream hash (capture mode only)
 };
 
@@ -29,13 +29,16 @@ struct Lane {
 void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
                   L2Cache& gm_l2, Op op, std::span<const Access> accesses,
                   KernelStats& stats, bool& segment_had_gm_load,
-                  bool& segment_had_sm_store, GmemCost& gmem_scratch) {
+                  bool& segment_had_sm_store, GmemCost& gmem_scratch,
+                  PatternCache* pattern) {
   if (trace != TraceLevel::Timing) return;
   switch (op) {
     case Op::LoadShared:
     case Op::StoreShared: {
-      const SmemCost c = analyze_smem(accesses, arch.smem_banks,
-                                      arch.smem_bank_bytes);
+      const SmemCost c = pattern != nullptr
+                             ? pattern->smem(accesses)
+                             : analyze_smem(accesses, arch.smem_banks,
+                                            arch.smem_bank_bytes);
       if (c.lane_bytes == 0) break;  // every lane predicated off
       ++stats.smem_instrs;
       stats.smem_request_cycles += c.request_cycles;
@@ -45,7 +48,11 @@ void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
     }
     case Op::LoadGlobal:
     case Op::StoreGlobal: {
-      analyze_gmem(accesses, arch.gm_sector_bytes, gmem_scratch);
+      if (pattern != nullptr) {
+        pattern->gmem(accesses, gmem_scratch);
+      } else {
+        analyze_gmem(accesses, arch.gm_sector_bytes, gmem_scratch);
+      }
       const GmemCost& c = gmem_scratch;
       if (c.lane_bytes == 0) break;  // every lane predicated off
       ++stats.gm_instrs;
@@ -73,20 +80,42 @@ void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
   }
 }
 
+/// Notes one retired address-dependent transaction in the capture trace so
+/// replay can regroup that block's own accesses in the same retire order
+/// (= the L2 / constant-cache probe order).
+void record_tx(BlockTrace* capture, Op op, const std::vector<u32>& lanes) {
+  if (capture == nullptr) return;
+  if (op != Op::LoadGlobal && op != Op::StoreGlobal && op != Op::LoadConst) {
+    return;
+  }
+  capture->txs.push_back({op, static_cast<u32>(capture->tx_lanes.size()),
+                          static_cast<u32>(lanes.size())});
+  capture->tx_lanes.insert(capture->tx_lanes.end(), lanes.begin(),
+                           lanes.end());
+}
+
 }  // namespace
 
 void run_block(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
                u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
-               KernelStats& stats, BlockTrace* capture) {
+               KernelStats& stats, BlockTrace* capture,
+               PatternCache* pattern) {
   const u32 n_lanes = static_cast<u32>(cfg.block.count());
   const u32 warp_size = arch.warp_size;
   KCONV_ASSERT(n_lanes > 0);
 
   std::vector<std::byte> smem(cfg.shared_bytes);
 
+  // A lane retires at most one event per scheduling round, so capping each
+  // recorder at max_rounds preserves the round limit's runaway guarantee —
+  // including for loops that never suspend in fast-forward.
+  const u32 event_cap = static_cast<u32>(
+      std::min<u64>(max_rounds, std::numeric_limits<u32>::max()));
+
   // Lanes must not relocate once their coroutines capture ctx by reference.
   std::vector<Lane> lanes(n_lanes);
+  std::vector<LaneRecorder> recs(n_lanes);
   for (u32 t = 0; t < n_lanes; ++t) {
     Lane& lane = lanes[t];
     lane.ctx.grid_dim = cfg.grid;
@@ -96,6 +125,8 @@ void run_block(const Arch& arch, const KernelBody& body,
                                (t / cfg.block.x) % cfg.block.y,
                                t / (cfg.block.x * cfg.block.y)};
     lane.ctx.bind_smem(smem.data(), cfg.shared_bytes);
+    recs[t].reset_stream(event_cap);
+    lane.ctx.bind_recorder(&recs[t]);
     lane.prog = body(lane.ctx);
     KCONV_CHECK(lane.prog.valid(), "kernel body returned an empty program");
   }
@@ -108,114 +139,119 @@ void run_block(const Arch& arch, const KernelBody& body,
 
   // Scratch reused across retires.
   std::vector<Access> group_acc;
+  std::vector<Access> sub_acc;
   std::vector<u32> group_lanes;
+  std::vector<u32> sub_lanes;
+  std::vector<u32> seg_len(n_lanes, 0);
   GmemCost gmem_scratch;
   group_acc.reserve(warp_size);
+  sub_acc.reserve(warp_size);
   group_lanes.reserve(warp_size);
+  sub_lanes.reserve(warp_size);
   gmem_scratch.sectors.reserve(2 * warp_size);
 
+  // Execute the block one barrier-delimited segment at a time: every live
+  // lane fast-forwards to its next sync (or completion) in a single resume,
+  // recording its events, and the recorded streams are then walked in
+  // lockstep round order — the k-th event of each lane in a warp retires as
+  // one warp transaction, exactly as a suspension-per-event scheduler would
+  // have ordered them (round-major, then warp, then operation kind). This
+  // keeps coroutine switches off the per-event cost while preserving the
+  // retire order that the stateful cache models observe.
   while (done_count < n_lanes) {
-    KCONV_CHECK(++rounds <= max_rounds,
+    u32 seg_rounds = 0;
+    for (u32 t = 0; t < n_lanes; ++t) {
+      Lane& lane = lanes[t];
+      if (lane.done) {
+        seg_len[t] = 0;
+        continue;
+      }
+      recs[t].begin_segment();
+      lane.prog.resume();
+      if (lane.prog.done()) {
+        if (lane.prog.promise().error) {
+          std::rethrow_exception(lane.prog.promise().error);
+        }
+        lane.done = true;
+        ++done_count;
+      }
+      const u32 len = static_cast<u32>(recs[t].analyzed.size());
+      seg_len[t] = len;
+      seg_rounds = std::max(seg_rounds, len);
+      if (capture != nullptr) {
+        for (const Access& a : recs[t].analyzed) {
+          lane.hash = trace_hash_access(lane.hash, a);
+        }
+      }
+    }
+    rounds += seg_rounds;
+    KCONV_CHECK(rounds <= max_rounds,
                 strf("device program exceeded %llu scheduling rounds "
                      "(runaway loop?)",
                      static_cast<unsigned long long>(max_rounds)));
 
-    for (u32 w = 0; w < n_warps; ++w) {
-      const u32 lo = w * warp_size;
-      const u32 hi = std::min(lo + warp_size, n_lanes);
+    for (u32 r = 0; r < seg_rounds; ++r) {
+      for (u32 w = 0; w < n_warps; ++w) {
+        const u32 lo = w * warp_size;
+        const u32 hi = std::min(lo + warp_size, n_lanes);
 
-      // Advance every runnable lane of this warp to its next event.
-      for (u32 t = lo; t < hi; ++t) {
-        Lane& lane = lanes[t];
-        if (lane.state != LaneState::Ready) continue;
-        lane.prog.resume();
-        if (lane.prog.done()) {
-          if (lane.prog.promise().error) {
-            std::rethrow_exception(lane.prog.promise().error);
-          }
-          lane.state = LaneState::Done;
-          ++done_count;
-        } else {
-          lane.state = lane.prog.promise().pending.op == Op::Sync
-                           ? LaneState::Blocked
-                           : LaneState::Pending;
-        }
-      }
-
-      // Retire the pending accesses, grouped by operation kind.
-      u32 groups_this_round = 0;
-      for (const Op op : {Op::LoadGlobal, Op::StoreGlobal, Op::LoadShared,
-                          Op::StoreShared, Op::LoadConst}) {
+        // One scan collects this warp's round-r accesses; lockstep warps
+        // (the overwhelmingly common case) retire them as a single group.
         group_acc.clear();
         group_lanes.clear();
+        u32 op_mask = 0;
         for (u32 t = lo; t < hi; ++t) {
-          if (lanes[t].state == LaneState::Pending &&
-              lanes[t].prog.promise().pending.op == op) {
-            group_acc.push_back(lanes[t].prog.promise().pending);
-            group_lanes.push_back(t);
-          }
+          if (r >= seg_len[t]) continue;
+          const Access& a = recs[t].analyzed[r];
+          if (a.op == Op::Sync) continue;
+          op_mask |= 1u << static_cast<u32>(a.op);
+          group_acc.push_back(a);
+          group_lanes.push_back(t);
         }
         if (group_acc.empty()) continue;
-        ++groups_this_round;
-        retire_group(arch, trace, const_cache, gm_l2, op, group_acc, stats,
-                     segment_had_gm_load, segment_had_sm_store, gmem_scratch);
-        for (const u32 t : group_lanes) {
-          lanes[t].state = LaneState::Ready;
-          ++lanes[t].events;
-        }
-        if (capture != nullptr) {
-          for (u32 i = 0; i < group_lanes.size(); ++i) {
-            lanes[group_lanes[i]].hash =
-                trace_hash_access(lanes[group_lanes[i]].hash, group_acc[i]);
+
+        if ((op_mask & (op_mask - 1)) == 0) {
+          const Op op = static_cast<Op>(std::countr_zero(op_mask));
+          retire_group(arch, trace, const_cache, gm_l2, op, group_acc, stats,
+                       segment_had_gm_load, segment_had_sm_store,
+                       gmem_scratch, pattern);
+          record_tx(capture, op, group_lanes);
+        } else {
+          // Divergent warp: split by operation kind in the canonical
+          // retire order, preserving lane order within each group.
+          for (const Op op : {Op::LoadGlobal, Op::StoreGlobal, Op::LoadShared,
+                              Op::StoreShared, Op::LoadConst}) {
+            if ((op_mask >> static_cast<u32>(op) & 1u) == 0) continue;
+            sub_acc.clear();
+            sub_lanes.clear();
+            for (u32 i = 0; i < group_acc.size(); ++i) {
+              if (group_acc[i].op == op) {
+                sub_acc.push_back(group_acc[i]);
+                sub_lanes.push_back(group_lanes[i]);
+              }
+            }
+            retire_group(arch, trace, const_cache, gm_l2, op, sub_acc, stats,
+                         segment_had_gm_load, segment_had_sm_store,
+                         gmem_scratch, pattern);
+            record_tx(capture, op, sub_lanes);
           }
-          // Address-dependent transactions keep their lane lists so replay
-          // can regroup that block's own accesses in the same retire order
-          // (= the L2 / constant-cache probe order).
-          if (op == Op::LoadGlobal || op == Op::StoreGlobal ||
-              op == Op::LoadConst) {
-            capture->txs.push_back(
-                {op, static_cast<u32>(capture->tx_lanes.size()),
-                 static_cast<u32>(group_lanes.size())});
-            capture->tx_lanes.insert(capture->tx_lanes.end(),
-                                     group_lanes.begin(), group_lanes.end());
-          }
+          stats.divergent_retires +=
+              static_cast<u64>(std::popcount(op_mask)) - 1;
         }
-      }
-      if (groups_this_round > 1) {
-        stats.divergent_retires += groups_this_round - 1;
       }
     }
 
-    // Barrier: release once every live lane is blocked on sync.
+    // Any lane still live is suspended at its sync (the only suspension
+    // point in fast-forward), so reaching here with live lanes means the
+    // barrier releases.
     if (done_count < n_lanes) {
-      bool all_blocked = true;
-      bool any_blocked = false;
-      for (const Lane& lane : lanes) {
-        if (lane.state == LaneState::Done) continue;
-        if (lane.state == LaneState::Blocked) {
-          any_blocked = true;
-        } else {
-          all_blocked = false;
-        }
+      ++stats.barriers;
+      if (segment_had_gm_load) ++stats.gm_phases;
+      if (segment_had_gm_load && segment_had_sm_store) {
+        ++stats.gm_dep_phases;
       }
-      if (any_blocked && all_blocked) {
-        for (Lane& lane : lanes) {
-          if (lane.state == LaneState::Blocked) {
-            lane.state = LaneState::Ready;
-            ++lane.events;
-            if (capture != nullptr) {
-              lane.hash = trace_hash_access(lane.hash, Access{Op::Sync, 0, 0});
-            }
-          }
-        }
-        ++stats.barriers;
-        if (segment_had_gm_load) ++stats.gm_phases;
-        if (segment_had_gm_load && segment_had_sm_store) {
-          ++stats.gm_dep_phases;
-        }
-        segment_had_gm_load = false;
-        segment_had_sm_store = false;
-      }
+      segment_had_gm_load = false;
+      segment_had_sm_store = false;
     }
   }
   if (segment_had_gm_load) ++stats.gm_phases;
@@ -232,7 +268,7 @@ void run_block(const Arch& arch, const KernelBody& body,
       stats.alu_lane_ops += lanes[t].ctx.alu_ops();
       max_fma = std::max(max_fma, lanes[t].ctx.fma_ops());
       max_alu = std::max(max_alu, lanes[t].ctx.alu_ops());
-      max_events = std::max(max_events, lanes[t].events);
+      max_events = std::max(max_events, static_cast<u64>(recs[t].events));
     }
     stats.fma_warp_instrs += max_fma;
     stats.alu_warp_instrs += max_alu;
@@ -247,7 +283,7 @@ void run_block(const Arch& arch, const KernelBody& body,
     capture->lane_events.resize(n_lanes);
     for (u32 t = 0; t < n_lanes; ++t) {
       capture->lane_hash[t] = lanes[t].hash;
-      capture->lane_events[t] = static_cast<u32>(lanes[t].events);
+      capture->lane_events[t] = recs[t].events;
     }
   }
 }

@@ -21,6 +21,7 @@
 namespace kconv::sim {
 
 struct BlockTrace;
+class PatternCache;
 
 /// Type-erased kernel body: builds one lane's coroutine from its context.
 using KernelBody = std::function<ThreadProgram(ThreadCtx&)>;
@@ -38,9 +39,14 @@ using KernelBody = std::function<ThreadProgram(ThreadCtx&)>;
 /// replayable trace (trace.hpp): its global/constant warp transactions in
 /// retire order and each lane's event-stream hash. Execution itself is
 /// unchanged — a captured block charges exactly what it would have anyway.
+///
+/// `pattern` (optional) memoizes the shared/global analyzers across the
+/// chunk's warp transactions (docs/MODEL.md §5c); nullptr re-runs them on
+/// every transaction. Either way the counters are bit-identical.
 void run_block(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
                u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
-               KernelStats& stats, BlockTrace* capture = nullptr);
+               KernelStats& stats, BlockTrace* capture = nullptr,
+               PatternCache* pattern = nullptr);
 
 }  // namespace kconv::sim

@@ -1,14 +1,19 @@
 #include "src/sim/coalescing.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/common/error.hpp"
 
 namespace kconv::sim {
 
-void analyze_gmem(std::span<const Access> lanes, u32 sector_bytes,
-                  GmemCost& cost) {
-  KCONV_ASSERT(sector_bytes > 0);
+namespace {
+
+/// Fallback for warps whose sectors span a wide window (or oversized
+/// groups): collect, sort, dedup. Recomputes lane_bytes so callers can hand
+/// it a freshly cleared cost.
+void analyze_gmem_generic(std::span<const Access> lanes, u32 sector_bytes,
+                          GmemCost& cost) {
   cost.sectors.clear();
   cost.lane_bytes = 0;
   for (const Access& a : lanes) {
@@ -23,6 +28,63 @@ void analyze_gmem(std::span<const Access> lanes, u32 sector_bytes,
   std::sort(cost.sectors.begin(), cost.sectors.end());
   cost.sectors.erase(std::unique(cost.sectors.begin(), cost.sectors.end()),
                      cost.sectors.end());
+}
+
+}  // namespace
+
+void analyze_gmem(std::span<const Access> lanes, u32 sector_bytes,
+                  GmemCost& cost) {
+  KCONV_ASSERT(sector_bytes > 0);
+  if (lanes.size() > 64) {
+    analyze_gmem_generic(lanes, sector_bytes, cost);
+    return;
+  }
+
+  // Pass 1: per-lane sector ranges and the warp's sector window.
+  cost.sectors.clear();
+  cost.lane_bytes = 0;
+  u64 first[64];
+  u64 last[64];
+  u32 n = 0;
+  u64 min_s = ~0ull;
+  u64 max_s = 0;
+  for (const Access& a : lanes) {
+    if (a.bytes == 0) continue;  // predicated-off lane
+    cost.lane_bytes += a.bytes;
+    const u64 f = a.addr / sector_bytes;
+    const u64 l = (a.addr + a.bytes - 1) / sector_bytes;
+    first[n] = f;
+    last[n] = l;
+    ++n;
+    min_s = std::min(min_s, f);
+    max_s = std::max(max_s, l);
+  }
+  if (n == 0) return;
+
+  // Fully scattered 32-lane warps touch at most 64 sectors, but their
+  // *window* can be arbitrarily wide; 256 sectors (8 KiB at 32 B) covers
+  // every coalescable pattern while keeping the dedup a 4-word bitmap.
+  if (max_s - min_s >= 256) {
+    analyze_gmem_generic(lanes, sector_bytes, cost);
+    return;
+  }
+
+  // Pass 2: dedup via the bitmap; reading the bits out low-to-high emits
+  // the sectors already sorted — no sort+unique on the hot path.
+  u64 bm[4] = {};
+  for (u32 i = 0; i < n; ++i) {
+    for (u64 s = first[i] - min_s; s <= last[i] - min_s; ++s) {
+      bm[s >> 6] |= 1ull << (s & 63);
+    }
+  }
+  for (u32 w = 0; w < 4; ++w) {
+    u64 b = bm[w];
+    while (b != 0) {
+      const u32 bit = static_cast<u32>(std::countr_zero(b));
+      b &= b - 1;
+      cost.sectors.push_back((min_s + 64ull * w + bit) * sector_bytes);
+    }
+  }
 }
 
 }  // namespace kconv::sim

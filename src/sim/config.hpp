@@ -49,6 +49,12 @@ struct LaunchOptions {
   /// kernels that declare a replay_class hook; outputs stay bit-identical
   /// and serial-launch counters exact. Off by default (exact legacy path).
   bool replay = false;
+  /// Memoize warp access-pattern analysis (docs/MODEL.md §5c): each launch
+  /// chunk keys warp transactions by a translation-invariant signature and
+  /// reuses the analyzer outputs (bank replay factor, relative sector
+  /// layout) across repeats. Results are bit-identical with the cache on or
+  /// off; disabling it is an A/B escape hatch (`--no-pattern-cache`).
+  bool pattern_cache = true;
   /// Safety valve against runaway device programs (resume rounds per block).
   u64 max_rounds_per_block = 50'000'000;
 };

@@ -1,24 +1,20 @@
 #include "src/sim/l2cache.hpp"
 
+#include <bit>
+
 #include "src/common/error.hpp"
 
 namespace kconv::sim {
-
-namespace {
-u64 floor_pow2(u64 x) {
-  u64 p = 1;
-  while (p * 2 <= x) p *= 2;
-  return p;
-}
-}  // namespace
 
 L2Cache::L2Cache(u32 capacity_bytes, u32 sector_bytes, u32 ways)
     : sector_bytes_(sector_bytes), ways_(ways) {
   KCONV_CHECK(sector_bytes > 0 && ways > 0 && capacity_bytes >= sector_bytes,
               "invalid L2 geometry");
   const u64 sectors = capacity_bytes / sector_bytes;
-  sets_ = floor_pow2(sectors / ways);
-  if (sets_ == 0) sets_ = 1;
+  sets_ = sectors / ways < 1 ? 1 : std::bit_floor(sectors / ways);
+  // access() indexes sets by masking, which is only a modulo when the set
+  // count is a power of two — assert it rather than silently aliasing.
+  KCONV_ASSERT(std::has_single_bit(sets_));
   lines_.assign(sets_ * ways_, Way{});
 }
 

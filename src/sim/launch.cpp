@@ -1,6 +1,7 @@
 #include "src/sim/launch.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "src/common/strutil.hpp"
@@ -45,6 +46,28 @@ Dim3 unflatten(const Dim3& grid, u64 flat) {
               static_cast<u32>(flat / (static_cast<u64>(grid.x) * grid.y))};
 }
 
+/// One access-pattern cache per launch chunk, scoped like the L2 shadow and
+/// constant-cache replica (docs/MODEL.md §5c): private state keeps parallel
+/// launches lock-free and deterministic. Folds its hit counters into the
+/// chunk's stats shard on destruction-free drain.
+struct ChunkPatternCache {
+  std::optional<PatternCache> cache;
+
+  ChunkPatternCache(const Arch& arch, bool enabled) {
+    if (enabled) {
+      cache.emplace(arch.smem_banks, arch.smem_bank_bytes,
+                    arch.gm_sector_bytes);
+    }
+  }
+  PatternCache* get() { return cache.has_value() ? &*cache : nullptr; }
+  void drain(KernelStats& stats) {
+    if (cache.has_value()) {
+      stats.pattern_lookups += cache->lookups();
+      stats.pattern_hits += cache->hits();
+    }
+  }
+};
+
 }  // namespace
 
 LaunchResult launch_impl(Device& dev, const KernelBody& body,
@@ -79,9 +102,11 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     // block's sectors through the device's single L2 (which therefore stays
     // warm across blocks — and across launches when reset_l2 is off).
     L2Cache const_cache(arch.const_cache_per_sm, arch.const_line_bytes, 4);
+    ChunkPatternCache pattern(arch, opt.pattern_cache);
     if (replaying) {
       ReplayRunner runner(arch, body, cfg, opt.trace,
-                          opt.max_rounds_per_block, classify, origins);
+                          opt.max_rounds_per_block, classify, origins,
+                          pattern.get());
       for (u64 i = 0; i < set.count; ++i) {
         runner.run(unflatten(cfg.grid, set.flat_id(i)), &const_cache,
                    dev.l2(), res.stats);
@@ -92,9 +117,10 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
       for (u64 i = 0; i < set.count; ++i) {
         run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
                   opt.trace, opt.max_rounds_per_block, &const_cache, dev.l2(),
-                  res.stats);
+                  res.stats, nullptr, pattern.get());
       }
     }
+    pattern.drain(res.stats);
   } else {
     // Parallel path: contiguous chunks of the block list, one stats shard,
     // L2 shadow, and constant-cache replica per chunk. Shard state depends
@@ -112,13 +138,15 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     pool.parallel_for(0, set.count, grain, [&](u64 b, u64 e, u32 chunk) {
       L2Cache l2_shadow(arch.l2_capacity, arch.gm_sector_bytes);
       L2Cache const_cache(arch.const_cache_per_sm, arch.const_line_bytes, 4);
+      ChunkPatternCache pattern(arch, opt.pattern_cache);
       KernelStats& stats = shards[chunk];
       if (replaying) {
         // Per-chunk trace table, like the per-chunk cache replicas: each
         // chunk captures its own class representatives, so shard contents
         // stay a pure function of the chunk partition.
         ReplayRunner runner(arch, body, cfg, opt.trace,
-                            opt.max_rounds_per_block, classify, origins);
+                            opt.max_rounds_per_block, classify, origins,
+                            pattern.get());
         for (u64 i = b; i < e; ++i) {
           runner.run(unflatten(cfg.grid, set.flat_id(i)), &const_cache,
                      l2_shadow, stats);
@@ -129,9 +157,10 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
         for (u64 i = b; i < e; ++i) {
           run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
                     opt.trace, opt.max_rounds_per_block, &const_cache,
-                    l2_shadow, stats);
+                    l2_shadow, stats, nullptr, pattern.get());
         }
       }
+      pattern.drain(stats);
     });
     for (const KernelStats& s : shards) res.stats += s;  // index order
     for (const u64 r : replayed) res.blocks_replayed += r;

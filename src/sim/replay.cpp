@@ -16,14 +16,16 @@ namespace kconv::sim {
 ReplayRunner::ReplayRunner(const Arch& arch, const KernelBody& body,
                            const LaunchConfig& cfg, TraceLevel trace,
                            u64 max_rounds, const BlockClassifier& classify,
-                           const ReplayOriginsFn& origins)
+                           const ReplayOriginsFn& origins,
+                           PatternCache* pattern)
     : arch_(arch),
       body_(body),
       cfg_(cfg),
       trace_level_(trace),
       max_rounds_(max_rounds),
       classify_(classify),
-      origins_fn_(origins) {
+      origins_fn_(origins),
+      pattern_(pattern) {
   gmem_scratch_.sectors.reserve(2 * arch.warp_size);
 }
 
@@ -56,7 +58,7 @@ void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
   ClassState cs;
   KernelStats local;
   run_block(arch_, body_, cfg_, block_idx, trace_level_, max_rounds_,
-            const_cache, gm_l2, local, &cs.trace);
+            const_cache, gm_l2, local, &cs.trace, pattern_);
   cs.trace.invariant = local;
   KernelStats& cmp = cs.trace.compute;
   cmp.fma_lane_ops = local.fma_lane_ops;
@@ -176,7 +178,13 @@ void ReplayRunner::replay(Dim3 block_idx, const BlockTrace& trace,
           }
         }
       } else {
-        analyze_gmem(group_, arch_.gm_sector_bytes, gmem_scratch_);
+        // Rebased addresses, same signatures: the pattern cache primed by
+        // the captured block serves nearly every replayed transaction.
+        if (pattern_ != nullptr) {
+          pattern_->gmem(group_, gmem_scratch_);
+        } else {
+          analyze_gmem(group_, arch_.gm_sector_bytes, gmem_scratch_);
+        }
         stats.gm_sectors += gmem_scratch_.sectors.size();
         for (const u64 sector : gmem_scratch_.sectors) {
           if (!gm_l2.access(sector)) ++stats.gm_sectors_dram;

@@ -40,6 +40,7 @@
 
 #include "src/sim/block_exec.hpp"
 #include "src/sim/coalescing.hpp"
+#include "src/sim/pattern_cache.hpp"
 #include "src/sim/trace.hpp"
 
 namespace kconv::sim {
@@ -57,10 +58,12 @@ using ReplayOriginsFn = std::function<void(Dim3, ReplayOrigins&)>;
 /// class and replaying the rest.
 class ReplayRunner {
  public:
+  /// `pattern` (optional) memoizes the chunk's warp access-pattern analysis
+  /// for both captured and replayed blocks (docs/MODEL.md §5c).
   ReplayRunner(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, TraceLevel trace, u64 max_rounds,
-               const BlockClassifier& classify,
-               const ReplayOriginsFn& origins);
+               const BlockClassifier& classify, const ReplayOriginsFn& origins,
+               PatternCache* pattern = nullptr);
 
   /// Executes or replays `block_idx`, accumulating into `stats` exactly
   /// what the direct path would have (serially, including cache counters).
@@ -126,6 +129,7 @@ class ReplayRunner {
   u64 max_rounds_;
   const BlockClassifier& classify_;
   const ReplayOriginsFn& origins_fn_;
+  PatternCache* pattern_;
 
   std::unordered_map<u64, ClassState> classes_;
   u64 blocks_replayed_ = 0;

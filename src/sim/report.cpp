@@ -64,6 +64,12 @@ std::string format_report(const Arch& arch, const LaunchResult& res) {
                     static_cast<double>(s.const_instrs),
                 static_cast<unsigned long long>(s.const_line_misses));
   }
+  if (s.pattern_lookups > 0) {
+    out += strf("pattern cache: %llu lookups, %llu hits (%.1f%%)\n",
+                static_cast<unsigned long long>(s.pattern_lookups),
+                static_cast<unsigned long long>(s.pattern_hits),
+                100.0 * s.pattern_hit_rate());
+  }
   out += strf("fma: %llu lane-ops (%llu warp instrs); divergent retires: "
               "%llu; barriers/block: %.1f\n",
               static_cast<unsigned long long>(s.fma_lane_ops),
@@ -108,6 +114,10 @@ std::string to_json(const Arch& arch, const LaunchResult& res) {
               static_cast<unsigned long long>(s.gm_sectors_dram));
   out += strf("  \"const_requests\": %llu,\n",
               static_cast<unsigned long long>(s.const_requests));
+  out += strf("  \"pattern_lookups\": %llu,\n",
+              static_cast<unsigned long long>(s.pattern_lookups));
+  out += strf("  \"pattern_hits\": %llu,\n",
+              static_cast<unsigned long long>(s.pattern_hits));
   out += strf("  \"barriers\": %llu\n",
               static_cast<unsigned long long>(s.barriers));
   out += "}";

@@ -63,6 +63,13 @@ struct KernelStats {
   /// Warp transactions that retired with lane subgroups (divergence replays).
   u64 divergent_retires = 0;
 
+  // --- Analyzer memoization -------------------------------------------------
+  /// Warp transactions looked up in the access-pattern cache (MODEL.md §5c;
+  /// 0 when the cache is disabled — all-predicated-off groups bypass it).
+  u64 pattern_lookups = 0;
+  /// Lookups served from the cache without re-running the analyzer.
+  u64 pattern_hits = 0;
+
   /// Longest per-warp instruction stream (critical path for the latency floor).
   u64 max_warp_instrs = 0;
 
@@ -88,6 +95,8 @@ struct KernelStats {
     gm_phases += o.gm_phases;
     gm_dep_phases += o.gm_dep_phases;
     divergent_retires += o.divergent_retires;
+    pattern_lookups += o.pattern_lookups;
+    pattern_hits += o.pattern_hits;
     max_warp_instrs = max_warp_instrs > o.max_warp_instrs ? max_warp_instrs
                                                           : o.max_warp_instrs;
     blocks_executed += o.blocks_executed;
@@ -102,6 +111,13 @@ struct KernelStats {
     return smem_instrs == 0 ? 0.0
                             : static_cast<double>(smem_request_cycles) /
                                   static_cast<double>(smem_instrs);
+  }
+
+  /// Access-pattern-cache hit rate (0.0 when the cache never engaged).
+  double pattern_hit_rate() const {
+    return pattern_lookups == 0 ? 0.0
+                                : static_cast<double>(pattern_hits) /
+                                      static_cast<double>(pattern_lookups);
   }
 
   /// GM over-fetch: sector bytes actually moved / bytes the lanes asked for.

@@ -21,6 +21,18 @@ i32 tape_rel(i64 v, const LaneTapeBuilder& b) {
 
 }  // namespace
 
+void LaneRecorder::overflow() const {
+  if (keep_all) {
+    KCONV_CHECK(false,
+                strf("device program exceeded %u retired events per lane "
+                     "(runaway loop?)",
+                     max_events));
+  }
+  KCONV_CHECK(false,
+              "replayed lane exceeded its recorded event count — "
+              "replay_class declared two non-congruent blocks equivalent");
+}
+
 u32 LaneTapeBuilder::alloc(u32 n) {
   KCONV_CHECK(tape_->n_slots + n <= kMaxSlots,
               "dataflow tape exceeded its value-slot capacity "

@@ -87,37 +87,61 @@ struct BlockTrace {
   Dim3 captured_block{};
 };
 
-/// Per-lane recorder driving fast-forward execution (replay.hpp). While a
-/// ThreadCtx is bound to one, memory operations do not suspend: each access
-/// is folded into the stream hash, and global/constant accesses — the ones
-/// whose cost must be re-analyzed per block — are kept for the transaction
-/// walk. `sync()` still suspends (it is the only scheduling point replay
-/// preserves). The event cap bounds runaway loops that the round limit
-/// would have caught on the direct path.
+/// Per-lane recorder driving fast-forward execution. While a ThreadCtx is
+/// bound to one, memory operations do not suspend; `sync()` still suspends
+/// (it is the only scheduling point fast-forward preserves). The event cap
+/// bounds runaway loops that the round limit would have caught on a
+/// suspension-per-event path. Two modes:
+///
+///  * Replay validation (replay.hpp, `reset`): each access is folded into
+///    the stream hash, and global/constant accesses — the ones whose cost
+///    must be re-analyzed per block — are kept for the transaction walk.
+///  * Stream retirement (block_exec.cpp, `reset_stream`): every event of
+///    the current barrier-delimited segment is kept verbatim so the
+///    executor can regroup warp transactions in lockstep round order after
+///    the segment ran; hashing (needed only when capturing) is done by the
+///    walk, not per note.
 struct LaneRecorder {
   std::vector<Access> analyzed;
   u64 hash = kTraceHashInit;
   u32 events = 0;
   u32 max_events = 0;
+  bool keep_all = false;
 
   void reset(u32 cap) {
     analyzed.clear();
     hash = kTraceHashInit;
     events = 0;
     max_events = cap;
+    keep_all = false;
   }
 
+  void reset_stream(u32 cap) {
+    reset(cap);
+    keep_all = true;
+  }
+
+  /// Drops the previous segment's events; `events` (the cap and the
+  /// per-lane instruction count) keeps accumulating across segments.
+  void begin_segment() { analyzed.clear(); }
+
   void note(const Access& a) {
-    KCONV_CHECK(events < max_events,
-                "replayed lane exceeded its recorded event count — "
-                "replay_class declared two non-congruent blocks equivalent");
+    if (events >= max_events) [[unlikely]] overflow();
     ++events;
+    if (keep_all) {
+      analyzed.push_back(a);
+      return;
+    }
     hash = trace_hash_access(hash, a);
     if (a.op == Op::LoadGlobal || a.op == Op::StoreGlobal ||
         a.op == Op::LoadConst) {
       analyzed.push_back(a);
     }
   }
+
+  /// Out of line so the hot note() stays small; the message distinguishes
+  /// the direct-path runaway guard from a replay congruence violation.
+  [[noreturn]] void overflow() const;
 };
 
 // --- Functional dataflow tape --------------------------------------------
