@@ -4,10 +4,12 @@
 //             [--arch kepler|kepler4b|fermi|maxwell]
 //             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
 //             [--sample B] [--threads T] [--replay] [--no-pattern-cache]
-//             [--json]
+//             [--check] [--json]
 //
 // Prints the performance report (or JSON with --json) and verifies against
-// the CPU reference when the launch ran every block.
+// the CPU reference when the launch ran every block. With --check, runs the
+// kconv-check hazard detector and efficiency linter (docs/MODEL.md §6) and
+// exits 3 when the launch is not clean.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,13 +32,16 @@ namespace {
       "          [--arch kepler|kepler4b|fermi|maxwell]\n"
       "          [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]\n"
       "          [--sample BLOCKS] [--threads T] [--replay]\n"
-      "          [--no-pattern-cache] [--json]\n"
+      "          [--no-pattern-cache] [--check] [--json]\n"
       "  --threads T   host threads simulating blocks (0 = all cores;\n"
       "                default 1 = exact-legacy serial semantics)\n"
       "  --replay      trace-replay repeated block classes (MODEL.md \u00a75b)\n"
       "  --no-pattern-cache\n"
       "                disable warp access-pattern memoization (MODEL.md\n"
-      "                \u00a75c; results are bit-identical either way)\n",
+      "                \u00a75c; results are bit-identical either way)\n"
+      "  --check       kconv-check: shared-memory race detection +\n"
+      "                memory-efficiency lints (MODEL.md \u00a76); exit 3\n"
+      "                when the kernel is not clean\n",
       argv0);
   std::exit(2);
 }
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
   i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0, threads = 1;
   std::string algo = "auto", arch_name = "kepler";
   bool same = false, json = false, replay = false, pattern_cache = true;
+  bool check = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -66,6 +72,7 @@ int main(int argc, char** argv) {
     else if (a == "--same") same = true;
     else if (a == "--replay") replay = true;
     else if (a == "--no-pattern-cache") pattern_cache = false;
+    else if (a == "--check") check = true;
     else if (a == "--json") json = true;
     else usage(argv[0]);
   }
@@ -94,6 +101,8 @@ int main(int argc, char** argv) {
   opt.launch.num_threads = static_cast<u32>(threads);
   opt.launch.replay = replay;
   opt.launch.pattern_cache = pattern_cache;
+  opt.launch.hazard_check = check;
+  opt.launch.lint = check;
 
   Rng rng(1);
   tensor::Tensor img = tensor::Tensor::image(c, n, n);
@@ -118,6 +127,7 @@ int main(int argc, char** argv) {
         if (!ok) return 1;
       }
     }
+    if (check && !res.launch.analysis.clean()) return 3;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

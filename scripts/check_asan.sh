@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
-# Builds the determinism suite under AddressSanitizer and runs it.
+# Builds the determinism suite under Address+UndefinedBehaviorSanitizer and
+# runs it.
 #
 # The trace-replay engine is the heaviest pointer machinery in the repo
 # (recorded tapes, rebased origin pointers, batched interpreter scratch);
 # the determinism-labeled tests drive every replay path (capture,
 # fast-forward validation, tape interpretation, chunked parallel
 # launches), so a clean ASan run here covers the engine's addressing.
+# UBSan rides along for free (the two compose, unlike TSan).
 #
-#   scripts/check_asan.sh [build-dir]    # default: build-asan
+#   scripts/check_asan.sh [build-dir]            # default: build-asan
+#   KCONV_SANITIZE=address scripts/check_asan.sh # override the mix
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 
-cmake -B "$BUILD_DIR" -S . -DKCONV_SANITIZE=address
+cmake -B "$BUILD_DIR" -S . -DKCONV_SANITIZE="${KCONV_SANITIZE:-address,undefined}"
 cmake --build "$BUILD_DIR" --target kconv_determinism_test -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L determinism --output-on-failure

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the first-party sources using
+# the compile database of a configured build directory.
+#
+#   scripts/check_tidy.sh [build-dir]    # default: build
+#
+# Exits 0 when the tree is clean OR when clang-tidy is not installed (the
+# check is advisory and must not fail minimal containers); any finding is an
+# error via WarningsAsErrors.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [[ -z "$TIDY" ]]; then
+  echo "check_tidy: clang-tidy not installed; skipping (advisory check)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+# First-party translation units only; headers come along via
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t SOURCES < <(find src examples -name '*.cpp' | sort)
+
+echo "check_tidy: ${#SOURCES[@]} files with $("$TIDY" --version | head -2 | tail -1)"
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+echo "check_tidy: clean"

@@ -1,0 +1,19 @@
+// Rendering of kconv-check results: human-readable text and JSON.
+#pragma once
+
+#include <string>
+
+#include "src/analysis/diagnostics.hpp"
+
+namespace kconv::analysis {
+
+/// Multi-line human summary: verdict, then every recorded hazard and lint.
+std::string format_analysis(const AnalysisReport& rep);
+
+/// JSON object (no trailing newline) with verdict, totals, and the full
+/// hazard/lint lists. `indent` is the number of spaces the object's members
+/// are indented by (the opening brace is not indented — callers embed it
+/// after a key).
+std::string to_json(const AnalysisReport& rep, int indent = 0);
+
+}  // namespace kconv::analysis

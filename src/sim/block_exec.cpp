@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/analysis/hazard.hpp"
 #include "src/common/strutil.hpp"
 #include "src/sim/banks.hpp"
 #include "src/sim/coalescing.hpp"
@@ -43,7 +44,12 @@ void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
       ++stats.smem_instrs;
       stats.smem_request_cycles += c.request_cycles;
       stats.smem_bytes += c.unique_bytes;
-      if (op == Op::StoreShared) segment_had_sm_store = true;
+      stats.smem_lane_bytes += c.lane_bytes;
+      if (op == Op::StoreShared) {
+        ++stats.smem_store_instrs;
+        stats.smem_store_request_cycles += c.request_cycles;
+        segment_had_sm_store = true;
+      }
       break;
     }
     case Op::LoadGlobal:
@@ -100,10 +106,11 @@ void run_block(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
                u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
                KernelStats& stats, BlockTrace* capture,
-               PatternCache* pattern) {
+               PatternCache* pattern, analysis::BlockChecker* checker) {
   const u32 n_lanes = static_cast<u32>(cfg.block.count());
   const u32 warp_size = arch.warp_size;
   KCONV_ASSERT(n_lanes > 0);
+  if (checker != nullptr) checker->begin_block(block_idx);
 
   std::vector<std::byte> smem(cfg.shared_bytes);
 
@@ -143,6 +150,9 @@ void run_block(const Arch& arch, const KernelBody& body,
   std::vector<u32> group_lanes;
   std::vector<u32> sub_lanes;
   std::vector<u32> seg_len(n_lanes, 0);
+  // Index of each lane's first event of the current segment within its full
+  // retired stream, so the hazard checker can report stable op indices.
+  std::vector<u32> seg_base(n_lanes, 0);
   GmemCost gmem_scratch;
   group_acc.reserve(warp_size);
   sub_acc.reserve(warp_size);
@@ -177,6 +187,7 @@ void run_block(const Arch& arch, const KernelBody& body,
       }
       const u32 len = static_cast<u32>(recs[t].analyzed.size());
       seg_len[t] = len;
+      seg_base[t] = recs[t].events - len;
       seg_rounds = std::max(seg_rounds, len);
       if (capture != nullptr) {
         for (const Access& a : recs[t].analyzed) {
@@ -209,6 +220,16 @@ void run_block(const Arch& arch, const KernelBody& body,
           group_lanes.push_back(t);
         }
         if (group_acc.empty()) continue;
+
+        if (checker != nullptr) {
+          // Retire order within the group (lane order) is irrelevant to the
+          // detector: intra-warp same-round pairs are unordered by
+          // definition, and it checks both directions of each pair.
+          for (std::size_t i = 0; i < group_acc.size(); ++i) {
+            const u32 t = group_lanes[i];
+            checker->on_access(t, r, seg_base[t] + r, group_acc[i]);
+          }
+        }
 
         if ((op_mask & (op_mask - 1)) == 0) {
           const Op op = static_cast<Op>(std::countr_zero(op_mask));
@@ -244,6 +265,7 @@ void run_block(const Arch& arch, const KernelBody& body,
     // Any lane still live is suspended at its sync (the only suspension
     // point in fast-forward), so reaching here with live lanes means the
     // barrier releases.
+    if (checker != nullptr) checker->on_barrier();
     if (done_count < n_lanes) {
       ++stats.barriers;
       if (segment_had_gm_load) ++stats.gm_phases;
@@ -276,6 +298,7 @@ void run_block(const Arch& arch, const KernelBody& body,
         std::max(stats.max_warp_instrs, max_events + max_fma + max_alu);
   }
   ++stats.blocks_executed;
+  if (checker != nullptr) checker->end_block();
 
   if (capture != nullptr) {
     capture->captured_block = block_idx;

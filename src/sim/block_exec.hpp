@@ -18,6 +18,10 @@
 #include "src/sim/task.hpp"
 #include "src/sim/thread_ctx.hpp"
 
+namespace kconv::analysis {
+class BlockChecker;
+}  // namespace kconv::analysis
+
 namespace kconv::sim {
 
 struct BlockTrace;
@@ -43,10 +47,16 @@ using KernelBody = std::function<ThreadProgram(ThreadCtx&)>;
 /// `pattern` (optional) memoizes the shared/global analyzers across the
 /// chunk's warp transactions (docs/MODEL.md §5c); nullptr re-runs them on
 /// every transaction. Either way the counters are bit-identical.
+///
+/// `checker` (optional) runs the shadow-state hazard detector over the
+/// block (docs/MODEL.md §6): every retired access is fed in retire order,
+/// each barrier release advances its epoch. Purely observational — outputs,
+/// counters and retire order are bit-identical with or without it.
 void run_block(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
                u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
                KernelStats& stats, BlockTrace* capture = nullptr,
-               PatternCache* pattern = nullptr);
+               PatternCache* pattern = nullptr,
+               analysis::BlockChecker* checker = nullptr);
 
 }  // namespace kconv::sim

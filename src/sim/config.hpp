@@ -55,6 +55,16 @@ struct LaunchOptions {
   /// layout) across repeats. Results are bit-identical with the cache on or
   /// off; disabling it is an A/B escape hatch (`--no-pattern-cache`).
   bool pattern_cache = true;
+  /// Run the shadow-state hazard detector (docs/MODEL.md §6) alongside
+  /// execution: shared-memory races within a block (same barrier epoch,
+  /// different warps — or unordered intra-warp pairs) and cross-block
+  /// global-memory write overlaps land in LaunchResult::analysis.
+  /// Simulation outputs and all existing counters are unchanged.
+  bool hazard_check = false;
+  /// Run the memory-efficiency lints (docs/MODEL.md §6) over the launch's
+  /// aggregate statistics. Requires a Timing trace (the lints read the
+  /// transaction counters); findings land in LaunchResult::analysis.
+  bool lint = false;
   /// Safety valve against runaway device programs (resume rounds per block).
   u64 max_rounds_per_block = 50'000'000;
 };

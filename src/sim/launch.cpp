@@ -1,9 +1,12 @@
 #include "src/sim/launch.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/analysis/hazard.hpp"
+#include "src/analysis/lint.hpp"
 #include "src/common/strutil.hpp"
 #include "src/common/thread_pool.hpp"
 
@@ -103,10 +106,13 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     // warm across blocks — and across launches when reset_l2 is off).
     L2Cache const_cache(arch.const_cache_per_sm, arch.const_line_bytes, 4);
     ChunkPatternCache pattern(arch, opt.pattern_cache);
+    std::optional<analysis::BlockChecker> checker;
+    if (opt.hazard_check) checker.emplace(cfg, arch.warp_size);
+    analysis::BlockChecker* chk = checker.has_value() ? &*checker : nullptr;
     if (replaying) {
       ReplayRunner runner(arch, body, cfg, opt.trace,
                           opt.max_rounds_per_block, classify, origins,
-                          pattern.get());
+                          pattern.get(), chk);
       for (u64 i = 0; i < set.count; ++i) {
         runner.run(unflatten(cfg.grid, set.flat_id(i)), &const_cache,
                    dev.l2(), res.stats);
@@ -117,10 +123,11 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
       for (u64 i = 0; i < set.count; ++i) {
         run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
                   opt.trace, opt.max_rounds_per_block, &const_cache, dev.l2(),
-                  res.stats, nullptr, pattern.get());
+                  res.stats, nullptr, pattern.get(), chk);
       }
     }
     pattern.drain(res.stats);
+    if (chk != nullptr) analysis::finalize_hazards({chk}, res.analysis);
   } else {
     // Parallel path: contiguous chunks of the block list, one stats shard,
     // L2 shadow, and constant-cache replica per chunk. Shard state depends
@@ -134,19 +141,29 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
         ceil_div(static_cast<i64>(set.count), static_cast<i64>(grain)));
     std::vector<KernelStats> shards(n_chunks);
     std::vector<u64> replayed(n_chunks, 0);
+    // One checker per chunk, merged in index order like the stats shards, so
+    // the hazard report is a pure function of the chunk partition too.
+    std::vector<std::unique_ptr<analysis::BlockChecker>> checkers(n_chunks);
+    if (opt.hazard_check) {
+      for (u64 c = 0; c < n_chunks; ++c) {
+        checkers[c] =
+            std::make_unique<analysis::BlockChecker>(cfg, arch.warp_size);
+      }
+    }
     ThreadPool pool(threads);
     pool.parallel_for(0, set.count, grain, [&](u64 b, u64 e, u32 chunk) {
       L2Cache l2_shadow(arch.l2_capacity, arch.gm_sector_bytes);
       L2Cache const_cache(arch.const_cache_per_sm, arch.const_line_bytes, 4);
       ChunkPatternCache pattern(arch, opt.pattern_cache);
       KernelStats& stats = shards[chunk];
+      analysis::BlockChecker* chk = checkers[chunk].get();
       if (replaying) {
         // Per-chunk trace table, like the per-chunk cache replicas: each
         // chunk captures its own class representatives, so shard contents
         // stay a pure function of the chunk partition.
         ReplayRunner runner(arch, body, cfg, opt.trace,
                             opt.max_rounds_per_block, classify, origins,
-                            pattern.get());
+                            pattern.get(), chk);
         for (u64 i = b; i < e; ++i) {
           runner.run(unflatten(cfg.grid, set.flat_id(i)), &const_cache,
                      l2_shadow, stats);
@@ -157,18 +174,29 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
         for (u64 i = b; i < e; ++i) {
           run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
                     opt.trace, opt.max_rounds_per_block, &const_cache,
-                    l2_shadow, stats, nullptr, pattern.get());
+                    l2_shadow, stats, nullptr, pattern.get(), chk);
         }
       }
       pattern.drain(stats);
     });
     for (const KernelStats& s : shards) res.stats += s;  // index order
     for (const u64 r : replayed) res.blocks_replayed += r;
+    if (opt.hazard_check) {
+      std::vector<analysis::BlockChecker*> ordered;
+      ordered.reserve(n_chunks);
+      for (const auto& c : checkers) ordered.push_back(c.get());
+      analysis::finalize_hazards(ordered, res.analysis);
+    }
   }
   res.blocks_executed = res.stats.blocks_executed;
 
   if (opt.trace == TraceLevel::Timing) {
     res.timing = estimate_time(arch, cfg, res.stats, res.blocks_total);
+    if (opt.lint) {
+      res.analysis.linted = true;
+      res.analysis.lints = analysis::lint_stats(arch, cfg, res.stats,
+                                                res.timing);
+    }
   }
   return res;
 }

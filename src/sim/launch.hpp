@@ -17,6 +17,7 @@
 
 #include <concepts>
 
+#include "src/analysis/diagnostics.hpp"
 #include "src/sim/block_exec.hpp"
 #include "src/sim/device.hpp"
 #include "src/sim/replay.hpp"
@@ -61,6 +62,10 @@ struct LaunchResult {
   /// and the kernel declares a replay_class hook).
   u64 blocks_replayed = 0;
   bool sampled = false;
+  /// kconv-check results (docs/MODEL.md §6). Populated only when
+  /// LaunchOptions::hazard_check and/or ::lint are set; analysis.clean()
+  /// is the pass/fail verdict.
+  analysis::AnalysisReport analysis;
 };
 
 namespace detail {

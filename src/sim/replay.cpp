@@ -8,6 +8,7 @@
 #include <immintrin.h>
 #endif
 
+#include "src/analysis/hazard.hpp"
 #include "src/common/strutil.hpp"
 #include "src/sim/constmem.hpp"
 
@@ -17,7 +18,8 @@ ReplayRunner::ReplayRunner(const Arch& arch, const KernelBody& body,
                            const LaunchConfig& cfg, TraceLevel trace,
                            u64 max_rounds, const BlockClassifier& classify,
                            const ReplayOriginsFn& origins,
-                           PatternCache* pattern)
+                           PatternCache* pattern,
+                           analysis::BlockChecker* checker)
     : arch_(arch),
       body_(body),
       cfg_(cfg),
@@ -25,7 +27,8 @@ ReplayRunner::ReplayRunner(const Arch& arch, const KernelBody& body,
       max_rounds_(max_rounds),
       classify_(classify),
       origins_fn_(origins),
-      pattern_(pattern) {
+      pattern_(pattern),
+      checker_(checker) {
   gmem_scratch_.sectors.reserve(2 * arch.warp_size);
 }
 
@@ -35,10 +38,18 @@ void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
   const auto it = classes_.find(cls);
   if (it != classes_.end()) {
     ClassState& cs = it->second;
+    if (cs.raced) {
+      // Tainted class: the representative raced, so this block re-executes
+      // fully under the checker (counted as executed, not replayed).
+      run_block(arch_, body_, cfg_, block_idx, trace_level_, max_rounds_,
+                const_cache, gm_l2, stats, nullptr, pattern_, checker_);
+      return;
+    }
     if (cs.tape_ready && cs.validated) {
       enqueue_tape(block_idx, cs, stats);
     } else {
       replay(block_idx, cs.trace, const_cache, gm_l2, stats);
+      if (checker_ != nullptr) harvest_gm_stores(block_idx);
       if (cs.tape_ready) {
         // The first fast-forward block of the class doubles as the tape's
         // relocation proof: its recorded access streams must match the
@@ -58,7 +69,8 @@ void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
   ClassState cs;
   KernelStats local;
   run_block(arch_, body_, cfg_, block_idx, trace_level_, max_rounds_,
-            const_cache, gm_l2, local, &cs.trace, pattern_);
+            const_cache, gm_l2, local, &cs.trace, pattern_, checker_);
+  cs.raced = checker_ != nullptr && checker_->current_block_raced();
   cs.trace.invariant = local;
   KernelStats& cmp = cs.trace.compute;
   cmp.fma_lane_ops = local.fma_lane_ops;
@@ -78,8 +90,11 @@ void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
   inv.blocks_executed = 0;
   stats += local;
   // The dataflow tape only serves functional launches (timing launches
-  // need the per-block transaction walk anyway) of relocatable kernels.
-  if (trace_level_ == TraceLevel::Functional && origins_fn_) {
+  // need the per-block transaction walk anyway) of relocatable kernels —
+  // and never under the hazard checker, whose GM overlap scan needs the
+  // access streams the tape tier skips.
+  if (trace_level_ == TraceLevel::Functional && origins_fn_ &&
+      checker_ == nullptr) {
     capture_tape(block_idx, cs);
   }
   classes_.emplace(cls, std::move(cs));
@@ -217,6 +232,21 @@ void ReplayRunner::replay(Dim3 block_idx, const BlockTrace& trace,
         std::max(stats.max_warp_instrs, max_events + max_fma + max_alu);
   }
   ++stats.blocks_executed;
+}
+
+void ReplayRunner::harvest_gm_stores(Dim3 block_idx) {
+  // The fast-forward recorders keep every global/constant access of the
+  // replayed block; feed the stores (lane-major — interval order does not
+  // matter, the overlap scan sorts globally) to the cross-block map.
+  checker_->gm_begin(block_idx);
+  for (const LaneRecorder& rec : recorders_) {
+    for (const Access& a : rec.analyzed) {
+      if (a.op == Op::StoreGlobal && a.bytes != 0) {
+        checker_->gm_note(a.addr, a.bytes);
+      }
+    }
+  }
+  checker_->gm_end();
 }
 
 void ReplayRunner::capture_tape(Dim3 block_idx, ClassState& cs) {

@@ -60,10 +60,21 @@ class ReplayRunner {
  public:
   /// `pattern` (optional) memoizes the chunk's warp access-pattern analysis
   /// for both captured and replayed blocks (docs/MODEL.md §5c).
+  ///
+  /// `checker` (optional) enables hazard checking (docs/MODEL.md §6): each
+  /// class representative runs under the full shadow-state detector; if it
+  /// raced, the whole class is tainted and every later block of it falls
+  /// back to full execution with checking (a racy trace has no trustworthy
+  /// event order to replay, and each block must report its own hazards).
+  /// Congruent blocks of clean classes replay as usual — congruence hashes
+  /// cover their shared-memory pattern — with only their global writes
+  /// harvested for the cross-block overlap scan. The coroutine-free tape
+  /// tier is disabled while checking (it records no access streams).
   ReplayRunner(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, TraceLevel trace, u64 max_rounds,
                const BlockClassifier& classify, const ReplayOriginsFn& origins,
-               PatternCache* pattern = nullptr);
+               PatternCache* pattern = nullptr,
+               analysis::BlockChecker* checker = nullptr);
 
   /// Executes or replays `block_idx`, accumulating into `stats` exactly
   /// what the direct path would have (serially, including cache counters).
@@ -88,6 +99,9 @@ class ReplayRunner {
     ReplayOrigins origins;  // anchors declared for the captured block
     bool tape_ready = false;
     bool validated = false;
+    /// The class representative raced under the hazard checker: every
+    /// later block of the class executes fully instead of replaying.
+    bool raced = false;
     /// Blocks queued for batched tape interpretation: per-origin base
     /// pointers, already rebased and prologue-validated at enqueue time.
     struct PendingBlock {
@@ -106,6 +120,9 @@ class ReplayRunner {
 
   void replay(Dim3 block_idx, const BlockTrace& trace, L2Cache* const_cache,
               L2Cache& gm_l2, KernelStats& stats);
+  /// Feeds the global stores of the block just replayed (still in the
+  /// recorders) to the checker's cross-block overlap map.
+  void harvest_gm_stores(Dim3 block_idx);
   /// Re-runs the captured block in tagging mode, filling cs.tape.
   void capture_tape(Dim3 block_idx, ClassState& cs);
   /// Checks the fast-forward recorders of the block just replayed against
@@ -130,6 +147,7 @@ class ReplayRunner {
   const BlockClassifier& classify_;
   const ReplayOriginsFn& origins_fn_;
   PatternCache* pattern_;
+  analysis::BlockChecker* checker_;
 
   std::unordered_map<u64, ClassState> classes_;
   u64 blocks_replayed_ = 0;

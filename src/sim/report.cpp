@@ -1,5 +1,6 @@
 #include "src/sim/report.hpp"
 
+#include "src/analysis/report.hpp"
 #include "src/common/strutil.hpp"
 
 namespace kconv::sim {
@@ -79,6 +80,9 @@ std::string format_report(const Arch& arch, const LaunchResult& res) {
                   ? static_cast<double>(s.barriers) /
                         static_cast<double>(s.blocks_executed)
                   : 0.0);
+  if (res.analysis.hazard_checked || res.analysis.linted) {
+    out += analysis::format_analysis(res.analysis);
+  }
   return out;
 }
 
@@ -108,6 +112,12 @@ std::string to_json(const Arch& arch, const LaunchResult& res) {
               static_cast<unsigned long long>(s.smem_instrs));
   out += strf("  \"smem_request_cycles\": %llu,\n",
               static_cast<unsigned long long>(s.smem_request_cycles));
+  out += strf("  \"smem_lane_bytes\": %llu,\n",
+              static_cast<unsigned long long>(s.smem_lane_bytes));
+  out += strf("  \"smem_store_instrs\": %llu,\n",
+              static_cast<unsigned long long>(s.smem_store_instrs));
+  out += strf("  \"smem_store_request_cycles\": %llu,\n",
+              static_cast<unsigned long long>(s.smem_store_request_cycles));
   out += strf("  \"gm_sectors\": %llu,\n",
               static_cast<unsigned long long>(s.gm_sectors));
   out += strf("  \"gm_sectors_dram\": %llu,\n",
@@ -118,8 +128,13 @@ std::string to_json(const Arch& arch, const LaunchResult& res) {
               static_cast<unsigned long long>(s.pattern_lookups));
   out += strf("  \"pattern_hits\": %llu,\n",
               static_cast<unsigned long long>(s.pattern_hits));
-  out += strf("  \"barriers\": %llu\n",
-              static_cast<unsigned long long>(s.barriers));
+  const bool with_analysis = res.analysis.hazard_checked || res.analysis.linted;
+  out += strf("  \"barriers\": %llu%s\n",
+              static_cast<unsigned long long>(s.barriers),
+              with_analysis ? "," : "");
+  if (with_analysis) {
+    out += "  \"analysis\": " + analysis::to_json(res.analysis, 2) + "\n";
+  }
   out += "}";
   return out;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstring>
+#include <limits>
 
 #include "src/common/error.hpp"
 #include "src/common/strutil.hpp"
@@ -23,10 +24,19 @@ class SharedLayout {
   template <typename T>
   u32 alloc(i64 count, u32 align = 16) {
     KCONV_CHECK(count >= 0, "negative shared allocation");
-    size_ = static_cast<u32>(round_up(size_, align));
-    const u32 off = size_;
-    size_ += static_cast<u32>(count * static_cast<i64>(sizeof(T)));
-    return off;
+    KCONV_CHECK(align != 0 && (align & (align - 1)) == 0,
+                strf("shared alignment %u is not a nonzero power of two",
+                     align));
+    // All arithmetic in i64: a hostile count must not wrap the u32 size.
+    const i64 aligned = round_up(static_cast<i64>(size_), align);
+    const i64 end = aligned + count * static_cast<i64>(sizeof(T));
+    KCONV_CHECK(end <= static_cast<i64>(std::numeric_limits<u32>::max()),
+                strf("shared layout overflows: %lld elements of %zu bytes "
+                     "at offset %lld",
+                     static_cast<long long>(count), sizeof(T),
+                     static_cast<long long>(aligned)));
+    size_ = static_cast<u32>(end);
+    return static_cast<u32>(aligned);
   }
 
   /// Total bytes to request in the LaunchConfig.

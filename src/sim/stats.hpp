@@ -30,6 +30,16 @@ struct KernelStats {
   u64 smem_request_cycles = 0;
   /// Useful bytes moved to/from shared memory (sum of unique lane bytes).
   u64 smem_bytes = 0;
+  /// Sum of the bytes each lane asked for, per SM instruction (counts
+  /// broadcast reads at full width, unlike smem_bytes). Divided by
+  /// warp_size * smem_instrs this is the average lane access width the
+  /// bank-width-mismatch lint compares against W_SMB.
+  u64 smem_lane_bytes = 0;
+  /// Store-side split of smem_instrs / smem_request_cycles: the paper's
+  /// transposed-filter conflicts (§4.2) live entirely on stores and would
+  /// be diluted by conflict-free loads in the combined replay factor.
+  u64 smem_store_instrs = 0;
+  u64 smem_store_request_cycles = 0;
 
   // --- Global memory ----------------------------------------------------------
   /// Warp-level global-memory instructions issued.
@@ -84,6 +94,9 @@ struct KernelStats {
     smem_instrs += o.smem_instrs;
     smem_request_cycles += o.smem_request_cycles;
     smem_bytes += o.smem_bytes;
+    smem_lane_bytes += o.smem_lane_bytes;
+    smem_store_instrs += o.smem_store_instrs;
+    smem_store_request_cycles += o.smem_store_request_cycles;
     gm_instrs += o.gm_instrs;
     gm_sectors += o.gm_sectors;
     gm_sectors_dram += o.gm_sectors_dram;
@@ -111,6 +124,14 @@ struct KernelStats {
     return smem_instrs == 0 ? 0.0
                             : static_cast<double>(smem_request_cycles) /
                                   static_cast<double>(smem_instrs);
+  }
+
+  /// Average SM request cycles per SM *store* instruction.
+  double smem_store_replay_factor() const {
+    return smem_store_instrs == 0
+               ? 0.0
+               : static_cast<double>(smem_store_request_cycles) /
+                     static_cast<double>(smem_store_instrs);
   }
 
   /// Access-pattern-cache hit rate (0.0 when the cache never engaged).

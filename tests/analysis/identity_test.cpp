@@ -1,0 +1,133 @@
+// kconv-check is purely observational: simulation outputs and every
+// existing counter must be bit-identical with checking on or off, in all
+// three launch modes (serial, parallel, replay). docs/MODEL.md §6.
+#include <gtest/gtest.h>
+
+#include "src/kernels/general_conv.hpp"
+#include "src/kernels/special_conv.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::analysis {
+namespace {
+
+void expect_same_stats(const sim::KernelStats& a, const sim::KernelStats& b) {
+  EXPECT_EQ(a.fma_lane_ops, b.fma_lane_ops);
+  EXPECT_EQ(a.fma_warp_instrs, b.fma_warp_instrs);
+  EXPECT_EQ(a.alu_lane_ops, b.alu_lane_ops);
+  EXPECT_EQ(a.smem_instrs, b.smem_instrs);
+  EXPECT_EQ(a.smem_request_cycles, b.smem_request_cycles);
+  EXPECT_EQ(a.smem_bytes, b.smem_bytes);
+  EXPECT_EQ(a.smem_lane_bytes, b.smem_lane_bytes);
+  EXPECT_EQ(a.smem_store_instrs, b.smem_store_instrs);
+  EXPECT_EQ(a.smem_store_request_cycles, b.smem_store_request_cycles);
+  EXPECT_EQ(a.gm_instrs, b.gm_instrs);
+  EXPECT_EQ(a.gm_sectors, b.gm_sectors);
+  EXPECT_EQ(a.gm_sectors_dram, b.gm_sectors_dram);
+  EXPECT_EQ(a.gm_bytes_useful, b.gm_bytes_useful);
+  EXPECT_EQ(a.const_instrs, b.const_instrs);
+  EXPECT_EQ(a.const_requests, b.const_requests);
+  EXPECT_EQ(a.const_line_misses, b.const_line_misses);
+  EXPECT_EQ(a.barriers, b.barriers);
+  EXPECT_EQ(a.gm_phases, b.gm_phases);
+  EXPECT_EQ(a.gm_dep_phases, b.gm_dep_phases);
+  EXPECT_EQ(a.divergent_retires, b.divergent_retires);
+  EXPECT_EQ(a.max_warp_instrs, b.max_warp_instrs);
+  EXPECT_EQ(a.blocks_executed, b.blocks_executed);
+}
+
+void expect_same_output(const tensor::Tensor& a, const tensor::Tensor& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (i64 n = 0; n < a.n(); ++n)
+    for (i64 c = 0; c < a.c(); ++c)
+      for (i64 y = 0; y < a.h(); ++y)
+        for (i64 x = 0; x < a.w(); ++x)
+          ASSERT_EQ(a.at(n, c, y, x), b.at(n, c, y, x));
+}
+
+struct ModeCase {
+  const char* name;
+  u32 threads;
+  bool replay;
+};
+
+constexpr ModeCase kModes[] = {
+    {"serial", 1, false},
+    {"parallel", 3, false},
+    {"replay", 1, true},
+};
+
+TEST(CheckIdentity, SpecialConvBitIdenticalWithCheckingOn) {
+  Rng rng(7);
+  tensor::Tensor img = tensor::Tensor::image(1, 20, 300);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 1, 3);
+  flt.fill_random(rng);
+
+  for (const ModeCase& m : kModes) {
+    SCOPED_TRACE(m.name);
+    sim::Device dev(sim::kepler_k40m());
+    sim::LaunchOptions off;
+    off.num_threads = m.threads;
+    off.replay = m.replay;
+    const auto base = kernels::special_conv(dev, img, flt, {}, off);
+
+    sim::LaunchOptions on = off;
+    on.hazard_check = true;
+    on.lint = true;
+    const auto checked = kernels::special_conv(dev, img, flt, {}, on);
+
+    expect_same_stats(base.launch.stats, checked.launch.stats);
+    EXPECT_DOUBLE_EQ(base.launch.timing.total_cycles,
+                     checked.launch.timing.total_cycles);
+    ASSERT_TRUE(base.output_valid);
+    ASSERT_TRUE(checked.output_valid);
+    expect_same_output(base.output, checked.output);
+    EXPECT_TRUE(checked.launch.analysis.clean());
+    // The clean kernel's replay classes stay replayable under checking.
+    EXPECT_EQ(base.launch.blocks_replayed, checked.launch.blocks_replayed);
+  }
+}
+
+TEST(CheckIdentity, GeneralConvBitIdenticalWithCheckingOn) {
+  Rng rng(11);
+  tensor::Tensor img = tensor::Tensor::image(4, 12, 66);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(64, 4, 3);
+  flt.fill_random(rng);
+
+  for (const ModeCase& m : kModes) {
+    SCOPED_TRACE(m.name);
+    sim::Device dev(sim::kepler_k40m());
+    sim::LaunchOptions off;
+    off.num_threads = m.threads;
+    off.replay = m.replay;
+    const auto base = kernels::general_conv(dev, img, flt, {}, off);
+
+    sim::LaunchOptions on = off;
+    on.hazard_check = true;
+    on.lint = true;
+    const auto checked = kernels::general_conv(dev, img, flt, {}, on);
+
+    expect_same_stats(base.launch.stats, checked.launch.stats);
+    ASSERT_TRUE(base.output_valid);
+    ASSERT_TRUE(checked.output_valid);
+    expect_same_output(base.output, checked.output);
+    EXPECT_TRUE(checked.launch.analysis.clean());
+  }
+}
+
+TEST(CheckIdentity, ReportOmitsAnalysisWhenUnchecked) {
+  sim::Device dev(sim::kepler_k40m());
+  Rng rng(3);
+  tensor::Tensor img = tensor::Tensor::image(1, 12, 140);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(4, 1, 3);
+  flt.fill_random(rng);
+  const auto res = kernels::special_conv(dev, img, flt, {}, {});
+  EXPECT_FALSE(res.launch.analysis.hazard_checked);
+  EXPECT_FALSE(res.launch.analysis.linted);
+  EXPECT_TRUE(res.launch.analysis.clean());
+}
+
+}  // namespace
+}  // namespace kconv::analysis

@@ -128,6 +128,41 @@ TEST(SharedLayoutTest, OffsetsAlignedAndPacked) {
   EXPECT_EQ(l.size(), 32u);
 }
 
+TEST(SharedLayoutTest, RejectsBadAlignment) {
+  SharedLayout l;
+  EXPECT_THROW(l.alloc<float>(4, 0), Error);
+  EXPECT_THROW(l.alloc<float>(4, 3), Error);
+  EXPECT_THROW(l.alloc<float>(4, 48), Error);
+  EXPECT_NO_THROW(l.alloc<float>(4, 1));
+  EXPECT_NO_THROW(l.alloc<float>(4, 64));
+}
+
+TEST(SharedLayoutTest, RejectsNegativeCount) {
+  SharedLayout l;
+  EXPECT_THROW(l.alloc<float>(-1), Error);
+}
+
+TEST(SharedLayoutTest, RejectsU32Overflow) {
+  SharedLayout l;
+  // count * sizeof(T) alone would wrap a u32 if computed in 32 bits.
+  EXPECT_THROW(l.alloc<float>(static_cast<i64>(1) << 31), Error);
+  // An in-range request after a large one must account for the running
+  // offset, not just the new size.
+  EXPECT_NO_THROW(l.alloc<std::byte>((static_cast<i64>(1) << 32) - 64));
+  EXPECT_THROW(l.alloc<float>(32), Error);
+}
+
+TEST(SharedLayoutTest, OverflowingRequestLeavesLayoutUsable) {
+  SharedLayout l;
+  const u32 a = l.alloc<float>(4);
+  EXPECT_THROW(l.alloc<float>(static_cast<i64>(1) << 40), Error);
+  // The failed request reserved nothing.
+  const u32 b = l.alloc<float>(4);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 16u);
+  EXPECT_EQ(l.size(), 32u);
+}
+
 TEST(SharedViewTest, BoundsAndAlignment) {
   std::vector<std::byte> storage(64);
   SharedView<float> v(storage.data(), 64, 0, 16);

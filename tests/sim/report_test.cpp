@@ -2,10 +2,137 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/report.hpp"
+
 #include "src/sim/sim.hpp"
 
 namespace kconv::sim {
 namespace {
+
+// --- Minimal JSON reader ---------------------------------------------------
+// Just enough of a recursive-descent parser to round-trip sim::to_json and
+// pin its schema; rejects anything malformed instead of guessing.
+
+struct JsonValue {
+  enum class Type { Object, Array, String, Number, Bool, Null };
+  Type type = Type::Null;
+  double number = 0.0;
+  bool boolean = false;
+  std::string str;
+  std::map<std::string, std::shared_ptr<JsonValue>> object;
+  std::vector<std::shared_ptr<JsonValue>> array;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  std::shared_ptr<JsonValue> parse() {
+    auto v = value();
+    skip_ws();
+    KCONV_CHECK(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    KCONV_CHECK(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    KCONV_CHECK(peek() == c, strf("expected '%c' at offset %zu", c, pos_));
+    ++pos_;
+  }
+
+  bool consume(const char* lit) {
+    skip_ws();
+    const size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (true) {
+      KCONV_CHECK(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      KCONV_CHECK(c != '\\', "escapes not used by sim::to_json");
+      out += c;
+    }
+  }
+
+  std::shared_ptr<JsonValue> value() {
+    auto v = std::make_shared<JsonValue>();
+    const char c = peek();
+    if (c == '{') {
+      v->type = JsonValue::Type::Object;
+      expect('{');
+      if (peek() != '}') {
+        do {
+          std::string key = string_lit();
+          expect(':');
+          KCONV_CHECK(v->object.emplace(std::move(key), value()).second,
+                      "duplicate JSON key");
+        } while (consume(","));
+      }
+      expect('}');
+    } else if (c == '[') {
+      v->type = JsonValue::Type::Array;
+      expect('[');
+      if (peek() != ']') {
+        do {
+          v->array.push_back(value());
+        } while (consume(","));
+      }
+      expect(']');
+    } else if (c == '"') {
+      v->type = JsonValue::Type::String;
+      v->str = string_lit();
+    } else if (consume("true")) {
+      v->type = JsonValue::Type::Bool;
+      v->boolean = true;
+    } else if (consume("false")) {
+      v->type = JsonValue::Type::Bool;
+      v->boolean = false;
+    } else if (consume("null")) {
+      v->type = JsonValue::Type::Null;
+    } else {
+      v->type = JsonValue::Type::Number;
+      size_t used = 0;
+      v->number = std::stod(text_.substr(pos_), &used);
+      KCONV_CHECK(used > 0, "malformed JSON number");
+      pos_ += used;
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+const JsonValue& field(const JsonValue& obj, const std::string& key) {
+  const auto it = obj.object.find(key);
+  EXPECT_NE(it, obj.object.end()) << "missing key: " << key;
+  KCONV_CHECK(it != obj.object.end(), "missing key " + key);
+  return *it->second;
+}
 
 /// A tiny kernel exercising all memory spaces so the report has content.
 class AllSpacesKernel {
@@ -16,17 +143,18 @@ class AllSpacesKernel {
 
   ThreadProgram operator()(ThreadCtx& t) const {
     auto sh = t.shared<float>(sh_off, 64);
+    const i64 g_idx = t.block_idx.x * 64 + t.thread_idx.x;
     const float c = co_await t.ld_const(cm, 0);
-    const float g = co_await t.ld_global(gm, t.thread_idx.x);
+    const float g = co_await t.ld_global(gm, g_idx);
     co_await t.st_shared(sh, t.thread_idx.x, t.fma(g, c, 1.0f));
     co_await t.sync();
     const float v = co_await t.ld_shared(sh, t.thread_idx.x);
-    co_await t.st_global(gm, t.thread_idx.x, v);
+    co_await t.st_global(gm, g_idx, v);
   }
 };
 
-LaunchResult run_once(Device& dev) {
-  auto arr = dev.alloc<float>(64);
+LaunchResult run_once(Device& dev, const LaunchOptions& opt = {}) {
+  auto arr = dev.alloc<float>(4 * 64);
   std::vector<float> cdata = {2.0f};
   auto cm = dev.alloc_const<float>(cdata);
   AllSpacesKernel k;
@@ -38,7 +166,7 @@ LaunchResult run_once(Device& dev) {
   cfg.grid = {4, 1, 1};
   cfg.block = {64, 1, 1};
   cfg.shared_bytes = smem.size();
-  return launch(dev, k, cfg);
+  return launch(dev, k, cfg, opt);
 }
 
 TEST(Report, FullReportMentionsEverySection) {
@@ -74,6 +202,151 @@ TEST(Report, JsonHasBalancedBracesAndKeys) {
   // No trailing comma before the closing brace.
   const auto pos = j.rfind(',');
   EXPECT_LT(pos, j.rfind('"'));
+}
+
+// --- JSON schema round trip -----------------------------------------------
+
+TEST(Report, JsonRoundTripMatchesKernelStatsSchema) {
+  Device dev(kepler_k40m());
+  const auto res = run_once(dev);
+  const auto root = JsonReader(to_json(dev.arch(), res)).parse();
+  ASSERT_EQ(root->type, JsonValue::Type::Object);
+
+  // Strings and flags.
+  EXPECT_EQ(field(*root, "arch").type, JsonValue::Type::String);
+  EXPECT_EQ(field(*root, "arch").str, dev.arch().name);
+  EXPECT_EQ(field(*root, "bound").type, JsonValue::Type::String);
+  EXPECT_EQ(field(*root, "sampled").type, JsonValue::Type::Bool);
+  EXPECT_FALSE(field(*root, "sampled").boolean);
+
+  // Every counter key must exist, be a number, and round-trip its value.
+  const std::map<std::string, u64> counters = {
+      {"blocks_total", res.blocks_total},
+      {"blocks_executed", res.blocks_executed},
+      {"fma_lane_ops", res.stats.fma_lane_ops},
+      {"smem_instrs", res.stats.smem_instrs},
+      {"smem_request_cycles", res.stats.smem_request_cycles},
+      {"smem_lane_bytes", res.stats.smem_lane_bytes},
+      {"smem_store_instrs", res.stats.smem_store_instrs},
+      {"smem_store_request_cycles", res.stats.smem_store_request_cycles},
+      {"gm_sectors", res.stats.gm_sectors},
+      {"gm_sectors_dram", res.stats.gm_sectors_dram},
+      {"const_requests", res.stats.const_requests},
+      {"pattern_lookups", res.stats.pattern_lookups},
+      {"pattern_hits", res.stats.pattern_hits},
+      {"barriers", res.stats.barriers},
+  };
+  for (const auto& [key, expected] : counters) {
+    const JsonValue& v = field(*root, key);
+    ASSERT_EQ(v.type, JsonValue::Type::Number) << key;
+    EXPECT_EQ(static_cast<u64>(v.number), expected) << key;
+    EXPECT_GT(expected, 0u) << key << " is 0: the round trip proves nothing";
+  }
+  EXPECT_GT(field(*root, "seconds").number, 0.0);
+  EXPECT_GT(field(*root, "gflops").number, 0.0);
+
+  const JsonValue& pipes = field(*root, "pipes");
+  ASSERT_EQ(pipes.type, JsonValue::Type::Object);
+  for (const char* key :
+       {"compute", "issue", "smem", "gmem", "const", "latency_floor"}) {
+    EXPECT_EQ(field(pipes, key).type, JsonValue::Type::Number) << key;
+  }
+
+  // No analysis object unless checking was requested.
+  EXPECT_EQ(root->object.count("analysis"), 0u);
+}
+
+TEST(Report, JsonCarriesAnalysisObjectWhenChecked) {
+  Device dev(kepler_k40m());
+  LaunchOptions opt;
+  opt.hazard_check = true;
+  opt.lint = true;
+  const auto res = run_once(dev, opt);
+  const auto root = JsonReader(to_json(dev.arch(), res)).parse();
+
+  const JsonValue& a = field(*root, "analysis");
+  ASSERT_EQ(a.type, JsonValue::Type::Object);
+  EXPECT_TRUE(field(a, "hazard_checked").boolean);
+  EXPECT_TRUE(field(a, "linted").boolean);
+  EXPECT_TRUE(field(a, "clean").boolean);
+  EXPECT_EQ(static_cast<u64>(field(a, "blocks_checked").number),
+            res.blocks_executed);
+  EXPECT_EQ(field(a, "races_total").number, 0.0);
+  EXPECT_EQ(field(a, "gm_overlaps_total").number, 0.0);
+  EXPECT_EQ(field(a, "hazards").type, JsonValue::Type::Array);
+  EXPECT_TRUE(field(a, "hazards").array.empty());
+  EXPECT_EQ(field(a, "lints").type, JsonValue::Type::Array);
+}
+
+TEST(Report, AnalysisJsonRecordsRoundTrip) {
+  analysis::AnalysisReport rep;
+  rep.hazard_checked = true;
+  rep.linted = true;
+  rep.blocks_checked = 3;
+  rep.races_total = 1;
+  rep.gm_overlaps_total = 1;
+
+  analysis::HazardRecord race;
+  race.kind = analysis::HazardKind::SmemRaw;
+  race.block = {2, 0, 0};
+  race.addr = 0x40;
+  race.bytes = 4;
+  race.epoch = 5;
+  race.first = {Op::StoreShared, 1, 7, 3, 21};
+  race.second = {Op::LoadShared, 0, 4, 9, 44};
+  rep.hazards.push_back(race);
+
+  analysis::HazardRecord overlap;
+  overlap.kind = analysis::HazardKind::GmemBlockOverlap;
+  overlap.block = {1, 0, 0};
+  overlap.other_block = {0, 0, 0};
+  overlap.addr = 0x1000;
+  overlap.bytes = 128;
+  rep.hazards.push_back(overlap);
+
+  analysis::LintFinding lint;
+  lint.kind = analysis::LintKind::BankConflictReplays;
+  lint.severity = analysis::Severity::Warning;
+  lint.value = 15.2;
+  lint.threshold = 2.5;
+  lint.message = "smem stores replay 15.2x";
+  lint.remediation = "pad the leading dimension by one bank";
+  rep.lints.push_back(lint);
+
+  const auto a = JsonReader(analysis::to_json(rep)).parse();
+  EXPECT_FALSE(field(*a, "clean").boolean);
+  ASSERT_EQ(field(*a, "hazards").array.size(), 2u);
+
+  const JsonValue& jrace = *field(*a, "hazards").array[0];
+  EXPECT_EQ(field(jrace, "kind").str, "smem-race-raw");
+  ASSERT_EQ(field(jrace, "block").array.size(), 3u);
+  EXPECT_EQ(field(jrace, "block").array[0]->number, 2.0);
+  EXPECT_EQ(field(jrace, "addr").number, 64.0);
+  EXPECT_EQ(field(jrace, "epoch").number, 5.0);
+  const JsonValue& jfirst = field(jrace, "first");
+  EXPECT_EQ(field(jfirst, "op").str, "st.shared");
+  EXPECT_EQ(field(jfirst, "warp").number, 1.0);
+  EXPECT_EQ(field(jfirst, "lane").number, 7.0);
+  EXPECT_EQ(field(jfirst, "op_index").number, 21.0);
+  EXPECT_EQ(field(field(jrace, "second"), "op").str, "ld.shared");
+
+  const JsonValue& joverlap = *field(*a, "hazards").array[1];
+  EXPECT_EQ(field(joverlap, "kind").str, "gmem-block-overlap");
+  EXPECT_EQ(field(joverlap, "other_block").array.size(), 3u);
+  EXPECT_EQ(field(joverlap, "bytes").number, 128.0);
+  EXPECT_EQ(joverlap.object.count("epoch"), 0u);
+
+  const JsonValue& jlint = *field(*a, "lints").array[0];
+  EXPECT_EQ(field(jlint, "kind").str, "bank-conflict-replays");
+  EXPECT_EQ(field(jlint, "severity").str, "warning");
+  EXPECT_EQ(field(jlint, "threshold").number, 2.5);
+  EXPECT_EQ(field(jlint, "message").str, "smem stores replay 15.2x");
+
+  // Quotes in messages are escaped (the reader above keeps no escape
+  // handling, so assert on the raw text).
+  rep.lints[0].message = "the \"+1\" padding trick";
+  const std::string j = analysis::to_json(rep);
+  EXPECT_NE(j.find("the \\\"+1\\\" padding trick"), std::string::npos);
 }
 
 }  // namespace
