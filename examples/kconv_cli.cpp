@@ -4,18 +4,23 @@
 //             [--arch kepler|kepler4b|fermi|maxwell]
 //             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
 //             [--sample B] [--threads T] [--replay] [--no-pattern-cache]
-//             [--check] [--json]
+//             [--check] [--profile] [--trace-out FILE] [--json]
 //
 // Prints the performance report (or JSON with --json) and verifies against
 // the CPU reference when the launch ran every block. With --check, runs the
 // kconv-check hazard detector and efficiency linter (docs/MODEL.md §6) and
-// exits 3 when the launch is not clean.
+// exits 3 when the launch is not clean. With --profile, runs kconv-prof
+// phase accounting (docs/MODEL.md §7) and appends the per-phase/roofline
+// breakdown to the report (or the "profile" block to the JSON);
+// --trace-out additionally writes a Chrome trace-event / Perfetto JSON
+// timeline of the first executed blocks.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/core/conv_api.hpp"
+#include "src/profile/trace_export.hpp"
 #include "src/sim/report.hpp"
 #include "src/tensor/compare.hpp"
 #include "src/tensor/conv_ref.hpp"
@@ -24,15 +29,16 @@ using namespace kconv;
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
+void print_usage(std::FILE* to, const char* argv0) {
   std::fprintf(
-      stderr,
+      to,
       "usage: %s [--algo auto|special|general|implicit-gemm|im2col-gemm|\n"
       "                  naive|winograd|fft]\n"
       "          [--arch kepler|kepler4b|fermi|maxwell]\n"
       "          [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]\n"
       "          [--sample BLOCKS] [--threads T] [--replay]\n"
-      "          [--no-pattern-cache] [--check] [--json]\n"
+      "          [--no-pattern-cache] [--check] [--profile]\n"
+      "          [--trace-out FILE] [--json] [--help]\n"
       "  --threads T   host threads simulating blocks (0 = all cores;\n"
       "                default 1 = exact-legacy serial semantics)\n"
       "  --replay      trace-replay repeated block classes (MODEL.md \u00a75b)\n"
@@ -41,8 +47,19 @@ namespace {
       "                \u00a75c; results are bit-identical either way)\n"
       "  --check       kconv-check: shared-memory race detection +\n"
       "                memory-efficiency lints (MODEL.md \u00a76); exit 3\n"
-      "                when the kernel is not clean\n",
+      "                when the kernel is not clean\n"
+      "  --profile     kconv-prof: per-phase counters and roofline\n"
+      "                bottleneck attribution (MODEL.md \u00a77); purely\n"
+      "                observational, outputs are bit-identical\n"
+      "  --trace-out FILE\n"
+      "                write a Chrome trace-event / Perfetto JSON timeline\n"
+      "                (implies --profile; open in ui.perfetto.dev)\n"
+      "  --help        print this message and exit\n",
       argv0);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  print_usage(stderr, argv0);
   std::exit(2);
 }
 
@@ -50,9 +67,9 @@ namespace {
 
 int main(int argc, char** argv) {
   i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0, threads = 1;
-  std::string algo = "auto", arch_name = "kepler";
+  std::string algo = "auto", arch_name = "kepler", trace_out;
   bool same = false, json = false, replay = false, pattern_cache = true;
-  bool check = false;
+  bool check = false, profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -60,6 +77,10 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
+    if (a == "--help" || a == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    }
     if (a == "--algo") algo = next();
     else if (a == "--arch") arch_name = next();
     else if (a == "--c") c = std::atoll(next());
@@ -73,9 +94,14 @@ int main(int argc, char** argv) {
     else if (a == "--replay") replay = true;
     else if (a == "--no-pattern-cache") pattern_cache = false;
     else if (a == "--check") check = true;
+    else if (a == "--profile") profile = true;
+    else if (a == "--trace-out") trace_out = next();
+    else if (a.rfind("--trace-out=", 0) == 0)
+      trace_out = a.substr(std::strlen("--trace-out="));
     else if (a == "--json") json = true;
     else usage(argv[0]);
   }
+  if (!trace_out.empty()) profile = true;
 
   sim::Arch arch;
   if (arch_name == "kepler") arch = sim::kepler_k40m();
@@ -103,6 +129,21 @@ int main(int argc, char** argv) {
   opt.launch.pattern_cache = pattern_cache;
   opt.launch.hazard_check = check;
   opt.launch.lint = check;
+  opt.launch.profile = profile;
+
+  // Fail fast on an unwritable trace destination — before the simulation
+  // spends time, and with a diagnostic instead of a lost trace.
+  if (!trace_out.empty()) {
+    std::FILE* probe = std::fopen(trace_out.c_str(), "w");
+    if (probe == nullptr) {
+      std::fprintf(stderr,
+                   "error: cannot open trace output file '%s' for writing "
+                   "(check that the directory exists and is writable)\n",
+                   trace_out.c_str());
+      return 2;
+    }
+    std::fclose(probe);
+  }
 
   Rng rng(1);
   tensor::Tensor img = tensor::Tensor::image(c, n, n);
@@ -125,6 +166,24 @@ int main(int argc, char** argv) {
             res.output, tensor::conv2d_reference(img, flt, pad), 2e-4, 2e-4);
         std::printf("matches CPU reference: %s\n", ok ? "yes" : "NO");
         if (!ok) return 1;
+      }
+    }
+    if (!trace_out.empty()) {
+      const std::string trace =
+          profile::chrome_trace_json(dev.arch(), res.launch.profile);
+      std::FILE* out = std::fopen(trace_out.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "error: cannot write trace output file '%s'\n",
+                     trace_out.c_str());
+        return 2;
+      }
+      std::fwrite(trace.data(), 1, trace.size(), out);
+      std::fclose(out);
+      if (!json) {
+        std::printf("trace written: %s (%llu timeline blocks)\n",
+                    trace_out.c_str(),
+                    static_cast<unsigned long long>(
+                        res.launch.profile.timelines.size()));
       }
     }
     if (check && !res.launch.analysis.clean()) return 3;

@@ -7,7 +7,9 @@
 #
 # Every numeric field ending in "blocks_per_sec" that appears in both the
 # baseline and the fresh artifact is compared; a drop beyond the tolerance
-# fails the check. Fields present on only one side are reported but not
+# fails the check. A baseline field MISSING from the fresh run also fails:
+# a silently dropped shape/mode is exactly the regression this check
+# exists to catch. Fields only the fresh run has are reported but not
 # fatal (new shapes/modes need a baseline refresh, not a red build).
 #
 #   KCONV_BENCH_TOLERANCE   fractional allowed drop, default 0.10 (= 10%)
@@ -72,7 +74,11 @@ throughputs(json.load(open(cur_path)), [], cur)
 failed = False
 for key in sorted(base):
     if key not in cur:
-        print(f"note {name}: {key} missing from fresh run (baseline stale?)")
+        print(f"FAIL {name}: baseline field {key} missing from the fresh "
+              f"run — the bench no longer emits this shape/mode. If that "
+              f"is intentional, refresh bench/baselines/{name} and say so "
+              f"in the commit message.")
+        failed = True
         continue
     drop = 1.0 - cur[key] / base[key] if base[key] > 0 else 0.0
     verdict = "FAIL" if drop > tolerance else "ok  "

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Sanity-checks a kconv-prof Chrome trace-event / Perfetto JSON file.
+
+  scripts/check_trace.py trace.json [trace2.json ...]
+
+Asserts, per file:
+  - the document is valid JSON with a traceEvents array;
+  - at least one metadata ("M"), one complete-slice ("X") and one counter
+    ("C") event is present;
+  - every slice name is a phase of the kconv-prof taxonomy;
+  - per (pid, tid) track, "X" slices do not overlap and timestamps are
+    monotonically non-decreasing (within print precision);
+  - every slice carries the expected counter args.
+
+Exit 0 when every file passes, 1 otherwise. CI runs this over the traces
+kconv_cli --trace-out writes for the three paper kernels.
+"""
+import json
+import sys
+
+PHASES = {"other", "gm_load", "smem_stage", "sync", "compute", "writeback",
+          "prefetch"}
+SLICE_ARGS = {"gm_sectors", "smem_request_cycles", "const_requests",
+              "fma_lane_ops", "barriers"}
+EPS = 2e-6  # ts and dur are printed with 6 decimals each
+
+
+def check(path):
+    errors = []
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents array"]
+    if not events:
+        return [f"{path}: traceEvents is empty (profiled launch expected)"]
+
+    seen_ph = set()
+    cursor = {}  # (pid, tid, ph) -> earliest allowed next ts
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        seen_ph.add(ph)
+        if ph == "M":
+            continue
+        key = (ev.get("pid"), ev.get("tid", 0), ph)
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{path}: event {i} has no numeric ts")
+            continue
+        if key in cursor and ts < cursor[key] - EPS:
+            errors.append(
+                f"{path}: event {i} ts {ts} overlaps previous event on "
+                f"track pid={key[0]} tid={key[1]} (expected >= {cursor[key]})")
+        if ph == "X":
+            name = ev.get("name")
+            if name not in PHASES:
+                errors.append(f"{path}: event {i} slice name {name!r} is "
+                              f"not a kconv-prof phase")
+            missing = SLICE_ARGS - set(ev.get("args", {}))
+            if missing:
+                errors.append(f"{path}: event {i} slice missing args "
+                              f"{sorted(missing)}")
+            dur = ev.get("dur", 0)
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{path}: event {i} has bad dur {dur!r}")
+                dur = 0
+            cursor[key] = ts + dur
+        elif ph == "C":
+            if "value" not in ev.get("args", {}):
+                errors.append(f"{path}: event {i} counter has no value")
+            cursor[key] = ts
+        else:
+            errors.append(f"{path}: event {i} unexpected ph {ph!r}")
+
+    for want in ("M", "X", "C"):
+        if want not in seen_ph:
+            errors.append(f"{path}: no {want!r} events "
+                          f"(metadata/slices/counters all expected)")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        errors = check(path)
+        if errors:
+            status = 1
+            for e in errors:
+                print(f"FAIL {e}")
+        else:
+            with open(path) as f:
+                n = len(json.load(f)["traceEvents"])
+            print(f"ok   {path} ({n} events)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,7 +3,12 @@
 # binary, so the perf trajectory is recorded PR over PR instead of lost
 # in scrollback.
 #
-#   scripts/run_benches.sh [build-dir] [out-dir]   # defaults: build, bench-out
+#   scripts/run_benches.sh [-o out-dir] [build-dir] [out-dir]
+#     defaults: build, bench-out
+#
+# The output directory is bench-out/ unless overridden — either with the
+# second positional argument (kept for compatibility) or explicitly with
+# -o, which wins over both.
 #
 # Each artifact records the bench name, wall-clock seconds, exit status
 # and captured stdout. Benches that already emit pure JSON (e.g.
@@ -12,8 +17,21 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+OUT_OVERRIDE=""
+while getopts "o:h" flag; do
+  case "$flag" in
+    o) OUT_OVERRIDE="$OPTARG" ;;
+    h|*)
+      echo "usage: scripts/run_benches.sh [-o out-dir] [build-dir] [out-dir]" >&2
+      exit 2
+      ;;
+  esac
+done
+shift $((OPTIND - 1))
+
 BUILD_DIR="${1:-build}"
-OUT_DIR="${2:-bench-out}"
+OUT_DIR="${OUT_OVERRIDE:-${2:-bench-out}}"
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: $BUILD_DIR/bench not found — build the project first" >&2

@@ -99,23 +99,41 @@ class SpecialKernelT {
     float win[kSpecialKernelMaxK][kSpecialKernelMaxWinCols] = {};
 
     // Algorithm 1, line 1: stage the first K input rows in shared memory.
+    // Phase scopes only re-label the accesses for kconv-prof; the access
+    // order is exactly the unannotated kernel's.
     for (i64 r = 0; r < K; ++r) {
       const i64 ir = row0 + r;  // always < Hi for a valid convolution
-      VecN v = co_await t.template ld_global_if<VecN>(
-          main_ok, in.buf, main_ok ? in.idx(0, ir, col0) : 0);
-      co_await t.st_shared_if(main_ok, sh, r * sh_stride + tid * N, v);
-      VecN v2 = co_await t.template ld_global_if<VecN>(
-          tail_ok, in.buf, tail_ok ? in.idx(0, ir, tail_col) : 0);
-      co_await t.st_shared_if(tail_ok, sh, r * sh_stride + W + tid * N, v2);
+      VecN v{}, v2{};
+      {
+        sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+        v = co_await t.template ld_global_if<VecN>(
+            main_ok, in.buf, main_ok ? in.idx(0, ir, col0) : 0);
+      }
+      {
+        sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+        co_await t.st_shared_if(main_ok, sh, r * sh_stride + tid * N, v);
+      }
+      {
+        sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+        v2 = co_await t.template ld_global_if<VecN>(
+            tail_ok, in.buf, tail_ok ? in.idx(0, ir, tail_col) : 0);
+      }
+      {
+        sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+        co_await t.st_shared_if(tail_ok, sh, r * sh_stride + W + tid * N, v2);
+      }
     }
     co_await t.sync();
 
     // Line 3: first K-1 rows into the register window.
-    for (i64 r = 0; r + 1 < K; ++r) {
-      for (i64 i = 0; i < wcols; i += N) {
-        VecN v = co_await t.template ld_shared<VecN>(
-            sh, r * sh_stride + tid * N + i);
-        for (int j = 0; j < N; ++j) win[r][i + j] = static_cast<float>(v[j]);
+    {
+      sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+      for (i64 r = 0; r + 1 < K; ++r) {
+        for (i64 i = 0; i < wcols; i += N) {
+          VecN v = co_await t.template ld_shared<VecN>(
+              sh, r * sh_stride + tid * N + i);
+          for (int j = 0; j < N; ++j) win[r][i + j] = static_cast<float>(v[j]);
+        }
       }
     }
 
@@ -125,11 +143,14 @@ class SpecialKernelT {
 
       // Line 6: latest row from SM into the window's last row.
       const i64 slot = (rr + K - 1) % K;
-      for (i64 i = 0; i < wcols; i += N) {
-        VecN v = co_await t.template ld_shared<VecN>(
-            sh, slot * sh_stride + tid * N + i);
-        for (int j = 0; j < N; ++j)
-          win[K - 1][i + j] = static_cast<float>(v[j]);
+      {
+        sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+        for (i64 i = 0; i < wcols; i += N) {
+          VecN v = co_await t.template ld_shared<VecN>(
+              sh, slot * sh_stride + tid * N + i);
+          for (int j = 0; j < N; ++j)
+            win[K - 1][i + j] = static_cast<float>(v[j]);
+        }
       }
 
       // Lines 7-8: N convolutions per filter, entirely from registers and
@@ -139,19 +160,25 @@ class SpecialKernelT {
       const bool write_ok = col0 < Wo;
       for (i64 f = 0; f < F; ++f) {
         Vec<float, N> acc{};
-        for (i64 dy = 0; dy < K; ++dy) {
-          for (i64 dx = 0; dx < K; ++dx) {
-            const float wv =
-                co_await t.ld_const(filt, (f * K + dy) * K + dx);
-            Vec<float, N> xs;
-            for (int j = 0; j < N; ++j) xs[j] = win[dy][dx + j];
-            acc = t.fma(xs, wv, acc);
+        {
+          sim::ProfilePhase phase(t, profile::Phase::Compute);
+          for (i64 dy = 0; dy < K; ++dy) {
+            for (i64 dx = 0; dx < K; ++dx) {
+              const float wv =
+                  co_await t.ld_const(filt, (f * K + dy) * K + dx);
+              Vec<float, N> xs;
+              for (int j = 0; j < N; ++j) xs[j] = win[dy][dx + j];
+              acc = t.fma(xs, wv, acc);
+            }
           }
         }
         VecN sv;
         for (int j = 0; j < N; ++j) sv[j] = T(acc[j]);
-        co_await t.st_global_if(write_ok, out.buf,
-                                write_ok ? out.idx(f, orow, col0) : 0, sv);
+        {
+          sim::ProfilePhase phase(t, profile::Phase::Writeback);
+          co_await t.st_global_if(write_ok, out.buf,
+                                  write_ok ? out.idx(f, orow, col0) : 0, sv);
+        }
       }
 
       // Line 5: prefetch the next input row into registers. The paper
@@ -160,17 +187,25 @@ class SpecialKernelT {
       // pipe-max combiner, so issue order inside the segment is free.
       const bool pf = rr + 1 < rows;
       const i64 ir = row0 + rr + K;
-      VecN pf_main = co_await t.template ld_global_if<VecN>(
-          pf && main_ok, in.buf, pf && main_ok ? in.idx(0, ir, col0) : 0);
-      VecN pf_tail = co_await t.template ld_global_if<VecN>(
-          pf && tail_ok, in.buf, pf && tail_ok ? in.idx(0, ir, tail_col) : 0);
+      VecN pf_main{}, pf_tail{};
+      {
+        sim::ProfilePhase phase(t, profile::Phase::Prefetch);
+        pf_main = co_await t.template ld_global_if<VecN>(
+            pf && main_ok, in.buf, pf && main_ok ? in.idx(0, ir, col0) : 0);
+        pf_tail = co_await t.template ld_global_if<VecN>(
+            pf && tail_ok, in.buf,
+            pf && tail_ok ? in.idx(0, ir, tail_col) : 0);
+      }
       co_await t.sync();  // line 9
 
       // Line 10: publish the prefetched row to its SM slot.
-      co_await t.st_shared_if(pf && main_ok, sh,
-                              (rr % K) * sh_stride + tid * N, pf_main);
-      co_await t.st_shared_if(pf && tail_ok, sh,
-                              (rr % K) * sh_stride + W + tid * N, pf_tail);
+      {
+        sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+        co_await t.st_shared_if(pf && main_ok, sh,
+                                (rr % K) * sh_stride + tid * N, pf_main);
+        co_await t.st_shared_if(pf && tail_ok, sh,
+                                (rr % K) * sh_stride + W + tid * N, pf_tail);
+      }
       co_await t.sync();  // line 11
 
       // Slide the register window down one row.

@@ -97,6 +97,7 @@ class GeneralKernel {
 
     // Lines 4-5: stage channels [0, CSH) straight into shared memory. This
     // initial fill is the one unavoidable load->store dependent phase.
+    // kconv-prof scopes re-label accesses only; issue order is untouched.
     for (i64 it = 0; it < img_iters; ++it) {
       const i64 u = tid + it * nthreads;
       const i64 ci = (u / (rows_halo * units_per_row)) % CSH;
@@ -106,10 +107,17 @@ class GeneralKernel {
       const i64 iy = sy * H + ry;
       const i64 ix = sx * W + cu * N;
       const bool ok = u < total_img_units && iy < Hi && ix < Wi;
-      VecN v = co_await t.template ld_global_if<VecN>(
-          ok, in.buf, ok ? in.idx(ci, iy, ix) : 0);
-      co_await t.st_shared_if(
-          ok, sh_img, (ci * rows_halo + ry) * stride_img + cu * N, v);
+      VecN v{};
+      {
+        sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+        v = co_await t.template ld_global_if<VecN>(
+            ok, in.buf, ok ? in.idx(ci, iy, ix) : 0);
+      }
+      {
+        sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+        co_await t.st_shared_if(
+            ok, sh_img, (ci * rows_halo + ry) * stride_img + cu * N, v);
+      }
     }
     for (i64 it = 0; it < flt_iters; ++it) {
       const i64 e = tid + it * nthreads;
@@ -118,9 +126,17 @@ class GeneralKernel {
       const i64 rem = ok ? e % (CSH * KK) : 0;
       const i64 ci = rem / KK;
       const i64 kk = rem % KK;
-      const float v = co_await t.ld_global_if(
-          ok, filt, ((fblk * FTB + f) * C + ci) * KK + kk);
-      co_await t.st_shared_if(ok, sh_flt, (ci * KK + kk) * stride_flt + f, v);
+      float v = 0.0f;
+      {
+        sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+        v = co_await t.ld_global_if(
+            ok, filt, ((fblk * FTB + f) * C + ci) * KK + kk);
+      }
+      {
+        sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+        co_await t.st_shared_if(ok, sh_flt, (ci * KK + kk) * stride_flt + f,
+                                v);
+      }
     }
     co_await t.sync();  // line 6
 
@@ -130,31 +146,37 @@ class GeneralKernel {
 
       // Lines 10-15: K rows x K rounds per staged channel. One rImg row of
       // WT+K-1 pixels feeds K rounds — the SM-traffic reduction of §4.2.
-      for (i64 i = 0; i < CSH; ++i) {
-        for (i64 j = 0; j < K; ++j) {
-          const i64 row_base =
-              (i * rows_halo + orow_local + j) * stride_img + ocol_local;
-          for (i64 u = 0; u * N < WT + K - 1; ++u) {
-            VecN v = co_await t.template ld_shared<VecN>(sh_img,
-                                                         row_base + u * N);
-            for (int jj = 0; jj < N; ++jj) rimg[u * N + jj] = v[jj];
-          }
-          for (i64 kx = 0; kx < K; ++kx) {
-            const i64 flt_base = (i * KK + j * K + kx) * stride_flt;
-            for (i64 u = 0; u < FT / N; ++u) {
-              VecN v = co_await t.template ld_shared<VecN>(
-                  sh_flt, flt_base + (tx + u * TX) * N);
-              for (int jj = 0; jj < N; ++jj) rflt[u * N + jj] = v[jj];
+      // The SM reads feeding registers here belong to the compute phase:
+      // their per-fma ratio is exactly what the §4.2 bound constrains.
+      {
+        sim::ProfilePhase phase(t, profile::Phase::Compute);
+        for (i64 i = 0; i < CSH; ++i) {
+          for (i64 j = 0; j < K; ++j) {
+            const i64 row_base =
+                (i * rows_halo + orow_local + j) * stride_img + ocol_local;
+            for (i64 u = 0; u * N < WT + K - 1; ++u) {
+              VecN v = co_await t.template ld_shared<VecN>(sh_img,
+                                                           row_base + u * N);
+              for (int jj = 0; jj < N; ++jj) rimg[u * N + jj] = v[jj];
             }
-            for (i64 s = 0; s < FT; ++s) {
-              for (i64 wu = 0; wu * N < WT; ++wu) {
-                VecN xs, av;
-                for (int jj = 0; jj < N; ++jj) {
-                  xs[jj] = rimg[kx + wu * N + jj];
-                  av[jj] = acc[s][wu * N + jj];
+            for (i64 kx = 0; kx < K; ++kx) {
+              const i64 flt_base = (i * KK + j * K + kx) * stride_flt;
+              for (i64 u = 0; u < FT / N; ++u) {
+                VecN v = co_await t.template ld_shared<VecN>(
+                    sh_flt, flt_base + (tx + u * TX) * N);
+                for (int jj = 0; jj < N; ++jj) rflt[u * N + jj] = v[jj];
+              }
+              for (i64 s = 0; s < FT; ++s) {
+                for (i64 wu = 0; wu * N < WT; ++wu) {
+                  VecN xs, av;
+                  for (int jj = 0; jj < N; ++jj) {
+                    xs[jj] = rimg[kx + wu * N + jj];
+                    av[jj] = acc[s][wu * N + jj];
+                  }
+                  av = t.fma(xs, rflt[s], av);
+                  for (int jj = 0; jj < N; ++jj)
+                    acc[s][wu * N + jj] = av[jj];
                 }
-                av = t.fma(xs, rflt[s], av);
-                for (int jj = 0; jj < N; ++jj) acc[s][wu * N + jj] = av[jj];
               }
             }
           }
@@ -166,6 +188,7 @@ class GeneralKernel {
       // issue order, so they run after the (uniform) compute to keep warp
       // lanes aligned — same modeled cost, no spurious divergence.
       if (prefetch && has_next) {
+        sim::ProfilePhase phase(t, profile::Phase::Prefetch);
         for (i64 it = 0; it < img_iters; ++it) {
           const i64 u = tid + it * nthreads;
           const i64 ci = (u / (rows_halo * units_per_row)) % CSH;
@@ -197,6 +220,7 @@ class GeneralKernel {
       // prefetching, straight from GM otherwise — ablation A1).
       if (has_next) {
         if (prefetch) {
+          sim::ProfilePhase phase(t, profile::Phase::SmemStage);
           for (i64 it = 0; it < img_iters; ++it) {
             const i64 u = tid + it * nthreads;
             const i64 ci = (u / (rows_halo * units_per_row)) % CSH;
@@ -227,10 +251,18 @@ class GeneralKernel {
             const i64 iy = sy * H + ry;
             const i64 ix = sx * W + cu * N;
             const bool ok = u < total_img_units && iy < Hi && ix < Wi;
-            VecN v = co_await t.template ld_global_if<VecN>(
-                ok, in.buf, ok ? in.idx(c0 + CSH + ci, iy, ix) : 0);
-            co_await t.st_shared_if(
-                ok, sh_img, (ci * rows_halo + ry) * stride_img + cu * N, v);
+            VecN v{};
+            {
+              sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+              v = co_await t.template ld_global_if<VecN>(
+                  ok, in.buf, ok ? in.idx(c0 + CSH + ci, iy, ix) : 0);
+            }
+            {
+              sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+              co_await t.st_shared_if(
+                  ok, sh_img, (ci * rows_halo + ry) * stride_img + cu * N,
+                  v);
+            }
           }
           for (i64 it = 0; it < flt_iters; ++it) {
             const i64 e = tid + it * nthreads;
@@ -239,10 +271,18 @@ class GeneralKernel {
             const i64 rem = ok ? e % (CSH * KK) : 0;
             const i64 ci = rem / KK;
             const i64 kk = rem % KK;
-            const float v = co_await t.ld_global_if(
-                ok, filt, ((fblk * FTB + f) * C + c0 + CSH + ci) * KK + kk);
-            co_await t.st_shared_if(
-                ok, sh_flt, (ci * KK + kk) * stride_flt + f, v);
+            float v = 0.0f;
+            {
+              sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+              v = co_await t.ld_global_if(
+                  ok, filt,
+                  ((fblk * FTB + f) * C + c0 + CSH + ci) * KK + kk);
+            }
+            {
+              sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+              co_await t.st_shared_if(
+                  ok, sh_flt, (ci * KK + kk) * stride_flt + f, v);
+            }
           }
         }
       }
@@ -253,6 +293,7 @@ class GeneralKernel {
     // different output planes — uncoalesced by design; the paper measured
     // this phase as negligible and so left it unbuffered.
     const i64 orow = sy * H + orow_local;
+    sim::ProfilePhase phase(t, profile::Phase::Writeback);
     for (i64 s = 0; s < FT; ++s) {
       const i64 gf = fblk * FTB + (tx + (s / N) * TX) * N + (s % N);
       for (i64 wu = 0; wu * N < WT; ++wu) {
@@ -410,6 +451,26 @@ KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
 
   KernelRun run;
   run.launch = sim::launch(dev, k, p.lc, opt);
+  if (opt.profile) {
+    // Paper §4 bounds: each filter group re-reads the image once (the ~1/K
+    // GM reduction leaves grid.x passes, halo excluded from the bound) and
+    // each spatial block reads its filter group once; the compute phase
+    // needs (WT+K-1)/(K*FT*WT) image + 1/WT filter SM loads per FMA.
+    profile::RooflineHints& h = run.launch.profile.hints;
+    h.kind = profile::RooflineHints::Kind::General;
+    h.k = static_cast<u32>(K);
+    h.wt = static_cast<u32>(cfg.wt);
+    h.ft = static_cast<u32>(cfg.ft);
+    const double fs = static_cast<double>(sizeof(float));
+    h.gm_load_bound_bytes =
+        fs * static_cast<double>(C * Hi * Wi) * static_cast<double>(p.lc.grid.x) +
+        fs * static_cast<double>(C * K * K * F) *
+            static_cast<double>(ceil_div(p.Ho, cfg.block_h) * p.nbx);
+    h.smem_load_elems_per_fma_bound =
+        static_cast<double>(cfg.wt + K - 1) /
+            static_cast<double>(K * cfg.ft * cfg.wt) +
+        1.0 / static_cast<double>(cfg.wt);
+  }
   if (!run.launch.sampled) {
     run.output = d_out.download();
     run.output_valid = true;

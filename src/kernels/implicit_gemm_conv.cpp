@@ -69,12 +69,20 @@ class ImplicitGemmKernel {
     // index arithmetic instead.
     // (c, dy, dx) = unflatten(kb); (y, x) = unflatten(p).
 
+    // kconv-prof scopes re-label accesses only; issue order is untouched.
     for (i64 it = 0; it < a_iters; ++it) {
       const i64 e = tid + it * nthreads;
       const i64 m = (e / BK) % BM, kk = e % BK;
       const bool ok = e < a_elems && m0 + m < F && kk < Kdim;
-      const float v = co_await t.ld_global_if(ok, filt, (m0 + m) * Kdim + kk);
-      co_await t.st_shared_if(e < a_elems, sh_a, kk * stride_a + m, v);
+      float v = 0.0f;
+      {
+        sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+        v = co_await t.ld_global_if(ok, filt, (m0 + m) * Kdim + kk);
+      }
+      {
+        sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+        co_await t.st_shared_if(e < a_elems, sh_a, kk * stride_a + m, v);
+      }
     }
     for (i64 it = 0; it < b_iters; ++it) {
       const i64 e = tid + it * nthreads;
@@ -82,10 +90,17 @@ class ImplicitGemmKernel {
       const bool ok = e < b_elems && r < Kdim && p0 + col < Np;
       const i64 c = r / KK, dy = (r % KK) / K, dx = r % K;
       const i64 y = (p0 + col) / Wo, x = (p0 + col) % Wo;
-      t.alu(12);  // im2col decode: div/mod emulation + bounds checks
-      const float v = co_await t.ld_global_if(
-          ok, in.buf, ok ? in.idx(c, y + dy, x + dx) : 0);
-      co_await t.st_shared_if(e < b_elems, sh_b, r * stride_b + col, v);
+      float v = 0.0f;
+      {
+        sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+        t.alu(12);  // im2col decode: div/mod emulation + bounds checks
+        v = co_await t.ld_global_if(
+            ok, in.buf, ok ? in.idx(c, y + dy, x + dx) : 0);
+      }
+      {
+        sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+        co_await t.st_shared_if(e < b_elems, sh_b, r * stride_b + col, v);
+      }
     }
     co_await t.sync();
 
@@ -94,6 +109,7 @@ class ImplicitGemmKernel {
       const bool has_next = s + 1 < steps;
 
       if (prefetch && has_next) {
+        sim::ProfilePhase phase(t, profile::Phase::Prefetch);
         for (i64 it = 0; it < a_iters; ++it) {
           const i64 e = tid + it * nthreads;
           const i64 m = (e / BK) % BM, kk = kb + BK + e % BK;
@@ -112,26 +128,29 @@ class ImplicitGemmKernel {
         }
       }
 
-      for (i64 k = 0; k < BK; ++k) {
-        for (i64 u = 0; u * N < TM; ++u) {
-          VecN v = co_await t.template ld_shared<VecN>(
-              sh_a, k * stride_a + (ty + u * TYg) * N);
-          for (int jj = 0; jj < N; ++jj) fa[u * N + jj] = v[jj];
-        }
-        for (i64 u = 0; u * N < TN; ++u) {
-          VecN v = co_await t.template ld_shared<VecN>(
-              sh_b, k * stride_b + (tx + u * TXg) * N);
-          for (int jj = 0; jj < N; ++jj) fb[u * N + jj] = v[jj];
-        }
-        for (i64 i = 0; i < TM; ++i) {
-          for (i64 ju = 0; ju * N < TN; ++ju) {
-            VecN xv, av;
-            for (int jj = 0; jj < N; ++jj) {
-              xv[jj] = fb[ju * N + jj];
-              av[jj] = acc[i][ju * N + jj];
+      {
+        sim::ProfilePhase phase(t, profile::Phase::Compute);
+        for (i64 k = 0; k < BK; ++k) {
+          for (i64 u = 0; u * N < TM; ++u) {
+            VecN v = co_await t.template ld_shared<VecN>(
+                sh_a, k * stride_a + (ty + u * TYg) * N);
+            for (int jj = 0; jj < N; ++jj) fa[u * N + jj] = v[jj];
+          }
+          for (i64 u = 0; u * N < TN; ++u) {
+            VecN v = co_await t.template ld_shared<VecN>(
+                sh_b, k * stride_b + (tx + u * TXg) * N);
+            for (int jj = 0; jj < N; ++jj) fb[u * N + jj] = v[jj];
+          }
+          for (i64 i = 0; i < TM; ++i) {
+            for (i64 ju = 0; ju * N < TN; ++ju) {
+              VecN xv, av;
+              for (int jj = 0; jj < N; ++jj) {
+                xv[jj] = fb[ju * N + jj];
+                av[jj] = acc[i][ju * N + jj];
+              }
+              av = t.fma(xv, fa[i], av);
+              for (int jj = 0; jj < N; ++jj) acc[i][ju * N + jj] = av[jj];
             }
-            av = t.fma(xv, fa[i], av);
-            for (int jj = 0; jj < N; ++jj) acc[i][ju * N + jj] = av[jj];
           }
         }
       }
@@ -139,6 +158,7 @@ class ImplicitGemmKernel {
 
       if (has_next) {
         if (prefetch) {
+          sim::ProfilePhase phase(t, profile::Phase::SmemStage);
           for (i64 it = 0; it < a_iters; ++it) {
             const i64 e = tid + it * nthreads;
             const i64 m = (e / BK) % BM, kk = e % BK;
@@ -156,10 +176,16 @@ class ImplicitGemmKernel {
             const i64 e = tid + it * nthreads;
             const i64 m = (e / BK) % BM, kk = kb + BK + e % BK;
             const bool ok = e < a_elems && m0 + m < F && kk < Kdim;
-            const float v =
-                co_await t.ld_global_if(ok, filt, (m0 + m) * Kdim + kk);
-            co_await t.st_shared_if(e < a_elems, sh_a,
-                                    (e % BK) * stride_a + m, v);
+            float v = 0.0f;
+            {
+              sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+              v = co_await t.ld_global_if(ok, filt, (m0 + m) * Kdim + kk);
+            }
+            {
+              sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+              co_await t.st_shared_if(e < a_elems, sh_a,
+                                      (e % BK) * stride_a + m, v);
+            }
           }
           for (i64 it = 0; it < b_iters; ++it) {
             const i64 e = tid + it * nthreads;
@@ -168,10 +194,18 @@ class ImplicitGemmKernel {
             const bool ok = e < b_elems && kk < Kdim && p0 + col < Np;
             const i64 c = kk / KK, dy = (kk % KK) / K, dx = kk % K;
             const i64 y = (p0 + col) / Wo, x = (p0 + col) % Wo;
-            t.alu(12);
-            const float v = co_await t.ld_global_if(
-                ok, in.buf, ok ? in.idx(c, y + dy, x + dx) : 0);
-            co_await t.st_shared_if(e < b_elems, sh_b, r * stride_b + col, v);
+            float v = 0.0f;
+            {
+              sim::ProfilePhase phase(t, profile::Phase::GmLoad);
+              t.alu(12);
+              v = co_await t.ld_global_if(
+                  ok, in.buf, ok ? in.idx(c, y + dy, x + dx) : 0);
+            }
+            {
+              sim::ProfilePhase phase(t, profile::Phase::SmemStage);
+              co_await t.st_shared_if(e < b_elems, sh_b, r * stride_b + col,
+                                      v);
+            }
           }
         }
       }
@@ -181,6 +215,7 @@ class ImplicitGemmKernel {
     // Scatter the micro-tile to the output planes. Rows are filters, so
     // this is the uncoalesced-by-nature phase shared with the paper's
     // general kernel.
+    sim::ProfilePhase phase(t, profile::Phase::Writeback);
     for (i64 i = 0; i < TM; ++i) {
       const i64 f = m0 + (ty + (i / N) * TYg) * N + (i % N);
       for (i64 j = 0; j < TN; ++j) {
@@ -252,6 +287,20 @@ KernelRun run_implicit(sim::Device& dev, const tensor::Tensor& input,
 
   KernelRun run;
   run.launch = sim::launch(dev, k, lc, opt);
+  if (opt.profile) {
+    // GEMM tiling traffic: the A (filter) panel is re-read once per
+    // pixel-block column and the implicit B panel once per filter-block
+    // row; predicated-off lanes load nothing, so the bound is exact.
+    profile::RooflineHints& h = run.launch.profile.hints;
+    h.kind = profile::RooflineHints::Kind::ImplicitGemm;
+    h.k = static_cast<u32>(K);
+    const i64 Kdim = C * K * K;
+    const i64 Np = Ho * Wo;
+    h.gm_load_bound_bytes =
+        static_cast<double>(sizeof(float)) *
+        (static_cast<double>(F * Kdim) * static_cast<double>(lc.grid.x) +
+         static_cast<double>(Kdim * Np) * static_cast<double>(lc.grid.y));
+  }
   if (!run.launch.sampled) {
     run.output = d_out.download();
     run.output_valid = true;

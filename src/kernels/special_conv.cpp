@@ -57,6 +57,15 @@ KernelRun run_special(sim::Device& dev, const tensor::Tensor& input,
 
   KernelRun run;
   run.launch = sim::launch(dev, k, lc, opt);
+  if (opt.profile) {
+    // Paper §3: the special case reads each input pixel from GM exactly
+    // once, modulo the tile halo — one 4-byte load per pixel is the bound.
+    profile::RooflineHints& h = run.launch.profile.hints;
+    h.kind = profile::RooflineHints::Kind::Special;
+    h.k = static_cast<u32>(K);
+    h.gm_load_bound_bytes =
+        static_cast<double>(sizeof(float)) * static_cast<double>(Hi * Wi);
+  }
   if (!run.launch.sampled) {
     run.output = d_out.download();
     run.output_valid = true;

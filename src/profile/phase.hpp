@@ -1,0 +1,165 @@
+// kconv-prof phase taxonomy (docs/MODEL.md §7).
+//
+// The paper's accounting is per *kernel phase*: the staging copy, the
+// compute loop, the prefetch and the write-back each have their own GM/SM
+// traffic signature, and the closed-form bounds (§3 one GM read per pixel,
+// §4's (WT+K-1)/(WT*K) SM reduction) apply phase by phase. A Phase tags
+// every Access a lane issues and every arithmetic op it charges, so the
+// executor can split the existing KernelStats counters into per-phase
+// deltas without changing what it counts.
+//
+// Deliberately header-only over kconv_common types: the sim executor
+// consumes these value types the same way it consumes analysis ones, while
+// kconv_profile itself never links kconv_sim.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace kconv::profile {
+
+/// Which part of the kernel an access/op belongs to. `Other` is the
+/// default for unannotated code; `Sync` is stamped automatically on
+/// barrier events (kernels never need to annotate their syncs).
+enum class Phase : u8 {
+  Other = 0,
+  GmLoad,     // cooperative GM -> register staging loads
+  SmemStage,  // register/GM -> shared-memory publishing stores
+  Sync,       // __syncthreads barriers (auto-attributed)
+  Compute,    // SM/CM reads feeding the FMA loop, and the FMAs themselves
+  Writeback,  // accumulator -> GM output stores
+  Prefetch,   // early GM loads overlapping the compute loop
+};
+
+inline constexpr u32 kNumPhases = 7;
+
+inline constexpr const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::Other: return "other";
+    case Phase::GmLoad: return "gm_load";
+    case Phase::SmemStage: return "smem_stage";
+    case Phase::Sync: return "sync";
+    case Phase::Compute: return "compute";
+    case Phase::Writeback: return "writeback";
+    case Phase::Prefetch: return "prefetch";
+  }
+  return "?";
+}
+
+inline constexpr u32 phase_index(Phase p) { return static_cast<u32>(p); }
+
+/// Per-phase delta of the KernelStats counters the paper reasons about.
+/// Invariant (pinned by tests/profile/): summing any field over the seven
+/// phases equals the corresponding launch-total KernelStats field. As in
+/// KernelStats, smem_instrs/smem_request_cycles count loads and stores
+/// together and the smem_store_* fields are the store-side split.
+/// `smem_store_lane_bytes` has no KernelStats counterpart — it exists so
+/// the compute phase's *load* traffic is separable for the §4 SM bound.
+struct PhaseStats {
+  u64 fma_lane_ops = 0;
+  u64 alu_lane_ops = 0;
+  u64 smem_instrs = 0;
+  u64 smem_request_cycles = 0;
+  u64 smem_bytes = 0;
+  u64 smem_lane_bytes = 0;
+  u64 smem_store_instrs = 0;
+  u64 smem_store_request_cycles = 0;
+  u64 smem_store_lane_bytes = 0;
+  u64 gm_instrs = 0;
+  u64 gm_sectors = 0;
+  u64 gm_sectors_dram = 0;
+  u64 gm_bytes_useful = 0;
+  u64 const_instrs = 0;
+  u64 const_requests = 0;
+  u64 const_line_misses = 0;
+  u64 barriers = 0;
+  u64 pattern_lookups = 0;
+  u64 pattern_hits = 0;
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    fma_lane_ops += o.fma_lane_ops;
+    alu_lane_ops += o.alu_lane_ops;
+    smem_instrs += o.smem_instrs;
+    smem_request_cycles += o.smem_request_cycles;
+    smem_bytes += o.smem_bytes;
+    smem_lane_bytes += o.smem_lane_bytes;
+    smem_store_instrs += o.smem_store_instrs;
+    smem_store_request_cycles += o.smem_store_request_cycles;
+    smem_store_lane_bytes += o.smem_store_lane_bytes;
+    gm_instrs += o.gm_instrs;
+    gm_sectors += o.gm_sectors;
+    gm_sectors_dram += o.gm_sectors_dram;
+    gm_bytes_useful += o.gm_bytes_useful;
+    const_instrs += o.const_instrs;
+    const_requests += o.const_requests;
+    const_line_misses += o.const_line_misses;
+    barriers += o.barriers;
+    pattern_lookups += o.pattern_lookups;
+    pattern_hits += o.pattern_hits;
+    return *this;
+  }
+
+  bool empty() const {
+    return fma_lane_ops == 0 && alu_lane_ops == 0 && smem_instrs == 0 &&
+           gm_instrs == 0 && const_instrs == 0 && barriers == 0 &&
+           pattern_lookups == 0;
+  }
+};
+
+/// One launch/chunk/block's full per-phase breakdown.
+struct PhaseProfile {
+  PhaseStats p[kNumPhases];
+
+  PhaseStats& at(Phase ph) { return p[phase_index(ph)]; }
+  const PhaseStats& at(Phase ph) const { return p[phase_index(ph)]; }
+
+  PhaseProfile& operator+=(const PhaseProfile& o) {
+    for (u32 i = 0; i < kNumPhases; ++i) p[i] += o.p[i];
+    return *this;
+  }
+
+  /// Sum of one counter over all phases (the roll-up the sum-invariant
+  /// tests compare against launch totals).
+  u64 total(u64 PhaseStats::* field) const {
+    u64 s = 0;
+    for (u32 i = 0; i < kNumPhases; ++i) s += p[i].*field;
+    return s;
+  }
+};
+
+/// Per-lane arithmetic attribution, bound to a ThreadCtx while profiling:
+/// fma()/alu() bump the slot of the lane's current phase. The lane's base
+/// counters (ctx.fma_ops) are maintained independently, so binding one is
+/// purely observational.
+struct LaneProfile {
+  u64 fma[kNumPhases] = {};
+  u64 alu[kNumPhases] = {};
+};
+
+/// Splits a captured representative's per-phase profile the same way
+/// replay splits its KernelStats (trace.hpp): `compute` keeps the
+/// arithmetic recounted from replayed lanes, `invariant` keeps everything
+/// except the address-dependent counters (GM sectors, DRAM misses,
+/// constant-line misses) and the pattern-cache counters, all recharged
+/// live per replayed block.
+inline void split_replay_profile(const PhaseProfile& local,
+                                 PhaseProfile& invariant,
+                                 PhaseProfile& compute) {
+  for (u32 i = 0; i < kNumPhases; ++i) {
+    const PhaseStats& l = local.p[i];
+    PhaseStats& c = compute.p[i];
+    c = PhaseStats{};
+    c.fma_lane_ops = l.fma_lane_ops;
+    c.alu_lane_ops = l.alu_lane_ops;
+    PhaseStats& v = invariant.p[i];
+    v = l;
+    v.fma_lane_ops = 0;
+    v.alu_lane_ops = 0;
+    v.gm_sectors = 0;
+    v.gm_sectors_dram = 0;
+    v.const_line_misses = 0;
+    v.pattern_lookups = 0;
+    v.pattern_hits = 0;
+  }
+}
+
+}  // namespace kconv::profile

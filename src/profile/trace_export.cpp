@@ -1,0 +1,88 @@
+#include "src/profile/trace_export.hpp"
+
+#include <algorithm>
+
+#include "src/common/strutil.hpp"
+#include "src/profile/roofline.hpp"
+
+namespace kconv::profile {
+
+namespace {
+
+// Modeled wall time of one slice under the single-block pipe model, in
+// microseconds. Sync slices cost barriers * barrier_cost; everything else
+// costs its binding pipe. Floored at a tenth of a cycle so zero-cost
+// slices stay visible and timestamps stay strictly ordered per track.
+double slice_us(const sim::Arch& arch, const PhaseSlice& sl) {
+  double cycles;
+  if (sl.phase == Phase::Sync) {
+    cycles = static_cast<double>(sl.stats.barriers) * arch.barrier_cost;
+  } else {
+    cycles = phase_pipe_cycles(arch, sl.stats).total;
+  }
+  cycles = std::max(cycles, 0.1);
+  return cycles / (arch.clock_ghz * 1e3);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const sim::Arch& arch,
+                              const LaunchProfile& prof) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](std::string ev) {
+    if (!first) out += ",\n";
+    first = false;
+    out += ev;
+  };
+
+  for (const BlockTimeline& tl : prof.timelines) {
+    const unsigned long long pid = tl.seq;
+    emit(strf("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %llu, "
+              "\"tid\": 0, \"args\": {\"name\": \"block (%u,%u,%u)\"}}",
+              pid, tl.block.x, tl.block.y, tl.block.z));
+    emit(strf("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %llu, "
+              "\"tid\": 0, \"args\": {\"name\": \"phases\"}}",
+              pid));
+    double ts = 0.0;
+    for (const PhaseSlice& sl : tl.slices) {
+      const double dur = slice_us(arch, sl);
+      const PhaseStats& s = sl.stats;
+      emit(strf("{\"name\": \"%s\", \"ph\": \"X\", \"pid\": %llu, "
+                "\"tid\": 0, \"ts\": %.6f, \"dur\": %.6f, \"args\": "
+                "{\"gm_sectors\": %llu, \"smem_request_cycles\": %llu, "
+                "\"const_requests\": %llu, \"fma_lane_ops\": %llu, "
+                "\"barriers\": %llu}}",
+                phase_name(sl.phase), pid, ts, dur,
+                static_cast<unsigned long long>(s.gm_sectors),
+                static_cast<unsigned long long>(s.smem_request_cycles),
+                static_cast<unsigned long long>(s.const_requests),
+                static_cast<unsigned long long>(s.fma_lane_ops),
+                static_cast<unsigned long long>(s.barriers)));
+      // Average bandwidths over the slice, as counter tracks.
+      const double secs = dur * 1e-6;
+      const double gm_gbps = static_cast<double>(s.gm_sectors) *
+                             arch.gm_sector_bytes / secs / 1e9;
+      const double sm_gbps =
+          static_cast<double>(s.smem_bytes) / secs / 1e9;
+      emit(strf("{\"name\": \"GM GB/s\", \"ph\": \"C\", \"pid\": %llu, "
+                "\"ts\": %.6f, \"args\": {\"value\": %.4g}}",
+                pid, ts, gm_gbps));
+      emit(strf("{\"name\": \"SM GB/s\", \"ph\": \"C\", \"pid\": %llu, "
+                "\"ts\": %.6f, \"args\": {\"value\": %.4g}}",
+                pid, ts, sm_gbps));
+      ts += dur;
+    }
+    // Close the counter tracks so the last value has an extent.
+    emit(strf("{\"name\": \"GM GB/s\", \"ph\": \"C\", \"pid\": %llu, "
+              "\"ts\": %.6f, \"args\": {\"value\": 0}}",
+              pid, ts));
+    emit(strf("{\"name\": \"SM GB/s\", \"ph\": \"C\", \"pid\": %llu, "
+              "\"ts\": %.6f, \"args\": {\"value\": 0}}",
+              pid, ts));
+  }
+  out += "\n]}";
+  return out;
+}
+
+}  // namespace kconv::profile

@@ -1,0 +1,21 @@
+// Chrome trace-event / Perfetto export of profiled launches.
+#pragma once
+
+#include <string>
+
+#include "src/profile/collector.hpp"
+#include "src/sim/arch.hpp"
+
+namespace kconv::profile {
+
+/// Renders the profiled timelines as Chrome trace-event JSON (loadable in
+/// ui.perfetto.dev or chrome://tracing). One "process" per recorded block
+/// (pid = executed-sequence index), complete ("X") slices for its phases
+/// on thread 0 with modeled durations from the roofline pipe model, and
+/// per-block counter tracks for GM and SM bandwidth. Timestamps are
+/// microseconds of modeled time and monotonically non-decreasing per
+/// track.
+std::string chrome_trace_json(const sim::Arch& arch,
+                              const LaunchProfile& prof);
+
+}  // namespace kconv::profile

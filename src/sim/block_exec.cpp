@@ -7,6 +7,7 @@
 
 #include "src/analysis/hazard.hpp"
 #include "src/common/strutil.hpp"
+#include "src/profile/collector.hpp"
 #include "src/sim/banks.hpp"
 #include "src/sim/coalescing.hpp"
 #include "src/sim/constmem.hpp"
@@ -31,8 +32,18 @@ void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
                   L2Cache& gm_l2, Op op, std::span<const Access> accesses,
                   KernelStats& stats, bool& segment_had_gm_load,
                   bool& segment_had_sm_store, GmemCost& gmem_scratch,
-                  PatternCache* pattern) {
+                  PatternCache* pattern, profile::BlockProfiler* prof) {
   if (trace != TraceLevel::Timing) return;
+  // The group retires under the phase of its first lane; lanes of one warp
+  // transaction share their issue site, hence their phase.
+  const profile::Phase ph = accesses[0].phase;
+  // Pattern-cache activity is attributed by lookup-counter deltas because
+  // the analyzers below consult the cache internally (and fully
+  // predicated-off groups still perform a lookup before breaking).
+  const u64 plk = (prof != nullptr && pattern != nullptr) ? pattern->lookups()
+                                                          : 0;
+  const u64 pht = (prof != nullptr && pattern != nullptr) ? pattern->hits()
+                                                          : 0;
   switch (op) {
     case Op::LoadShared:
     case Op::StoreShared: {
@@ -50,6 +61,10 @@ void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
         stats.smem_store_request_cycles += c.request_cycles;
         segment_had_sm_store = true;
       }
+      if (prof != nullptr) {
+        prof->smem(ph, c.request_cycles, c.unique_bytes, c.lane_bytes,
+                   op == Op::StoreShared);
+      }
       break;
     }
     case Op::LoadGlobal:
@@ -64,9 +79,14 @@ void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
       ++stats.gm_instrs;
       stats.gm_sectors += c.sectors.size();
       stats.gm_bytes_useful += c.lane_bytes;
+      u64 dram = 0;
       for (const u64 sector : c.sectors) {
-        if (!gm_l2.access(sector)) ++stats.gm_sectors_dram;
+        if (!gm_l2.access(sector)) {
+          ++stats.gm_sectors_dram;
+          ++dram;
+        }
       }
+      if (prof != nullptr) prof->gmem(ph, c.sectors.size(), dram, c.lane_bytes);
       if (op == Op::LoadGlobal) segment_had_gm_load = true;
       break;
     }
@@ -74,15 +94,23 @@ void retire_group(const Arch& arch, TraceLevel trace, L2Cache* const_cache,
       const ConstCost c = analyze_const(accesses, arch.const_line_bytes);
       ++stats.const_instrs;
       stats.const_requests += c.requests;
+      u64 misses = 0;
       if (const_cache != nullptr) {
         for (u32 i = 0; i < c.lines_touched; ++i) {
-          if (!const_cache->access(c.line_addrs[i])) ++stats.const_line_misses;
+          if (!const_cache->access(c.line_addrs[i])) {
+            ++stats.const_line_misses;
+            ++misses;
+          }
         }
       }
+      if (prof != nullptr) prof->cmem(ph, c.requests, misses);
       break;
     }
     case Op::Sync:
       break;  // handled by the barrier logic
+  }
+  if (prof != nullptr && pattern != nullptr) {
+    prof->pattern(ph, pattern->lookups() - plk, pattern->hits() - pht);
   }
 }
 
@@ -106,7 +134,8 @@ void run_block(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
                u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
                KernelStats& stats, BlockTrace* capture,
-               PatternCache* pattern, analysis::BlockChecker* checker) {
+               PatternCache* pattern, analysis::BlockChecker* checker,
+               profile::BlockProfiler* prof) {
   const u32 n_lanes = static_cast<u32>(cfg.block.count());
   const u32 warp_size = arch.warp_size;
   KCONV_ASSERT(n_lanes > 0);
@@ -123,6 +152,14 @@ void run_block(const Arch& arch, const KernelBody& body,
   // Lanes must not relocate once their coroutines capture ctx by reference.
   std::vector<Lane> lanes(n_lanes);
   std::vector<LaneRecorder> recs(n_lanes);
+  // Per-lane per-phase arithmetic, drained into the profiler at each
+  // barrier (prev_profiles holds the last drained snapshot).
+  std::vector<profile::LaneProfile> lane_profiles;
+  std::vector<profile::LaneProfile> prev_profiles;
+  if (prof != nullptr) {
+    lane_profiles.resize(n_lanes);
+    prev_profiles.resize(n_lanes);
+  }
   for (u32 t = 0; t < n_lanes; ++t) {
     Lane& lane = lanes[t];
     lane.ctx.grid_dim = cfg.grid;
@@ -134,6 +171,7 @@ void run_block(const Arch& arch, const KernelBody& body,
     lane.ctx.bind_smem(smem.data(), cfg.shared_bytes);
     recs[t].reset_stream(event_cap);
     lane.ctx.bind_recorder(&recs[t]);
+    if (prof != nullptr) lane.ctx.bind_profile(&lane_profiles[t]);
     lane.prog = body(lane.ctx);
     KCONV_CHECK(lane.prog.valid(), "kernel body returned an empty program");
   }
@@ -235,7 +273,7 @@ void run_block(const Arch& arch, const KernelBody& body,
           const Op op = static_cast<Op>(std::countr_zero(op_mask));
           retire_group(arch, trace, const_cache, gm_l2, op, group_acc, stats,
                        segment_had_gm_load, segment_had_sm_store,
-                       gmem_scratch, pattern);
+                       gmem_scratch, pattern, prof);
           record_tx(capture, op, group_lanes);
         } else {
           // Divergent warp: split by operation kind in the canonical
@@ -253,12 +291,29 @@ void run_block(const Arch& arch, const KernelBody& body,
             }
             retire_group(arch, trace, const_cache, gm_l2, op, sub_acc, stats,
                          segment_had_gm_load, segment_had_sm_store,
-                         gmem_scratch, pattern);
+                         gmem_scratch, pattern, prof);
             record_tx(capture, op, sub_lanes);
           }
           stats.divergent_retires +=
               static_cast<u64>(std::popcount(op_mask)) - 1;
         }
+      }
+    }
+
+    // Drain the segment's arithmetic into the profiler, phase by phase,
+    // before the barrier closes the segment's timeline slices.
+    if (prof != nullptr) {
+      u64 dfma[profile::kNumPhases] = {};
+      u64 dalu[profile::kNumPhases] = {};
+      for (u32 t = 0; t < n_lanes; ++t) {
+        for (u32 i = 0; i < profile::kNumPhases; ++i) {
+          dfma[i] += lane_profiles[t].fma[i] - prev_profiles[t].fma[i];
+          dalu[i] += lane_profiles[t].alu[i] - prev_profiles[t].alu[i];
+        }
+        prev_profiles[t] = lane_profiles[t];
+      }
+      for (u32 i = 0; i < profile::kNumPhases; ++i) {
+        prof->compute(static_cast<profile::Phase>(i), dfma[i], dalu[i]);
       }
     }
 
@@ -268,6 +323,7 @@ void run_block(const Arch& arch, const KernelBody& body,
     if (checker != nullptr) checker->on_barrier();
     if (done_count < n_lanes) {
       ++stats.barriers;
+      if (prof != nullptr) prof->barrier();
       if (segment_had_gm_load) ++stats.gm_phases;
       if (segment_had_gm_load && segment_had_sm_store) {
         ++stats.gm_dep_phases;

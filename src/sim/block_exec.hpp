@@ -22,6 +22,10 @@ namespace kconv::analysis {
 class BlockChecker;
 }  // namespace kconv::analysis
 
+namespace kconv::profile {
+class BlockProfiler;
+}  // namespace kconv::profile
+
 namespace kconv::sim {
 
 struct BlockTrace;
@@ -52,11 +56,18 @@ using KernelBody = std::function<ThreadProgram(ThreadCtx&)>;
 /// block (docs/MODEL.md §6): every retired access is fed in retire order,
 /// each barrier release advances its epoch. Purely observational — outputs,
 /// counters and retire order are bit-identical with or without it.
+///
+/// `prof` (optional) charges the block's costs to kconv-prof phases
+/// (docs/MODEL.md §7): each retired transaction goes to the phase stamped
+/// on its accesses, lane arithmetic is drained per phase at every barrier,
+/// and barrier releases land on the sync phase. Purely observational like
+/// the checker — the base counters are charged identically either way.
 void run_block(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, Dim3 block_idx, TraceLevel trace,
                u64 max_rounds, L2Cache* const_cache, L2Cache& gm_l2,
                KernelStats& stats, BlockTrace* capture = nullptr,
                PatternCache* pattern = nullptr,
-               analysis::BlockChecker* checker = nullptr);
+               analysis::BlockChecker* checker = nullptr,
+               profile::BlockProfiler* prof = nullptr);
 
 }  // namespace kconv::sim

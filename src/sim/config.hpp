@@ -65,6 +65,17 @@ struct LaunchOptions {
   /// aggregate statistics. Requires a Timing trace (the lints read the
   /// transaction counters); findings land in LaunchResult::analysis.
   bool lint = false;
+  /// kconv-prof (docs/MODEL.md §7): collect per-phase counter deltas,
+  /// block timelines, and the roofline attribution into
+  /// LaunchResult::profile. Purely observational — outputs and every
+  /// pre-existing counter are bit-identical with this on or off, in all
+  /// launch modes (enforced by tests/profile/profile_identity_test.cpp).
+  bool profile = false;
+  /// With `profile` on, record an ordered phase timeline (for the Perfetto
+  /// exporter) for the first this-many executed blocks of the launch, by
+  /// launch iteration index. Replayed blocks carry no timeline of their
+  /// own; only class representatives and fully-executed blocks do.
+  u64 profile_timeline_blocks = 8;
   /// Safety valve against runaway device programs (resume rounds per block).
   u64 max_rounds_per_block = 50'000'000;
 };

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "src/common/types.hpp"
+#include "src/profile/phase.hpp"
 
 namespace kconv::sim {
 
@@ -42,6 +43,10 @@ struct Access {
   Op op = Op::Sync;
   u64 addr = 0;
   u32 bytes = 0;
+  /// Kernel phase the issuing lane was in (kconv-prof, docs/MODEL.md §7).
+  /// Always stamped by ThreadCtx — Phase::Other unless the kernel opened a
+  /// ProfilePhase scope — so execution never branches on profiling state.
+  profile::Phase phase = profile::Phase::Other;
 };
 
 }  // namespace kconv::sim

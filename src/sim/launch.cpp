@@ -100,6 +100,9 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
   // declared a classifier; otherwise every block is unique (legacy path).
   const bool replaying = opt.replay && static_cast<bool>(classify);
 
+  const bool profiling = opt.profile;
+  res.profile.enabled = profiling;
+
   if (threads <= 1) {
     // Exact-legacy serial path: one shared per-SM constant cache, every
     // block's sectors through the device's single L2 (which therefore stays
@@ -109,21 +112,45 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     std::optional<analysis::BlockChecker> checker;
     if (opt.hazard_check) checker.emplace(cfg, arch.warp_size);
     analysis::BlockChecker* chk = checker.has_value() ? &*checker : nullptr;
+    // Timeline capture is capped at the first profile_timeline_blocks of
+    // the launch order; blocks that replay record no slices and are
+    // dropped (their phases still land in res.profile.phases).
+    profile::BlockTimeline scratch_tl;
+    const auto want_timeline = [&](u64 i, Dim3 bidx) -> profile::BlockTimeline* {
+      if (!profiling || i >= opt.profile_timeline_blocks) return nullptr;
+      scratch_tl = profile::BlockTimeline{};
+      scratch_tl.block = bidx;
+      scratch_tl.seq = i;
+      return &scratch_tl;
+    };
+    const auto keep_timeline = [&](profile::BlockTimeline* tl) {
+      if (tl != nullptr && !tl->slices.empty()) {
+        res.profile.timelines.push_back(std::move(*tl));
+      }
+    };
     if (replaying) {
       ReplayRunner runner(arch, body, cfg, opt.trace,
                           opt.max_rounds_per_block, classify, origins,
-                          pattern.get(), chk);
+                          pattern.get(), chk,
+                          profiling ? &res.profile.phases : nullptr);
       for (u64 i = 0; i < set.count; ++i) {
-        runner.run(unflatten(cfg.grid, set.flat_id(i)), &const_cache,
-                   dev.l2(), res.stats);
+        const Dim3 bidx = unflatten(cfg.grid, set.flat_id(i));
+        profile::BlockTimeline* tl = want_timeline(i, bidx);
+        runner.run(bidx, &const_cache, dev.l2(), res.stats, tl);
+        keep_timeline(tl);
       }
       runner.finish(res.stats);
       res.blocks_replayed = runner.blocks_replayed();
     } else {
       for (u64 i = 0; i < set.count; ++i) {
-        run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
-                  opt.trace, opt.max_rounds_per_block, &const_cache, dev.l2(),
-                  res.stats, nullptr, pattern.get(), chk);
+        const Dim3 bidx = unflatten(cfg.grid, set.flat_id(i));
+        profile::BlockTimeline* tl = want_timeline(i, bidx);
+        std::optional<profile::BlockProfiler> bp;
+        if (profiling) bp.emplace(res.profile.phases, tl);
+        run_block(arch, body, cfg, bidx, opt.trace, opt.max_rounds_per_block,
+                  &const_cache, dev.l2(), res.stats, nullptr, pattern.get(),
+                  chk, bp ? &*bp : nullptr);
+        keep_timeline(tl);
       }
     }
     pattern.drain(res.stats);
@@ -141,6 +168,12 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
         ceil_div(static_cast<i64>(set.count), static_cast<i64>(grain)));
     std::vector<KernelStats> shards(n_chunks);
     std::vector<u64> replayed(n_chunks, 0);
+    // Per-chunk phase shards and timeline shards, merged in index order
+    // like the stats shards; the timeline cap uses the GLOBAL launch index
+    // so the captured set is thread-count-invariant.
+    std::vector<profile::PhaseProfile> pshards(profiling ? n_chunks : 0);
+    std::vector<std::vector<profile::BlockTimeline>> tshards(
+        profiling ? n_chunks : 0);
     // One checker per chunk, merged in index order like the stats shards, so
     // the hazard report is a pure function of the chunk partition too.
     std::vector<std::unique_ptr<analysis::BlockChecker>> checkers(n_chunks);
@@ -157,30 +190,58 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
       ChunkPatternCache pattern(arch, opt.pattern_cache);
       KernelStats& stats = shards[chunk];
       analysis::BlockChecker* chk = checkers[chunk].get();
+      profile::PhaseProfile* psink = profiling ? &pshards[chunk] : nullptr;
+      profile::BlockTimeline scratch_tl;
+      const auto want_timeline = [&](u64 i,
+                                     Dim3 bidx) -> profile::BlockTimeline* {
+        if (!profiling || i >= opt.profile_timeline_blocks) return nullptr;
+        scratch_tl = profile::BlockTimeline{};
+        scratch_tl.block = bidx;
+        scratch_tl.seq = i;
+        return &scratch_tl;
+      };
+      const auto keep_timeline = [&](profile::BlockTimeline* tl) {
+        if (tl != nullptr && !tl->slices.empty()) {
+          tshards[chunk].push_back(std::move(*tl));
+        }
+      };
       if (replaying) {
         // Per-chunk trace table, like the per-chunk cache replicas: each
         // chunk captures its own class representatives, so shard contents
         // stay a pure function of the chunk partition.
         ReplayRunner runner(arch, body, cfg, opt.trace,
                             opt.max_rounds_per_block, classify, origins,
-                            pattern.get(), chk);
+                            pattern.get(), chk, psink);
         for (u64 i = b; i < e; ++i) {
-          runner.run(unflatten(cfg.grid, set.flat_id(i)), &const_cache,
-                     l2_shadow, stats);
+          const Dim3 bidx = unflatten(cfg.grid, set.flat_id(i));
+          profile::BlockTimeline* tl = want_timeline(i, bidx);
+          runner.run(bidx, &const_cache, l2_shadow, stats, tl);
+          keep_timeline(tl);
         }
         runner.finish(stats);
         replayed[chunk] = runner.blocks_replayed();
       } else {
         for (u64 i = b; i < e; ++i) {
-          run_block(arch, body, cfg, unflatten(cfg.grid, set.flat_id(i)),
-                    opt.trace, opt.max_rounds_per_block, &const_cache,
-                    l2_shadow, stats, nullptr, pattern.get(), chk);
+          const Dim3 bidx = unflatten(cfg.grid, set.flat_id(i));
+          profile::BlockTimeline* tl = want_timeline(i, bidx);
+          std::optional<profile::BlockProfiler> bp;
+          if (psink != nullptr) bp.emplace(*psink, tl);
+          run_block(arch, body, cfg, bidx, opt.trace,
+                    opt.max_rounds_per_block, &const_cache, l2_shadow, stats,
+                    nullptr, pattern.get(), chk, bp ? &*bp : nullptr);
+          keep_timeline(tl);
         }
       }
       pattern.drain(stats);
     });
     for (const KernelStats& s : shards) res.stats += s;  // index order
     for (const u64 r : replayed) res.blocks_replayed += r;
+    for (profile::PhaseProfile& p : pshards) res.profile.phases += p;
+    for (std::vector<profile::BlockTimeline>& ts : tshards) {
+      for (profile::BlockTimeline& tl : ts) {
+        res.profile.timelines.push_back(std::move(tl));
+      }
+    }
     if (opt.hazard_check) {
       std::vector<analysis::BlockChecker*> ordered;
       ordered.reserve(n_chunks);

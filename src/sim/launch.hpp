@@ -18,6 +18,7 @@
 #include <concepts>
 
 #include "src/analysis/diagnostics.hpp"
+#include "src/profile/collector.hpp"
 #include "src/sim/block_exec.hpp"
 #include "src/sim/device.hpp"
 #include "src/sim/replay.hpp"
@@ -66,6 +67,12 @@ struct LaunchResult {
   /// LaunchOptions::hazard_check and/or ::lint are set; analysis.clean()
   /// is the pass/fail verdict.
   analysis::AnalysisReport analysis;
+  /// kconv-prof phase accounting (docs/MODEL.md §7). Populated only when
+  /// LaunchOptions::profile is set; per-phase counters sum exactly to the
+  /// matching fields of `stats` in every launch mode. Kernel runners fill
+  /// profile.hints so the roofline attribution knows the paper bound that
+  /// applies to the kernel that ran.
+  profile::LaunchProfile profile;
 };
 
 namespace detail {

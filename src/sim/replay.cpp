@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <optional>
 
 #if defined(__SSE2__)
 #include <immintrin.h>
@@ -19,7 +20,8 @@ ReplayRunner::ReplayRunner(const Arch& arch, const KernelBody& body,
                            u64 max_rounds, const BlockClassifier& classify,
                            const ReplayOriginsFn& origins,
                            PatternCache* pattern,
-                           analysis::BlockChecker* checker)
+                           analysis::BlockChecker* checker,
+                           profile::PhaseProfile* psink)
     : arch_(arch),
       body_(body),
       cfg_(cfg),
@@ -28,12 +30,13 @@ ReplayRunner::ReplayRunner(const Arch& arch, const KernelBody& body,
       classify_(classify),
       origins_fn_(origins),
       pattern_(pattern),
-      checker_(checker) {
+      checker_(checker),
+      psink_(psink) {
   gmem_scratch_.sectors.reserve(2 * arch.warp_size);
 }
 
 void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
-                       KernelStats& stats) {
+                       KernelStats& stats, profile::BlockTimeline* tl) {
   const u64 cls = classify_(block_idx);
   const auto it = classes_.find(cls);
   if (it != classes_.end()) {
@@ -41,8 +44,11 @@ void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
     if (cs.raced) {
       // Tainted class: the representative raced, so this block re-executes
       // fully under the checker (counted as executed, not replayed).
+      std::optional<profile::BlockProfiler> bp;
+      if (psink_ != nullptr) bp.emplace(*psink_, tl);
       run_block(arch_, body_, cfg_, block_idx, trace_level_, max_rounds_,
-                const_cache, gm_l2, stats, nullptr, pattern_, checker_);
+                const_cache, gm_l2, stats, nullptr, pattern_, checker_,
+                bp ? &*bp : nullptr);
       return;
     }
     if (cs.tape_ready && cs.validated) {
@@ -68,9 +74,20 @@ void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
   // kept separately for the tape path (which has no lanes to recount).
   ClassState cs;
   KernelStats local;
+  // The representative's phase profile is collected block-locally so it
+  // can be split into the trace like the KernelStats delta below.
+  profile::PhaseProfile local_phases;
+  std::optional<profile::BlockProfiler> bp;
+  if (psink_ != nullptr) bp.emplace(local_phases, tl);
   run_block(arch_, body_, cfg_, block_idx, trace_level_, max_rounds_,
-            const_cache, gm_l2, local, &cs.trace, pattern_, checker_);
+            const_cache, gm_l2, local, &cs.trace, pattern_, checker_,
+            bp ? &*bp : nullptr);
   cs.raced = checker_ != nullptr && checker_->current_block_raced();
+  if (psink_ != nullptr) {
+    *psink_ += local_phases;
+    profile::split_replay_profile(local_phases, cs.trace.phase_invariant,
+                                  cs.trace.phase_compute);
+  }
   cs.trace.invariant = local;
   KernelStats& cmp = cs.trace.compute;
   cmp.fma_lane_ops = local.fma_lane_ops;
@@ -111,6 +128,9 @@ void ReplayRunner::replay(Dim3 block_idx, const BlockTrace& trace,
   recorders_.resize(n_lanes);
   lanes_.clear();
   lanes_.resize(n_lanes);  // capacity reused; fresh ctx/prog per block
+  if (psink_ != nullptr) {
+    lane_profiles_.assign(n_lanes, profile::LaneProfile{});
+  }
   for (u32 t = 0; t < n_lanes; ++t) {
     recorders_[t].reset(trace.lane_events[t]);
     ReplayLane& lane = lanes_[t];
@@ -122,6 +142,7 @@ void ReplayRunner::replay(Dim3 block_idx, const BlockTrace& trace,
                                t / (cfg_.block.x * cfg_.block.y)};
     lane.ctx.bind_smem(smem_.data(), cfg_.shared_bytes);
     lane.ctx.bind_recorder(&recorders_[t]);
+    if (psink_ != nullptr) lane.ctx.bind_profile(&lane_profiles_[t]);
     lane.prog = body_(lane.ctx);
     KCONV_CHECK(lane.prog.valid(), "kernel body returned an empty program");
   }
@@ -166,6 +187,10 @@ void ReplayRunner::replay(Dim3 block_idx, const BlockTrace& trace,
   }
 
   stats += trace.invariant;
+  // Translation-invariant phase slices come from the representative; the
+  // address-dependent and compute slices are recharged live below, mirroring
+  // the KernelStats split (trace.hpp).
+  if (psink_ != nullptr) *psink_ += trace.phase_invariant;
 
   if (trace_level_ == TraceLevel::Timing) {
     // Walk the recorded global/constant transactions in retire order,
@@ -183,26 +208,43 @@ void ReplayRunner::replay(Dim3 block_idx, const BlockTrace& trace,
         KCONV_ASSERT(a.op == tx.op);
         group_.push_back(a);
       }
+      profile::PhaseStats* ps =
+          psink_ != nullptr ? &psink_->at(group_[0].phase) : nullptr;
       if (tx.op == Op::LoadConst) {
         const ConstCost c = analyze_const(group_, arch_.const_line_bytes);
         if (const_cache != nullptr) {
           for (u32 i = 0; i < c.lines_touched; ++i) {
             if (!const_cache->access(c.line_addrs[i])) {
               ++stats.const_line_misses;
+              if (ps != nullptr) ++ps->const_line_misses;
             }
           }
         }
       } else {
         // Rebased addresses, same signatures: the pattern cache primed by
         // the captured block serves nearly every replayed transaction.
+        const u64 plk = pattern_ != nullptr ? pattern_->lookups() : 0;
+        const u64 pht = pattern_ != nullptr ? pattern_->hits() : 0;
         if (pattern_ != nullptr) {
           pattern_->gmem(group_, gmem_scratch_);
         } else {
           analyze_gmem(group_, arch_.gm_sector_bytes, gmem_scratch_);
         }
         stats.gm_sectors += gmem_scratch_.sectors.size();
+        u64 dram = 0;
         for (const u64 sector : gmem_scratch_.sectors) {
-          if (!gm_l2.access(sector)) ++stats.gm_sectors_dram;
+          if (!gm_l2.access(sector)) {
+            ++stats.gm_sectors_dram;
+            ++dram;
+          }
+        }
+        if (ps != nullptr) {
+          ps->gm_sectors += gmem_scratch_.sectors.size();
+          ps->gm_sectors_dram += dram;
+          if (pattern_ != nullptr) {
+            ps->pattern_lookups += pattern_->lookups() - plk;
+            ps->pattern_hits += pattern_->hits() - pht;
+          }
         }
       }
     }
@@ -230,6 +272,17 @@ void ReplayRunner::replay(Dim3 block_idx, const BlockTrace& trace,
     stats.alu_warp_instrs += max_alu;
     stats.max_warp_instrs =
         std::max(stats.max_warp_instrs, max_events + max_fma + max_alu);
+  }
+  if (psink_ != nullptr) {
+    // Per-phase arithmetic, recounted from the replayed lanes themselves
+    // (congruence makes it equal the representative's compute profile, but
+    // counting live keeps the observational guarantee trivially exact).
+    for (const profile::LaneProfile& lp : lane_profiles_) {
+      for (u32 i = 0; i < profile::kNumPhases; ++i) {
+        psink_->p[i].fma_lane_ops += lp.fma[i];
+        psink_->p[i].alu_lane_ops += lp.alu[i];
+      }
+    }
   }
   ++stats.blocks_executed;
 }
@@ -449,6 +502,12 @@ void ReplayRunner::flush_tape(ClassState& cs, KernelStats& stats) {
   for (u32 b = 0; b < batch; ++b) {
     stats += cs.trace.invariant;
     stats += cs.trace.compute;
+    if (psink_ != nullptr) {
+      // Tape blocks run no coroutines, so both phase slices come from the
+      // representative — exactly matching the KernelStats treatment above.
+      *psink_ += cs.trace.phase_invariant;
+      *psink_ += cs.trace.phase_compute;
+    }
     ++stats.blocks_executed;
   }
   cs.pending.clear();

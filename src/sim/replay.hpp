@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/profile/collector.hpp"
 #include "src/sim/block_exec.hpp"
 #include "src/sim/coalescing.hpp"
 #include "src/sim/pattern_cache.hpp"
@@ -70,18 +71,29 @@ class ReplayRunner {
   /// cover their shared-memory pattern — with only their global writes
   /// harvested for the cross-block overlap scan. The coroutine-free tape
   /// tier is disabled while checking (it records no access streams).
+  /// `psink` (optional) enables kconv-prof phase accounting (docs/MODEL.md
+  /// §7): class representatives charge phases directly and store their
+  /// per-phase split in the trace; replayed blocks add the stored
+  /// invariant profile and recompute the address-dependent and compute
+  /// parts live, so per-phase sums match the launch totals exactly in
+  /// every mode.
   ReplayRunner(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, TraceLevel trace, u64 max_rounds,
                const BlockClassifier& classify, const ReplayOriginsFn& origins,
                PatternCache* pattern = nullptr,
-               analysis::BlockChecker* checker = nullptr);
+               analysis::BlockChecker* checker = nullptr,
+               profile::PhaseProfile* psink = nullptr);
 
   /// Executes or replays `block_idx`, accumulating into `stats` exactly
   /// what the direct path would have (serially, including cache counters).
   /// Tape-served blocks may be deferred for batched interpretation — call
   /// finish() after the last block to flush them.
+  ///
+  /// `tl` (optional, profiling only) receives the block's phase timeline
+  /// when the block actually executes (class representative or tainted
+  /// re-execution); replayed blocks record none and leave it empty.
   void run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
-           KernelStats& stats);
+           KernelStats& stats, profile::BlockTimeline* tl = nullptr);
 
   /// Flushes tape blocks still queued for batched interpretation. Their
   /// outputs and stats land only after this runs.
@@ -148,6 +160,7 @@ class ReplayRunner {
   const ReplayOriginsFn& origins_fn_;
   PatternCache* pattern_;
   analysis::BlockChecker* checker_;
+  profile::PhaseProfile* psink_;
 
   std::unordered_map<u64, ClassState> classes_;
   u64 blocks_replayed_ = 0;
@@ -160,6 +173,7 @@ class ReplayRunner {
   };
   std::vector<ReplayLane> lanes_;
   std::vector<LaneRecorder> recorders_;
+  std::vector<profile::LaneProfile> lane_profiles_;
   std::vector<LaneTapeBuilder> builders_;
   std::vector<std::byte> smem_;
   std::vector<u32> cursors_;

@@ -2,6 +2,7 @@
 
 #include "src/analysis/report.hpp"
 #include "src/common/strutil.hpp"
+#include "src/profile/roofline.hpp"
 
 namespace kconv::sim {
 
@@ -83,6 +84,9 @@ std::string format_report(const Arch& arch, const LaunchResult& res) {
   if (res.analysis.hazard_checked || res.analysis.linted) {
     out += analysis::format_analysis(res.analysis);
   }
+  if (res.profile.enabled) {
+    out += profile::format_profile(arch, res.profile);
+  }
   return out;
 }
 
@@ -129,11 +133,17 @@ std::string to_json(const Arch& arch, const LaunchResult& res) {
   out += strf("  \"pattern_hits\": %llu,\n",
               static_cast<unsigned long long>(s.pattern_hits));
   const bool with_analysis = res.analysis.hazard_checked || res.analysis.linted;
+  const bool with_profile = res.profile.enabled;
   out += strf("  \"barriers\": %llu%s\n",
               static_cast<unsigned long long>(s.barriers),
-              with_analysis ? "," : "");
+              with_analysis || with_profile ? "," : "");
   if (with_analysis) {
-    out += "  \"analysis\": " + analysis::to_json(res.analysis, 2) + "\n";
+    out += "  \"analysis\": " + analysis::to_json(res.analysis, 2) +
+           (with_profile ? ",\n" : "\n");
+  }
+  if (with_profile) {
+    out += "  \"profile\": " + profile::profile_to_json(arch, res.profile, 2) +
+           "\n";
   }
   out += "}";
   return out;

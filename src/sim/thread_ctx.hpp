@@ -15,6 +15,7 @@
 #pragma once
 
 #include "src/common/types.hpp"
+#include "src/profile/phase.hpp"
 #include "src/sim/dim.hpp"
 #include "src/sim/memory.hpp"
 #include "src/sim/shared.hpp"
@@ -40,7 +41,7 @@ class ThreadCtx {
 
   /// Scalar fused multiply-add: returns a*b + c, charges one FMA lane-op.
   float fma(float a, float b, float c) {
-    ++fma_ops_;
+    charge_fma(1);
     if (tape_ != nullptr) [[unlikely]] {
       return LaneTapeBuilder::tag_value(tape_->note_axpy(&a, b, &c, 1));
     }
@@ -53,7 +54,7 @@ class ThreadCtx {
   template <int N>
   Vec<float, N> fma(const Vec<float, N>& x, float w,
                     const Vec<float, N>& acc) {
-    fma_ops_ += N;
+    charge_fma(N);
     if (tape_ != nullptr) [[unlikely]] {
       return tape_tagged<Vec<float, N>>(
           tape_->note_axpy(&x[0], w, &acc[0], N));
@@ -67,7 +68,7 @@ class ThreadCtx {
   template <int N>
   Vec<float, N> fma(const Vec<float, N>& x, const Vec<float, N>& y,
                     const Vec<float, N>& acc) {
-    fma_ops_ += N;
+    charge_fma(N);
     if (tape_ != nullptr) [[unlikely]] {
       return tape_tagged<Vec<float, N>>(
           tape_->note_fma_vec(&x[0], &y[0], &acc[0], N));
@@ -79,14 +80,14 @@ class ThreadCtx {
 
   /// Charges `n` generic ALU lane-ops (index arithmetic a real kernel would
   /// spend instructions on but that host C++ does for free).
-  void alu(u64 n = 1) { alu_ops_ += n; }
+  void alu(u64 n = 1) { charge_alu(n); }
 
   // --- Global memory ---------------------------------------------------------
 
   template <typename V, typename T>
   detail::LoadAwait<V> ld_global(const BufferView<T>& view, i64 idx) {
-    ++alu_ops_;  // address computation a real kernel spends an IADD on
-    const Access a{Op::LoadGlobal, view.addr_of(idx), sizeof(V)};
+    charge_alu(1);  // address computation a real kernel spends an IADD on
+    const Access a{Op::LoadGlobal, view.addr_of(idx), sizeof(V), phase_};
     if (tape_ != nullptr) [[unlikely]] {
       return {a, tape_load<V>(view.buffer(), a.addr, true, false), true};
     }
@@ -106,7 +107,7 @@ class ThreadCtx {
   detail::LoadAwait<V> ld_global_if(bool pred, const BufferView<T>& view,
                                     i64 idx) {
     if (!pred) {
-      const Access a{Op::LoadGlobal, 0, 0};
+      const Access a{Op::LoadGlobal, 0, 0, phase_};
       if (tape_ != nullptr) [[unlikely]] {
         return {a, tape_load<V>(nullptr, 0, false, false), true};
       }
@@ -123,8 +124,8 @@ class ThreadCtx {
   template <typename T, typename V>
   detail::VoidAwait st_global(const BufferView<T>& view, i64 idx,
                               const V& value) {
-    ++alu_ops_;
-    const Access a{Op::StoreGlobal, view.addr_of(idx), sizeof(V)};
+    charge_alu(1);
+    const Access a{Op::StoreGlobal, view.addr_of(idx), sizeof(V), phase_};
     if (tape_ != nullptr) [[unlikely]] {
       tape_store(value, [&](const float* e, u32 n) {
         tape_->note_store_gm(view.buffer(), a.addr, e, n, true);
@@ -140,7 +141,7 @@ class ThreadCtx {
   detail::VoidAwait st_global_if(bool pred, const BufferView<T>& view,
                                  i64 idx, const V& value) {
     if (!pred) {
-      const Access a{Op::StoreGlobal, 0, 0};
+      const Access a{Op::StoreGlobal, 0, 0, phase_};
       if (tape_ != nullptr) [[unlikely]] {
         tape_store(value, [&](const float* e, u32 n) {
           tape_->note_store_gm(nullptr, 0, e, n, false);
@@ -162,8 +163,8 @@ class ThreadCtx {
 
   template <typename V, typename T>
   detail::LoadAwait<V> ld_shared(const SharedView<T>& view, i64 idx) {
-    ++alu_ops_;
-    const Access a{Op::LoadShared, view.addr_of(idx), sizeof(V)};
+    charge_alu(1);
+    const Access a{Op::LoadShared, view.addr_of(idx), sizeof(V), phase_};
     if (tape_ != nullptr) [[unlikely]] {
       if constexpr (kTapeFloatElems<V>) {
         constexpr u32 n = sizeof(V) / sizeof(float);
@@ -182,8 +183,8 @@ class ThreadCtx {
   template <typename T, typename V>
   detail::VoidAwait st_shared(const SharedView<T>& view, i64 idx,
                               const V& value) {
-    ++alu_ops_;
-    const Access a{Op::StoreShared, view.addr_of(idx), sizeof(V)};
+    charge_alu(1);
+    const Access a{Op::StoreShared, view.addr_of(idx), sizeof(V), phase_};
     if (tape_ != nullptr) [[unlikely]] {
       tape_store(value, [&](const float* e, u32 n) {
         tape_->note_store_sm(a.addr, e, n, true);
@@ -199,7 +200,7 @@ class ThreadCtx {
   detail::VoidAwait st_shared_if(bool pred, const SharedView<T>& view,
                                  i64 idx, const V& value) {
     if (!pred) {
-      const Access a{Op::StoreShared, 0, 0};
+      const Access a{Op::StoreShared, 0, 0, phase_};
       if (tape_ != nullptr) [[unlikely]] {
         tape_store(value, [&](const float* e, u32 n) {
           tape_->note_store_sm(0, e, n, false);
@@ -215,7 +216,7 @@ class ThreadCtx {
 
   template <typename V, typename T>
   detail::LoadAwait<V> ld_const(const ConstView<T>& view, i64 idx) {
-    const Access a{Op::LoadConst, view.addr_of(idx), sizeof(V)};
+    const Access a{Op::LoadConst, view.addr_of(idx), sizeof(V), phase_};
     if (tape_ != nullptr) [[unlikely]] {
       if constexpr (kTapeFloatElems<V>) {
         constexpr u32 n = sizeof(V) / sizeof(float);
@@ -241,7 +242,8 @@ class ThreadCtx {
   /// scheduling point fast-forward execution preserves — but it is recorded
   /// like any other event so the congruence hash covers sync placement.
   detail::VoidAwait sync() {
-    const Access a{Op::Sync, 0, 0};
+    // Barriers are attributed automatically; kernels never annotate them.
+    const Access a{Op::Sync, 0, 0, profile::Phase::Sync};
     if (tape_ != nullptr) [[unlikely]] {
       tape_->note_sync();
     }
@@ -264,8 +266,19 @@ class ThreadCtx {
   /// record which slots leave the block — no functional memory is touched.
   /// Like fast-forward, only sync() suspends.
   void bind_tape(LaneTapeBuilder* tape) { tape_ = tape; }
+  /// Profiling mode (MODEL.md §7): while a lane profile is bound, fma/alu
+  /// charges are additionally attributed to the lane's current phase. The
+  /// base counters are maintained either way, so binding one never changes
+  /// simulation results.
+  void bind_profile(profile::LaneProfile* p) { profile_ = p; }
   u64 fma_ops() const { return fma_ops_; }
   u64 alu_ops() const { return alu_ops_; }
+
+  /// Current phase, stamped into every Access this lane issues. Kernels
+  /// set it via ProfilePhase scopes; stamping is unconditional so traces
+  /// and hashes are independent of whether profiling is enabled.
+  profile::Phase phase() const { return phase_; }
+  void set_phase(profile::Phase p) { phase_ = p; }
 
  private:
   /// Notes `a` in the bound recorder; returns whether the awaitable should
@@ -320,12 +333,45 @@ class ThreadCtx {
     }
   }
 
+  void charge_fma(u64 n) {
+    fma_ops_ += n;
+    if (profile_ != nullptr) [[unlikely]] {
+      profile_->fma[profile::phase_index(phase_)] += n;
+    }
+  }
+  void charge_alu(u64 n) {
+    alu_ops_ += n;
+    if (profile_ != nullptr) [[unlikely]] {
+      profile_->alu[profile::phase_index(phase_)] += n;
+    }
+  }
+
   std::byte* smem_base_ = nullptr;
   u32 smem_bytes_ = 0;
   u64 fma_ops_ = 0;
   u64 alu_ops_ = 0;
   LaneRecorder* recorder_ = nullptr;
   LaneTapeBuilder* tape_ = nullptr;
+  profile::LaneProfile* profile_ = nullptr;
+  profile::Phase phase_ = profile::Phase::Other;
+};
+
+/// RAII phase scope (MODEL.md §7): tags everything the lane does while the
+/// scope is alive — loads, stores, fma/alu — with `p`, restoring the
+/// enclosing phase on exit. Nesting works (inner scope wins); barriers are
+/// always attributed to Phase::Sync regardless of the open scope.
+class ProfilePhase {
+ public:
+  ProfilePhase(ThreadCtx& t, profile::Phase p) : t_(&t), prev_(t.phase()) {
+    t.set_phase(p);
+  }
+  ~ProfilePhase() { t_->set_phase(prev_); }
+  ProfilePhase(const ProfilePhase&) = delete;
+  ProfilePhase& operator=(const ProfilePhase&) = delete;
+
+ private:
+  ThreadCtx* t_;
+  profile::Phase prev_;
 };
 
 }  // namespace kconv::sim

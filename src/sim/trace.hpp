@@ -44,8 +44,12 @@ inline constexpr u64 trace_hash_fold(u64 h, u64 v) {
 /// Folds one lane event. Global/constant addresses are excluded — they are
 /// the part that legitimately shifts between blocks of a class — while
 /// shared-memory offsets (block-local, must match exactly) are included.
+/// The profiling phase participates too: a replayed block inherits its
+/// representative's per-phase profile, which is only sound if the phase
+/// placement matches event for event.
 inline constexpr u64 trace_hash_access(u64 h, const Access& a) {
-  h = trace_hash_fold(h, (static_cast<u64>(a.op) << 32) | a.bytes);
+  h = trace_hash_fold(h, (static_cast<u64>(a.op) << 40) |
+                             (static_cast<u64>(a.phase) << 32) | a.bytes);
   if (a.op == Op::LoadShared || a.op == Op::StoreShared) {
     h = trace_hash_fold(h, a.addr);
   }
@@ -83,6 +87,12 @@ struct BlockTrace {
   /// Per-lane congruence certificate: event-stream hash + retired events.
   std::vector<u64> lane_hash;
   std::vector<u32> lane_events;
+  /// Per-phase split of `invariant` / `compute` (kconv-prof, MODEL.md §7).
+  /// Populated only on profiling launches; replayed blocks charge
+  /// `phase_invariant` wholesale and recompute the rest live, mirroring
+  /// the KernelStats split above.
+  profile::PhaseProfile phase_invariant;
+  profile::PhaseProfile phase_compute;
   /// Block the trace was captured from (for diagnostics).
   Dim3 captured_block{};
 };

@@ -1,0 +1,234 @@
+// The kconv-prof metrics registry invariant (docs/MODEL.md §7): summing a
+// per-phase counter over the seven phases equals the matching launch-total
+// KernelStats field, exactly, in every launch mode — and the per-phase
+// roll-up itself is identical across serial, parallel (any thread count),
+// and trace-replay launches.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <vector>
+
+#include "src/kernels/general_conv.hpp"
+#include "src/kernels/special_conv.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace kconv::profile {
+namespace {
+
+struct ModeCase {
+  const char* name;
+  u32 threads;
+  bool replay;
+};
+
+constexpr ModeCase kModes[] = {
+    {"serial", 1, false},
+    {"parallel", 3, false},
+    {"replay", 1, true},
+};
+
+/// Every PhaseStats field with a KernelStats counterpart must sum exactly
+/// to it (smem_store_lane_bytes is profile-only and has none).
+void expect_sums_to_launch_totals(const PhaseProfile& phases,
+                                  const sim::KernelStats& s) {
+  EXPECT_EQ(phases.total(&PhaseStats::fma_lane_ops), s.fma_lane_ops);
+  EXPECT_EQ(phases.total(&PhaseStats::alu_lane_ops), s.alu_lane_ops);
+  EXPECT_EQ(phases.total(&PhaseStats::smem_instrs), s.smem_instrs);
+  EXPECT_EQ(phases.total(&PhaseStats::smem_request_cycles),
+            s.smem_request_cycles);
+  EXPECT_EQ(phases.total(&PhaseStats::smem_bytes), s.smem_bytes);
+  EXPECT_EQ(phases.total(&PhaseStats::smem_lane_bytes), s.smem_lane_bytes);
+  EXPECT_EQ(phases.total(&PhaseStats::smem_store_instrs), s.smem_store_instrs);
+  EXPECT_EQ(phases.total(&PhaseStats::smem_store_request_cycles),
+            s.smem_store_request_cycles);
+  EXPECT_EQ(phases.total(&PhaseStats::gm_instrs), s.gm_instrs);
+  EXPECT_EQ(phases.total(&PhaseStats::gm_sectors), s.gm_sectors);
+  EXPECT_EQ(phases.total(&PhaseStats::gm_sectors_dram), s.gm_sectors_dram);
+  EXPECT_EQ(phases.total(&PhaseStats::gm_bytes_useful), s.gm_bytes_useful);
+  EXPECT_EQ(phases.total(&PhaseStats::const_instrs), s.const_instrs);
+  EXPECT_EQ(phases.total(&PhaseStats::const_requests), s.const_requests);
+  EXPECT_EQ(phases.total(&PhaseStats::const_line_misses), s.const_line_misses);
+  EXPECT_EQ(phases.total(&PhaseStats::barriers), s.barriers);
+  EXPECT_EQ(phases.total(&PhaseStats::pattern_lookups), s.pattern_lookups);
+  EXPECT_EQ(phases.total(&PhaseStats::pattern_hits), s.pattern_hits);
+}
+
+/// Cross-mode / cross-thread-count comparison. Mirrors the determinism
+/// suite's contract: the cache-warmth counters (gm_sectors_dram,
+/// const_line_misses) and the pattern-cache counters depend on the chunk
+/// partition (one L2 shadow / pattern cache per chunk) and on how much
+/// work replay fast-forwards, so they are excluded here — the sum tests
+/// above already pin them against each run's own launch totals.
+void expect_same_deterministic_phase_stats(const PhaseStats& a,
+                                           const PhaseStats& b) {
+  EXPECT_EQ(a.fma_lane_ops, b.fma_lane_ops);
+  EXPECT_EQ(a.alu_lane_ops, b.alu_lane_ops);
+  EXPECT_EQ(a.smem_instrs, b.smem_instrs);
+  EXPECT_EQ(a.smem_request_cycles, b.smem_request_cycles);
+  EXPECT_EQ(a.smem_bytes, b.smem_bytes);
+  EXPECT_EQ(a.smem_lane_bytes, b.smem_lane_bytes);
+  EXPECT_EQ(a.smem_store_instrs, b.smem_store_instrs);
+  EXPECT_EQ(a.smem_store_request_cycles, b.smem_store_request_cycles);
+  EXPECT_EQ(a.smem_store_lane_bytes, b.smem_store_lane_bytes);
+  EXPECT_EQ(a.gm_instrs, b.gm_instrs);
+  EXPECT_EQ(a.gm_sectors, b.gm_sectors);
+  EXPECT_EQ(a.gm_bytes_useful, b.gm_bytes_useful);
+  EXPECT_EQ(a.const_instrs, b.const_instrs);
+  EXPECT_EQ(a.const_requests, b.const_requests);
+  EXPECT_EQ(a.barriers, b.barriers);
+}
+
+kernels::KernelRun run_special(const ModeCase& m, u64 timeline_blocks = 8) {
+  Rng rng(7);
+  tensor::Tensor img = tensor::Tensor::image(1, 20, 300);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 1, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  sim::LaunchOptions opt;
+  opt.num_threads = m.threads;
+  opt.replay = m.replay;
+  opt.profile = true;
+  opt.profile_timeline_blocks = timeline_blocks;
+  return kernels::special_conv(dev, img, flt, {}, opt);
+}
+
+kernels::KernelRun run_general(const ModeCase& m) {
+  Rng rng(11);
+  tensor::Tensor img = tensor::Tensor::image(4, 12, 66);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(64, 4, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  sim::LaunchOptions opt;
+  opt.num_threads = m.threads;
+  opt.replay = m.replay;
+  opt.profile = true;
+  return kernels::general_conv(dev, img, flt, {}, opt);
+}
+
+TEST(PhaseSum, SpecialConvPhaseDeltasSumToLaunchTotals) {
+  for (const ModeCase& m : kModes) {
+    SCOPED_TRACE(m.name);
+    const auto run = run_special(m);
+    ASSERT_TRUE(run.launch.profile.enabled);
+    expect_sums_to_launch_totals(run.launch.profile.phases, run.launch.stats);
+    // The annotated kernel leaves nothing in the default bucket: every
+    // access and op lands in a named phase.
+    EXPECT_TRUE(run.launch.profile.phases.at(Phase::Other).empty());
+    // And the phases the paper reasons about are populated.
+    EXPECT_GT(run.launch.profile.phases.at(Phase::GmLoad).gm_instrs, 0u);
+    EXPECT_GT(run.launch.profile.phases.at(Phase::SmemStage).smem_store_instrs,
+              0u);
+    EXPECT_GT(run.launch.profile.phases.at(Phase::Compute).fma_lane_ops, 0u);
+    EXPECT_GT(run.launch.profile.phases.at(Phase::Writeback).gm_instrs, 0u);
+    EXPECT_GT(run.launch.profile.phases.at(Phase::Sync).barriers, 0u);
+    EXPECT_EQ(run.launch.profile.phases.at(Phase::Sync).barriers,
+              run.launch.stats.barriers);
+  }
+}
+
+TEST(PhaseSum, GeneralConvPhaseDeltasSumToLaunchTotals) {
+  for (const ModeCase& m : kModes) {
+    SCOPED_TRACE(m.name);
+    const auto run = run_general(m);
+    ASSERT_TRUE(run.launch.profile.enabled);
+    expect_sums_to_launch_totals(run.launch.profile.phases, run.launch.stats);
+    EXPECT_TRUE(run.launch.profile.phases.at(Phase::Other).empty());
+    // The general kernel prefetches (double buffering on by default), so
+    // the prefetch phase carries real GM traffic.
+    EXPECT_GT(run.launch.profile.phases.at(Phase::Prefetch).gm_instrs, 0u);
+    // Compute reads shared memory but never stages into it.
+    EXPECT_GT(run.launch.profile.phases.at(Phase::Compute).smem_instrs, 0u);
+    EXPECT_EQ(run.launch.profile.phases.at(Phase::Compute).smem_store_instrs,
+              0u);
+  }
+}
+
+TEST(PhaseSum, PhaseRollupIdenticalAcrossLaunchModes) {
+  const auto serial = run_special(kModes[0]);
+  for (size_t i = 1; i < std::size(kModes); ++i) {
+    SCOPED_TRACE(kModes[i].name);
+    const auto other = run_special(kModes[i]);
+    for (u32 p = 0; p < kNumPhases; ++p) {
+      SCOPED_TRACE(phase_name(static_cast<Phase>(p)));
+      expect_same_deterministic_phase_stats(serial.launch.profile.phases.p[p],
+                              other.launch.profile.phases.p[p]);
+    }
+  }
+}
+
+TEST(PhaseSum, PhaseRollupThreadCountInvariant) {
+  const auto one = run_special({"t1", 1, false});
+  for (u32 threads : {2u, 5u}) {
+    SCOPED_TRACE(threads);
+    const auto many = run_special({"tN", threads, false});
+    for (u32 p = 0; p < kNumPhases; ++p) {
+      expect_same_deterministic_phase_stats(one.launch.profile.phases.p[p],
+                              many.launch.profile.phases.p[p]);
+    }
+    // Timeline selection is by GLOBAL launch index, so the recorded set
+    // doesn't depend on how blocks were sharded across host threads.
+    ASSERT_EQ(many.launch.profile.timelines.size(),
+              one.launch.profile.timelines.size());
+    for (size_t i = 0; i < one.launch.profile.timelines.size(); ++i) {
+      EXPECT_EQ(many.launch.profile.timelines[i].seq,
+                one.launch.profile.timelines[i].seq);
+    }
+  }
+}
+
+TEST(PhaseSum, TimelinesCappedAndOrdered) {
+  const auto run = run_special(kModes[0], /*timeline_blocks=*/3);
+  const auto& tls = run.launch.profile.timelines;
+  ASSERT_EQ(tls.size(), 3u);  // launch has 6 blocks, the cap wins
+  for (size_t i = 0; i < tls.size(); ++i) {
+    EXPECT_EQ(tls[i].seq, i);
+    EXPECT_FALSE(tls[i].slices.empty());
+  }
+}
+
+TEST(PhaseSum, TimelineSlicesSumToLaunchTotalsWhenAllBlocksRecorded) {
+  // Record every block (6 < 100): the concatenation of all timeline
+  // slices is then a partition of the launch, so slice-level counters sum
+  // back to the same totals the phase roll-up does.
+  const auto run = run_special(kModes[0], /*timeline_blocks=*/100);
+  ASSERT_EQ(run.launch.profile.timelines.size(),
+            run.launch.stats.blocks_executed);
+  PhaseStats sum;
+  for (const auto& tl : run.launch.profile.timelines)
+    for (const PhaseSlice& sl : tl.slices) sum += sl.stats;
+  const sim::KernelStats& s = run.launch.stats;
+  EXPECT_EQ(sum.fma_lane_ops, s.fma_lane_ops);
+  EXPECT_EQ(sum.smem_instrs, s.smem_instrs);
+  EXPECT_EQ(sum.smem_request_cycles, s.smem_request_cycles);
+  EXPECT_EQ(sum.smem_store_instrs, s.smem_store_instrs);
+  EXPECT_EQ(sum.gm_instrs, s.gm_instrs);
+  EXPECT_EQ(sum.gm_sectors, s.gm_sectors);
+  EXPECT_EQ(sum.gm_bytes_useful, s.gm_bytes_useful);
+  EXPECT_EQ(sum.const_instrs, s.const_instrs);
+  EXPECT_EQ(sum.barriers, s.barriers);
+}
+
+TEST(PhaseSum, ReplayedBlocksRecordNoTimeline) {
+  const auto run = run_special(kModes[2]);  // replay mode
+  ASSERT_GT(run.launch.blocks_replayed, 0u);
+  // Replayed blocks reuse their representative's profile and have no
+  // retirement sequence: only live-executed blocks among the first 8 may
+  // carry a timeline.
+  EXPECT_LE(run.launch.profile.timelines.size(), 8u);
+  u64 prev_seq = 0;
+  bool first = true;
+  for (const auto& tl : run.launch.profile.timelines) {
+    EXPECT_LT(tl.seq, 8u);
+    if (!first) {
+      EXPECT_GT(tl.seq, prev_seq);
+    }
+    prev_seq = tl.seq;
+    first = false;
+    EXPECT_FALSE(tl.slices.empty());
+  }
+}
+
+}  // namespace
+}  // namespace kconv::profile

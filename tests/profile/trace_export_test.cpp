@@ -1,0 +1,139 @@
+// Perfetto / Chrome trace-event export sanity (docs/MODEL.md §7): the
+// emitted document is valid JSON, one metadata-named track per recorded
+// block, complete ("X") slices with monotonically non-decreasing
+// timestamps per track, and counter ("C") tracks for GM/SM bandwidth.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/kernels/special_conv.hpp"
+#include "src/profile/trace_export.hpp"
+#include "src/tensor/tensor.hpp"
+#include "tests/support/json_reader.hpp"
+
+namespace kconv::profile {
+namespace {
+
+using testsupport::JsonReader;
+using testsupport::JsonValue;
+using testsupport::field;
+
+std::string export_trace(sim::Arch arch, const sim::LaunchOptions& opt,
+                         LaunchProfile* prof_out = nullptr) {
+  Rng rng(7);
+  tensor::Tensor img = tensor::Tensor::image(1, 20, 300);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 1, 3);
+  flt.fill_random(rng);
+  sim::Device dev(arch);
+  const auto run = kernels::special_conv(dev, img, flt, {}, opt);
+  if (prof_out != nullptr) *prof_out = run.launch.profile;
+  return chrome_trace_json(dev.arch(), run.launch.profile);
+}
+
+TEST(TraceExport, ValidJsonWithExpectedEventTypes) {
+  sim::LaunchOptions opt;
+  opt.profile = true;
+  LaunchProfile prof;
+  const std::string j = export_trace(sim::kepler_k40m(), opt, &prof);
+  ASSERT_FALSE(prof.timelines.empty());
+
+  const auto root = JsonReader(j).parse();
+  ASSERT_EQ(root->type, JsonValue::Type::Object);
+  EXPECT_EQ(field(*root, "displayTimeUnit").str, "ms");
+
+  const JsonValue& events = field(*root, "traceEvents");
+  ASSERT_EQ(events.type, JsonValue::Type::Array);
+  ASSERT_FALSE(events.array.empty());
+
+  std::set<std::string> ph_types;
+  std::set<u64> slice_pids, meta_pids;
+  std::set<std::string> slice_names;
+  for (const auto& ev : events.array) {
+    ASSERT_EQ(ev->type, JsonValue::Type::Object);
+    const std::string ph = field(*ev, "ph").str;
+    ph_types.insert(ph);
+    const u64 pid = static_cast<u64>(field(*ev, "pid").number);
+    if (ph == "M") {
+      meta_pids.insert(pid);
+      EXPECT_EQ(field(*ev, "args").type, JsonValue::Type::Object);
+    } else if (ph == "X") {
+      slice_pids.insert(pid);
+      slice_names.insert(field(*ev, "name").str);
+      EXPECT_GE(field(*ev, "dur").number, 0.0);
+      const JsonValue& args = field(*ev, "args");
+      for (const char* key : {"gm_sectors", "smem_request_cycles",
+                              "const_requests", "fma_lane_ops", "barriers"}) {
+        EXPECT_EQ(field(args, key).type, JsonValue::Type::Number) << key;
+      }
+    } else {
+      ASSERT_EQ(ph, "C");
+      EXPECT_EQ(field(field(*ev, "args"), "value").type,
+                JsonValue::Type::Number);
+    }
+  }
+  EXPECT_EQ(ph_types, (std::set<std::string>{"M", "X", "C"}));
+  // One slice track per recorded timeline, and every track is named.
+  EXPECT_EQ(slice_pids.size(), prof.timelines.size());
+  EXPECT_EQ(meta_pids, slice_pids);
+  // Slices are named after phases of the taxonomy.
+  for (const std::string& n : slice_names) {
+    EXPECT_TRUE(n == "gm_load" || n == "smem_stage" || n == "sync" ||
+                n == "compute" || n == "writeback" || n == "prefetch" ||
+                n == "other")
+        << n;
+  }
+  EXPECT_TRUE(slice_names.count("compute")) << "no compute slice recorded";
+}
+
+TEST(TraceExport, TimestampsMonotonePerTrack) {
+  sim::LaunchOptions opt;
+  opt.profile = true;
+  const std::string j = export_trace(sim::kepler_k40m(), opt);
+  const auto root = JsonReader(j).parse();
+
+  // Per (pid, tid, phase-type) cursor; "X" slices must also not overlap:
+  // the next slice starts at or after the previous one's end.
+  std::map<std::pair<u64, std::string>, double> cursor;
+  for (const auto& ev : field(*root, "traceEvents").array) {
+    const std::string ph = field(*ev, "ph").str;
+    if (ph == "M") continue;
+    const u64 pid = static_cast<u64>(field(*ev, "pid").number);
+    const double ts = field(*ev, "ts").number;
+    const auto key = std::make_pair(pid, ph);
+    const auto it = cursor.find(key);
+    if (it != cursor.end()) {
+      // ts and dur are printed with 6 decimals each; allow their combined
+      // rounding when comparing the parsed-back values.
+      EXPECT_GE(ts, it->second - 2e-6) << "pid " << pid << " ph " << ph;
+    }
+    cursor[key] = ph == "X" ? ts + field(*ev, "dur").number : ts;
+  }
+}
+
+TEST(TraceExport, EmptyProfileYieldsEmptyEventArray) {
+  LaunchProfile prof;  // disabled, no timelines
+  const auto root =
+      JsonReader(chrome_trace_json(sim::kepler_k40m(), prof)).parse();
+  EXPECT_TRUE(field(*root, "traceEvents").array.empty());
+}
+
+TEST(TraceExport, RespectsTimelineBlockCap) {
+  sim::LaunchOptions opt;
+  opt.profile = true;
+  opt.profile_timeline_blocks = 2;
+  LaunchProfile prof;
+  const std::string j = export_trace(sim::kepler_k40m(), opt, &prof);
+  ASSERT_EQ(prof.timelines.size(), 2u);
+  const auto root = JsonReader(j).parse();
+  std::set<u64> pids;
+  for (const auto& ev : field(*root, "traceEvents").array)
+    pids.insert(static_cast<u64>(field(*ev, "pid").number));
+  EXPECT_EQ(pids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kconv::profile

@@ -2,137 +2,22 @@
 
 #include <gtest/gtest.h>
 
-#include <cstring>
+#include <algorithm>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/analysis/report.hpp"
 
 #include "src/sim/sim.hpp"
+#include "tests/support/json_reader.hpp"
 
 namespace kconv::sim {
 namespace {
 
-// --- Minimal JSON reader ---------------------------------------------------
-// Just enough of a recursive-descent parser to round-trip sim::to_json and
-// pin its schema; rejects anything malformed instead of guessing.
-
-struct JsonValue {
-  enum class Type { Object, Array, String, Number, Bool, Null };
-  Type type = Type::Null;
-  double number = 0.0;
-  bool boolean = false;
-  std::string str;
-  std::map<std::string, std::shared_ptr<JsonValue>> object;
-  std::vector<std::shared_ptr<JsonValue>> array;
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  std::shared_ptr<JsonValue> parse() {
-    auto v = value();
-    skip_ws();
-    KCONV_CHECK(pos_ == text_.size(), "trailing characters after JSON value");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-                                   text_[pos_] == '\t' || text_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char peek() {
-    skip_ws();
-    KCONV_CHECK(pos_ < text_.size(), "unexpected end of JSON");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    KCONV_CHECK(peek() == c, strf("expected '%c' at offset %zu", c, pos_));
-    ++pos_;
-  }
-
-  bool consume(const char* lit) {
-    skip_ws();
-    const size_t n = std::strlen(lit);
-    if (text_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  std::string string_lit() {
-    expect('"');
-    std::string out;
-    while (true) {
-      KCONV_CHECK(pos_ < text_.size(), "unterminated JSON string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      KCONV_CHECK(c != '\\', "escapes not used by sim::to_json");
-      out += c;
-    }
-  }
-
-  std::shared_ptr<JsonValue> value() {
-    auto v = std::make_shared<JsonValue>();
-    const char c = peek();
-    if (c == '{') {
-      v->type = JsonValue::Type::Object;
-      expect('{');
-      if (peek() != '}') {
-        do {
-          std::string key = string_lit();
-          expect(':');
-          KCONV_CHECK(v->object.emplace(std::move(key), value()).second,
-                      "duplicate JSON key");
-        } while (consume(","));
-      }
-      expect('}');
-    } else if (c == '[') {
-      v->type = JsonValue::Type::Array;
-      expect('[');
-      if (peek() != ']') {
-        do {
-          v->array.push_back(value());
-        } while (consume(","));
-      }
-      expect(']');
-    } else if (c == '"') {
-      v->type = JsonValue::Type::String;
-      v->str = string_lit();
-    } else if (consume("true")) {
-      v->type = JsonValue::Type::Bool;
-      v->boolean = true;
-    } else if (consume("false")) {
-      v->type = JsonValue::Type::Bool;
-      v->boolean = false;
-    } else if (consume("null")) {
-      v->type = JsonValue::Type::Null;
-    } else {
-      v->type = JsonValue::Type::Number;
-      size_t used = 0;
-      v->number = std::stod(text_.substr(pos_), &used);
-      KCONV_CHECK(used > 0, "malformed JSON number");
-      pos_ += used;
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-const JsonValue& field(const JsonValue& obj, const std::string& key) {
-  const auto it = obj.object.find(key);
-  EXPECT_NE(it, obj.object.end()) << "missing key: " << key;
-  KCONV_CHECK(it != obj.object.end(), "missing key " + key);
-  return *it->second;
-}
+using testsupport::JsonReader;
+using testsupport::JsonValue;
+using testsupport::field;
 
 /// A tiny kernel exercising all memory spaces so the report has content.
 class AllSpacesKernel {
@@ -252,8 +137,9 @@ TEST(Report, JsonRoundTripMatchesKernelStatsSchema) {
     EXPECT_EQ(field(pipes, key).type, JsonValue::Type::Number) << key;
   }
 
-  // No analysis object unless checking was requested.
+  // No analysis or profile object unless the feature was requested.
   EXPECT_EQ(root->object.count("analysis"), 0u);
+  EXPECT_EQ(root->object.count("profile"), 0u);
 }
 
 TEST(Report, JsonCarriesAnalysisObjectWhenChecked) {
@@ -276,6 +162,63 @@ TEST(Report, JsonCarriesAnalysisObjectWhenChecked) {
   EXPECT_EQ(field(a, "hazards").type, JsonValue::Type::Array);
   EXPECT_TRUE(field(a, "hazards").array.empty());
   EXPECT_EQ(field(a, "lints").type, JsonValue::Type::Array);
+}
+
+TEST(Report, JsonCarriesProfileBlockWhenProfiled) {
+  Device dev(kepler_k40m());
+  LaunchOptions opt;
+  opt.profile = true;
+  const auto res = run_once(dev, opt);
+  const auto root = JsonReader(to_json(dev.arch(), res)).parse();
+
+  const JsonValue& p = field(*root, "profile");
+  ASSERT_EQ(p.type, JsonValue::Type::Object);
+
+  // Every active phase entry carries the attribution triple plus the full
+  // counter delta; this pins the schema downstream dashboards consume.
+  const JsonValue& phases = field(p, "phases");
+  ASSERT_EQ(phases.type, JsonValue::Type::Array);
+  ASSERT_FALSE(phases.array.empty());
+  u64 barriers = 0, gm_sectors = 0, fma = 0;
+  std::vector<std::string> names;
+  for (const auto& ph : phases.array) {
+    ASSERT_EQ(ph->type, JsonValue::Type::Object);
+    EXPECT_EQ(field(*ph, "phase").type, JsonValue::Type::String);
+    names.push_back(field(*ph, "phase").str);
+    EXPECT_EQ(field(*ph, "bound").type, JsonValue::Type::String);
+    EXPECT_GE(field(*ph, "efficiency").number, 0.0);
+    EXPECT_LE(field(*ph, "efficiency").number, 1.0);
+    EXPECT_GE(field(*ph, "cycles").number, 0.0);
+    for (const char* key :
+         {"fma_lane_ops", "alu_lane_ops", "smem_instrs",
+          "smem_request_cycles", "smem_lane_bytes", "smem_store_instrs",
+          "smem_store_request_cycles", "smem_store_lane_bytes", "gm_instrs",
+          "gm_sectors", "gm_sectors_dram", "gm_bytes_useful", "const_instrs",
+          "const_requests", "const_line_misses", "barriers",
+          "pattern_lookups", "pattern_hits"}) {
+      ASSERT_EQ(field(*ph, key).type, JsonValue::Type::Number) << key;
+    }
+    barriers += static_cast<u64>(field(*ph, "barriers").number);
+    gm_sectors += static_cast<u64>(field(*ph, "gm_sectors").number);
+    fma += static_cast<u64>(field(*ph, "fma_lane_ops").number);
+  }
+  // The JSON roll-up sums back to the launch totals, even for this
+  // unannotated kernel (everything lands in "other" + "sync").
+  EXPECT_EQ(barriers, res.stats.barriers);
+  EXPECT_EQ(gm_sectors, res.stats.gm_sectors);
+  EXPECT_EQ(fma, res.stats.fma_lane_ops);
+  EXPECT_NE(std::find(names.begin(), names.end(), "other"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "sync"), names.end());
+
+  const JsonValue& roof = field(p, "roofline");
+  ASSERT_EQ(roof.type, JsonValue::Type::Object);
+  EXPECT_EQ(field(roof, "kind").str, "none");  // no kernel runner hints here
+  for (const char* key :
+       {"k", "wt", "ft", "gm_load_bytes", "gm_load_bound_bytes",
+        "gm_load_ratio", "smem_load_elems_per_fma",
+        "smem_load_elems_per_fma_bound", "sm_reduction_bound"}) {
+    ASSERT_EQ(field(roof, key).type, JsonValue::Type::Number) << key;
+  }
 }
 
 TEST(Report, AnalysisJsonRecordsRoundTrip) {
