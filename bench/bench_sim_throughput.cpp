@@ -3,18 +3,23 @@
 //
 // Not a paper experiment: this guards the usability of the substrate. Runs
 // a full-grid VGG-style GeneralConv shape at Timing level in each launch
-// mode — serial, parallel and trace-replay — with the pattern cache
-// disabled and enabled, and reports blocks/sec, the cache hit rate and the
-// wall-clock speedup as JSON. The cache must be invisible except for speed:
+// mode — serial, parallel, trace-replay, and warm plan-cache replay (serial
+// and parallel, docs/MODEL.md §5d) — with the pattern cache disabled and
+// enabled, and reports blocks/sec, the cache hit rate and the wall-clock
+// speedup as JSON. The cache must be invisible except for speed:
 // every mode also checks byte-identical outputs and equality of every
 // memory-transaction counter (gmem sectors and DRAM sectors, smem request
 // cycles / replay factor, constant-cache line misses) between the two runs,
 // and folds the verdicts into the JSON.
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "src/kernels/general_conv.hpp"
+#include "src/sim/plan_cache.hpp"
 
 using namespace kconv;
 
@@ -29,6 +34,9 @@ struct Mode {
   const char* name;
   u32 num_threads;
   bool replay;
+  // Warm plan-cache launch: an untimed cold capture populates a fresh store
+  // first, then the timed run replays every block from the loaded plan.
+  bool plan_warm = false;
 };
 
 struct Timed {
@@ -38,7 +46,6 @@ struct Timed {
 };
 
 Timed run_shape(const Shape& s, const Mode& m, bool pattern_cache) {
-  sim::Device dev(sim::kepler_k40m());
   const auto img = bench::make_image(s.c, s.n, s.n);
   const auto flt = bench::make_filters(s.f, s.c, s.k);
   sim::LaunchOptions opt;
@@ -46,6 +53,21 @@ Timed run_shape(const Shape& s, const Mode& m, bool pattern_cache) {
   opt.num_threads = m.num_threads;
   opt.replay = m.replay;
   opt.pattern_cache = pattern_cache;
+  std::optional<sim::PlanCache> plans;
+  if (m.plan_warm) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         (std::string("kconv_bench_thr_") + s.name + "_" + m.name +
+          (pattern_cache ? "_pon" : "_poff")))
+            .string();
+    std::filesystem::remove_all(dir);
+    plans.emplace(dir);
+    opt.plan_cache = &*plans;
+    sim::Device cold_dev(sim::kepler_k40m());
+    (void)kernels::general_conv(cold_dev, img, flt,
+                                kernels::table1_config(s.k), opt);
+  }
+  sim::Device dev(sim::kepler_k40m());
   const auto t0 = std::chrono::steady_clock::now();
   Timed t;
   t.run = kernels::general_conv(dev, img, flt, kernels::table1_config(s.k),
@@ -93,7 +115,8 @@ void report_mode(const Shape& s, const Mode& m, bool first) {
   const Timed on = run_shape(s, m, true);
   const sim::KernelStats& stats = on.run.launch.stats;
   std::printf(
-      "%s      {\"mode\": \"%s\", \"num_threads\": %u, \"replay\": %s,\n"
+      "%s      {\"mode\": \"%s\", \"num_threads\": %u, \"replay\": %s, "
+      "\"plan_warm\": %s,\n"
       "       \"blocks\": %llu,\n"
       "       \"cache_off_seconds\": %.3f, "
       "\"cache_off_blocks_per_sec\": %.1f,\n"
@@ -104,6 +127,7 @@ void report_mode(const Shape& s, const Mode& m, bool first) {
       "\"hit_rate\": %.4f,\n"
       "       \"outputs_identical\": %s, \"counters_equal\": %s}",
       first ? "" : ",\n", m.name, m.num_threads, m.replay ? "true" : "false",
+      m.plan_warm ? "true" : "false",
       static_cast<unsigned long long>(off.blocks), off.seconds,
       off.blocks / off.seconds, on.seconds, on.blocks / on.seconds,
       off.seconds / on.seconds,
@@ -120,6 +144,8 @@ void report_shape(const Shape& s, bool first) {
       {"serial", 1, false},
       {"parallel", 2, false},
       {"replay", 1, true},
+      {"replay_plan_warm", 1, true, true},
+      {"replay_parallel_plan_warm", 2, true, true},
   };
   std::printf("%s    {\"name\": \"%s\", \"c\": %lld, \"n\": %lld, "
               "\"f\": %lld, \"k\": %lld,\n     \"modes\": [\n",

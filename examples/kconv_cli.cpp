@@ -4,6 +4,7 @@
 //             [--arch kepler|kepler4b|fermi|maxwell]
 //             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
 //             [--sample B] [--threads T] [--replay] [--no-pattern-cache]
+//             [--plan-cache DIR] [--analytic] [--autotune]
 //             [--check] [--profile] [--trace-out FILE] [--json]
 //
 // Prints the performance report (or JSON with --json) and verifies against
@@ -13,12 +14,18 @@
 // phase accounting (docs/MODEL.md §7) and appends the per-phase/roofline
 // breakdown to the report (or the "profile" block to the JSON);
 // --trace-out additionally writes a Chrome trace-event / Perfetto JSON
-// timeline of the first executed blocks.
+// timeline of the first executed blocks. --plan-cache persists launch plans
+// across processes (docs/MODEL.md §5d); --analytic serves counters straight
+// from class traces without materializing outputs; --autotune sweeps the
+// kernel's tiling space for the given shape instead of running one
+// convolution.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "src/core/autotune.hpp"
 #include "src/core/conv_api.hpp"
 #include "src/profile/trace_export.hpp"
 #include "src/sim/report.hpp"
@@ -37,7 +44,8 @@ void print_usage(std::FILE* to, const char* argv0) {
       "          [--arch kepler|kepler4b|fermi|maxwell]\n"
       "          [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]\n"
       "          [--sample BLOCKS] [--threads T] [--replay]\n"
-      "          [--no-pattern-cache] [--check] [--profile]\n"
+      "          [--no-pattern-cache] [--plan-cache DIR] [--analytic]\n"
+      "          [--autotune] [--check] [--profile]\n"
       "          [--trace-out FILE] [--json] [--help]\n"
       "  --threads T   host threads simulating blocks (0 = all cores;\n"
       "                default 1 = exact-legacy serial semantics)\n"
@@ -45,6 +53,16 @@ void print_usage(std::FILE* to, const char* argv0) {
       "  --no-pattern-cache\n"
       "                disable warp access-pattern memoization (MODEL.md\n"
       "                \u00a75c; results are bit-identical either way)\n"
+      "  --plan-cache DIR\n"
+      "                persist launch plans (traces, tapes, pattern tables,\n"
+      "                autotune rankings) under DIR; a repeated launch\n"
+      "                replays every block from the store (MODEL.md \u00a75d)\n"
+      "  --analytic    serve counters straight from class traces: no lane\n"
+      "                coroutines, no output tensors; invariant/compute\n"
+      "                counters exact, gm/const-miss counters approximate\n"
+      "  --autotune    sweep the kernel's tiling parameters for the given\n"
+      "                K/C/F/N instead of running one convolution; with\n"
+      "                --plan-cache a warm call reuses the stored ranking\n"
       "  --check       kconv-check: shared-memory race detection +\n"
       "                memory-efficiency lints (MODEL.md \u00a76); exit 3\n"
       "                when the kernel is not clean\n"
@@ -67,9 +85,9 @@ void print_usage(std::FILE* to, const char* argv0) {
 
 int main(int argc, char** argv) {
   i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0, threads = 1;
-  std::string algo = "auto", arch_name = "kepler", trace_out;
+  std::string algo = "auto", arch_name = "kepler", trace_out, plan_cache_dir;
   bool same = false, json = false, replay = false, pattern_cache = true;
-  bool check = false, profile = false;
+  bool check = false, profile = false, analytic = false, autotune = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -93,6 +111,11 @@ int main(int argc, char** argv) {
     else if (a == "--same") same = true;
     else if (a == "--replay") replay = true;
     else if (a == "--no-pattern-cache") pattern_cache = false;
+    else if (a == "--plan-cache") plan_cache_dir = next();
+    else if (a.rfind("--plan-cache=", 0) == 0)
+      plan_cache_dir = a.substr(std::strlen("--plan-cache="));
+    else if (a == "--analytic") analytic = true;
+    else if (a == "--autotune") autotune = true;
     else if (a == "--check") check = true;
     else if (a == "--profile") profile = true;
     else if (a == "--trace-out") trace_out = next();
@@ -130,6 +153,26 @@ int main(int argc, char** argv) {
   opt.launch.hazard_check = check;
   opt.launch.lint = check;
   opt.launch.profile = profile;
+  if (analytic && check) {
+    std::fprintf(stderr,
+                 "error: --analytic cannot be combined with --check (the "
+                 "hazard checker needs real lane execution)\n");
+    return 2;
+  }
+  opt.launch.analytic = analytic;
+
+  // Fail fast on an unusable plan-cache directory — before the simulation
+  // spends time, mirroring the --trace-out probe below.
+  std::unique_ptr<sim::PlanCache> plans;
+  if (!plan_cache_dir.empty()) {
+    try {
+      plans = std::make_unique<sim::PlanCache>(plan_cache_dir);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    opt.launch.plan_cache = plans.get();
+  }
 
   // Fail fast on an unwritable trace destination — before the simulation
   // spends time, and with a diagnostic instead of a lost trace.
@@ -143,6 +186,77 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::fclose(probe);
+  }
+
+  if (autotune) {
+    try {
+      sim::Device dev(arch);
+      if (c == 1) {
+        const auto r = core::autotune_special(dev, k, f, n, {}, 4, 0,
+                                              plans.get(), analytic);
+        if (json) {
+          std::printf("{\"kernel\": \"special\", \"evaluated\": %lld, "
+                      "\"skipped\": %lld, \"from_plan_cache\": %s, "
+                      "\"best\": {\"block_w\": %lld, \"block_h\": %lld, "
+                      "\"gflops\": %.6g}}\n",
+                      static_cast<long long>(r.evaluated),
+                      static_cast<long long>(r.skipped),
+                      r.from_plan_cache ? "true" : "false",
+                      static_cast<long long>(r.best.config.block_w),
+                      static_cast<long long>(r.best.config.block_h),
+                      r.best.gflops);
+        } else {
+          std::printf("autotune special: %lld evaluated, %lld skipped%s\n",
+                      static_cast<long long>(r.evaluated),
+                      static_cast<long long>(r.skipped),
+                      r.from_plan_cache ? " (ranking served from plan cache)"
+                                        : "");
+          std::printf("best: W=%lld H=%lld   %.1f GFlop/s\n",
+                      static_cast<long long>(r.best.config.block_w),
+                      static_cast<long long>(r.best.config.block_h),
+                      r.best.gflops);
+        }
+      } else {
+        const auto r = core::autotune_general(dev, k, c, f, n, {}, 2, 0,
+                                              plans.get(), analytic);
+        if (json) {
+          std::printf("{\"kernel\": \"general\", \"evaluated\": %lld, "
+                      "\"skipped\": %lld, \"from_plan_cache\": %s, "
+                      "\"best\": {\"block_w\": %lld, \"block_h\": %lld, "
+                      "\"ftb\": %lld, \"wt\": %lld, \"ft\": %lld, "
+                      "\"csh\": %lld, \"gflops\": %.6g}}\n",
+                      static_cast<long long>(r.evaluated),
+                      static_cast<long long>(r.skipped),
+                      r.from_plan_cache ? "true" : "false",
+                      static_cast<long long>(r.best.config.block_w),
+                      static_cast<long long>(r.best.config.block_h),
+                      static_cast<long long>(r.best.config.ftb),
+                      static_cast<long long>(r.best.config.wt),
+                      static_cast<long long>(r.best.config.ft),
+                      static_cast<long long>(r.best.config.csh),
+                      r.best.gflops);
+        } else {
+          std::printf("autotune general: %lld evaluated, %lld skipped%s\n",
+                      static_cast<long long>(r.evaluated),
+                      static_cast<long long>(r.skipped),
+                      r.from_plan_cache ? " (ranking served from plan cache)"
+                                        : "");
+          std::printf("best: W=%lld H=%lld FTB=%lld WT=%lld FT=%lld "
+                      "CSH=%lld   %.1f GFlop/s\n",
+                      static_cast<long long>(r.best.config.block_w),
+                      static_cast<long long>(r.best.config.block_h),
+                      static_cast<long long>(r.best.config.ftb),
+                      static_cast<long long>(r.best.config.wt),
+                      static_cast<long long>(r.best.config.ft),
+                      static_cast<long long>(r.best.config.csh),
+                      r.best.gflops);
+        }
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   Rng rng(1);

@@ -9,8 +9,10 @@
 # baseline and the fresh artifact is compared; a drop beyond the tolerance
 # fails the check. A baseline field MISSING from the fresh run also fails:
 # a silently dropped shape/mode is exactly the regression this check
-# exists to catch. Fields only the fresh run has are reported but not
-# fatal (new shapes/modes need a baseline refresh, not a red build).
+# exists to catch. So does a fresh artifact recorded from a bench that
+# exited non-zero — its numbers are not trustworthy. Fields only the fresh
+# run has are reported but not fatal (new shapes/modes need a baseline
+# refresh, not a red build).
 #
 #   KCONV_BENCH_TOLERANCE   fractional allowed drop, default 0.10 (= 10%)
 #
@@ -46,6 +48,12 @@ for base in "$BASE_DIR"/BENCH_*.json; do
     continue
   fi
   found=1
+  rc="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get("exit_status", 0))' "$cur")"
+  if [[ "$rc" -ne 0 ]]; then
+    echo "FAIL $name: fresh artifact has exit_status=$rc — bench crashed, numbers untrustworthy" >&2
+    status=1
+    continue
+  fi
   TOLERANCE="$TOLERANCE" python3 - "$base" "$cur" "$name" <<'EOF' || status=1
 import json, os, sys
 

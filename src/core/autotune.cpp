@@ -3,11 +3,60 @@
 #include <algorithm>
 
 #include "src/common/rng.hpp"
+#include "src/common/strutil.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/sim/plan_io.hpp"
 
 namespace kconv::core {
 
 namespace {
+
+std::string join_dims(const std::vector<i64>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out += strf(i == 0 ? "%lld" : ",%lld", static_cast<long long>(v[i]));
+  }
+  return out;
+}
+
+template <typename Result, typename SaveEntry>
+std::string serialize_ranking(const Result& res, const SaveEntry& save_entry) {
+  sim::PlanWriter w;
+  w.put_u64(static_cast<u64>(res.evaluated));
+  w.put_u64(static_cast<u64>(res.skipped));
+  w.put_u32(static_cast<u32>(res.ranking.size()));
+  for (const auto& e : res.ranking) {
+    save_entry(w, e);
+    w.put_f64(e.gflops);
+  }
+  return w.take();
+}
+
+/// Restores a persisted ranking; false leaves `res` untouched (the caller
+/// falls back to a cold sweep that overwrites the stale entry).
+template <typename Result, typename LoadEntry>
+bool deserialize_ranking(const std::string& payload, Result& res,
+                         const LoadEntry& load_entry) {
+  sim::PlanReader r(payload);
+  Result out;
+  out.evaluated = static_cast<i64>(r.get_u64());
+  out.skipped = static_cast<i64>(r.get_u64());
+  const u32 count = r.get_u32();
+  if (!r.ok() || count == 0 || count > (1u << 20) ||
+      static_cast<i64>(count) != out.evaluated) {
+    return false;
+  }
+  out.ranking.resize(count);
+  for (u32 i = 0; i < count; ++i) {
+    load_entry(r, out.ranking[i]);
+    out.ranking[i].gflops = r.get_f64();
+  }
+  if (!r.ok() || !r.at_end()) return false;
+  out.best = out.ranking.front();
+  out.from_plan_cache = true;
+  res = std::move(out);
+  return true;
+}
 
 /// Per-candidate outcome slot. Exactly one worker writes each slot (the
 /// sweep runs with grain 1), so no synchronization is needed beyond the
@@ -70,7 +119,50 @@ void finish(const std::vector<Scored>& scored,
 
 GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
                                        i64 n, const GeneralSpace& space,
-                                       u64 sample_blocks, u32 num_threads) {
+                                       u64 sample_blocks, u32 num_threads,
+                                       sim::PlanCache* plans, bool analytic) {
+  const auto save_entry = [](sim::PlanWriter& w, const ScoredGeneralConfig& e) {
+    w.put_i64(e.config.block_w);
+    w.put_i64(e.config.block_h);
+    w.put_i64(e.config.ftb);
+    w.put_i64(e.config.wt);
+    w.put_i64(e.config.ft);
+    w.put_i64(e.config.csh);
+    w.put_i64(e.config.vec_width);
+    w.put_u8(e.config.pad_filters ? 1 : 0);
+    w.put_u8(e.config.prefetch ? 1 : 0);
+  };
+  const auto load_entry = [](sim::PlanReader& r, ScoredGeneralConfig& e) {
+    e.config.block_w = r.get_i64();
+    e.config.block_h = r.get_i64();
+    e.config.ftb = r.get_i64();
+    e.config.wt = r.get_i64();
+    e.config.ft = r.get_i64();
+    e.config.csh = r.get_i64();
+    e.config.vec_width = r.get_i64();
+    e.config.pad_filters = r.get_u8() != 0;
+    e.config.prefetch = r.get_u8() != 0;
+  };
+  std::string ranking_key;
+  if (plans != nullptr) {
+    ranking_key = strf(
+        "autotune_general|v1|%s|k=%lld|c=%lld|f=%lld|n=%lld|sample=%llu|"
+        "analytic=%d|w=%s|h=%s|ftb=%s|wt=%s|ft=%s|csh=%s",
+        sim::arch_fingerprint(dev.arch()).c_str(), static_cast<long long>(k),
+        static_cast<long long>(c), static_cast<long long>(f),
+        static_cast<long long>(n),
+        static_cast<unsigned long long>(sample_blocks), analytic ? 1 : 0,
+        join_dims(space.block_w).c_str(), join_dims(space.block_h).c_str(),
+        join_dims(space.ftb).c_str(), join_dims(space.wt).c_str(),
+        join_dims(space.ft).c_str(), join_dims(space.csh).c_str());
+    std::string payload;
+    GeneralAutotuneResult warm;
+    if (plans->load(ranking_key, payload) &&
+        deserialize_ranking(payload, warm, load_entry)) {
+      return warm;
+    }
+  }
+
   Rng rng(0xDE5E);
   tensor::Tensor img = tensor::Tensor::image(c, n, n);
   img.fill_random(rng);
@@ -83,6 +175,10 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
   // serial inner launches, so scores and rankings are unchanged — only
   // faster). See docs/MODEL.md §5b.
   opt.replay = true;
+  // Probe launches share the plan store too: an interrupted sweep's traces
+  // are reused candidate-by-candidate on the next cold run.
+  opt.plan_cache = plans;
+  opt.analytic = analytic;
 
   // Enumeration order is the ranking's tie-break order — keep it fixed.
   std::vector<kernels::GeneralConvConfig> candidates;
@@ -124,12 +220,43 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
 
   GeneralAutotuneResult res;
   finish(candidates, outcomes, res);
+  if (plans != nullptr) {
+    plans->store(ranking_key, serialize_ranking(res, save_entry));
+  }
   return res;
 }
 
 SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
                                        const SpecialSpace& space,
-                                       u64 sample_blocks, u32 num_threads) {
+                                       u64 sample_blocks, u32 num_threads,
+                                       sim::PlanCache* plans, bool analytic) {
+  const auto save_entry = [](sim::PlanWriter& w, const ScoredSpecialConfig& e) {
+    w.put_i64(e.config.block_w);
+    w.put_i64(e.config.block_h);
+    w.put_i64(e.config.vec_width);
+  };
+  const auto load_entry = [](sim::PlanReader& r, ScoredSpecialConfig& e) {
+    e.config.block_w = r.get_i64();
+    e.config.block_h = r.get_i64();
+    e.config.vec_width = r.get_i64();
+  };
+  std::string ranking_key;
+  if (plans != nullptr) {
+    ranking_key = strf(
+        "autotune_special|v1|%s|k=%lld|f=%lld|n=%lld|sample=%llu|"
+        "analytic=%d|w=%s|h=%s",
+        sim::arch_fingerprint(dev.arch()).c_str(), static_cast<long long>(k),
+        static_cast<long long>(f), static_cast<long long>(n),
+        static_cast<unsigned long long>(sample_blocks), analytic ? 1 : 0,
+        join_dims(space.block_w).c_str(), join_dims(space.block_h).c_str());
+    std::string payload;
+    SpecialAutotuneResult warm;
+    if (plans->load(ranking_key, payload) &&
+        deserialize_ranking(payload, warm, load_entry)) {
+      return warm;
+    }
+  }
+
   Rng rng(0xDE5F);
   tensor::Tensor img = tensor::Tensor::image(1, n, n);
   img.fill_random(rng);
@@ -139,6 +266,8 @@ SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
   sim::LaunchOptions opt;
   opt.sample_max_blocks = sample_blocks;
   opt.replay = true;
+  opt.plan_cache = plans;
+  opt.analytic = analytic;
 
   std::vector<kernels::SpecialConvConfig> candidates;
   for (const i64 w : space.block_w) {
@@ -164,6 +293,9 @@ SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
 
   SpecialAutotuneResult res;
   finish(candidates, outcomes, res);
+  if (plans != nullptr) {
+    plans->store(ranking_key, serialize_ranking(res, save_entry));
+  }
   return res;
 }
 

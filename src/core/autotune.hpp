@@ -14,6 +14,7 @@
 #include "src/kernels/general_conv.hpp"
 #include "src/kernels/special_conv.hpp"
 #include "src/sim/launch.hpp"
+#include "src/sim/plan_cache.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace kconv::core {
@@ -38,6 +39,10 @@ struct GeneralAutotuneResult {
   std::vector<ScoredGeneralConfig> ranking;
   i64 evaluated = 0;
   i64 skipped = 0;  // illegal configurations rejected by the kernel
+  /// The full ranking was served from a persisted plan store; no candidate
+  /// was simulated. Scores are bit-identical to the cold sweep that wrote
+  /// the entry (same arch, proxy, space, sampling and probe mode).
+  bool from_plan_cache = false;
 };
 
 /// Sweeps the general-case kernel on a proxy problem with the given K.
@@ -49,10 +54,22 @@ struct GeneralAutotuneResult {
 /// concurrency), each on a fresh Device cloned from `dev.arch()` so every
 /// score is independent of sweep order; results are merged in enumeration
 /// order, making the ranking identical for any thread count.
+///
+/// With `plans` set, the finished ranking is persisted keyed by (arch,
+/// problem, space, sampling, probe mode); a warm call returns the stored
+/// ranking without simulating a single candidate (from_plan_cache = true).
+/// Candidate probe launches also share the store, so even a cold sweep
+/// after an interrupted one reuses captured traces. `analytic` runs the
+/// probes in analytic replay mode (docs/MODEL.md §5d): scores keep the
+/// exact compute/smem counters and per-class approximate GM counters —
+/// rankings on these proxies are unchanged, only cheaper. Analytic and
+/// non-analytic sweeps are keyed separately.
 GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
                                        i64 n, const GeneralSpace& space = {},
                                        u64 sample_blocks = 2,
-                                       u32 num_threads = 0);
+                                       u32 num_threads = 0,
+                                       sim::PlanCache* plans = nullptr,
+                                       bool analytic = false);
 
 struct SpecialSpace {
   std::vector<i64> block_w = {64, 128, 256, 512};
@@ -69,13 +86,17 @@ struct SpecialAutotuneResult {
   std::vector<ScoredSpecialConfig> ranking;
   i64 evaluated = 0;
   i64 skipped = 0;
+  bool from_plan_cache = false;
 };
 
 /// Sweeps the special-case kernel's {W, H} (paper: best is 256 x 8).
-/// Parallel evaluation semantics match `autotune_general`.
+/// Parallel evaluation, persistence and analytic-probe semantics match
+/// `autotune_general`.
 SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
                                        const SpecialSpace& space = {},
                                        u64 sample_blocks = 4,
-                                       u32 num_threads = 0);
+                                       u32 num_threads = 0,
+                                       sim::PlanCache* plans = nullptr,
+                                       bool analytic = false);
 
 }  // namespace kconv::core

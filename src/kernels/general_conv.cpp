@@ -449,8 +449,24 @@ KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
   k.out = d_out.view();
   k.filt = d_filt.view();
 
+  // Every parameter that shapes the access pattern is folded into the plan
+  // key; the "v1" tag invalidates stored plans if the kernel body changes.
+  sim::LaunchOptions lopt = opt;
+  if (lopt.plan_key.empty()) {
+    lopt.plan_key = strf(
+        "general_conv|v1|n=%d|k=%lld|c=%lld|f=%lld|hi=%lld|wi=%lld|bw=%lld|"
+        "bh=%lld|ftb=%lld|wt=%lld|ft=%lld|csh=%lld|pad=%d|pf=%d",
+        N, static_cast<long long>(K), static_cast<long long>(C),
+        static_cast<long long>(F), static_cast<long long>(Hi),
+        static_cast<long long>(Wi), static_cast<long long>(cfg.block_w),
+        static_cast<long long>(cfg.block_h), static_cast<long long>(cfg.ftb),
+        static_cast<long long>(cfg.wt), static_cast<long long>(cfg.ft),
+        static_cast<long long>(cfg.csh), cfg.pad_filters ? 1 : 0,
+        cfg.prefetch ? 1 : 0);
+  }
+
   KernelRun run;
-  run.launch = sim::launch(dev, k, p.lc, opt);
+  run.launch = sim::launch(dev, k, p.lc, lopt);
   if (opt.profile) {
     // Paper §4 bounds: each filter group re-reads the image once (the ~1/K
     // GM reduction leaves grid.x passes, halo excluded from the bound) and
@@ -471,7 +487,7 @@ KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
             static_cast<double>(K * cfg.ft * cfg.wt) +
         1.0 / static_cast<double>(cfg.wt);
   }
-  if (!run.launch.sampled) {
+  if (!run.launch.sampled && !run.launch.analytic) {
     run.output = d_out.download();
     run.output_valid = true;
   }

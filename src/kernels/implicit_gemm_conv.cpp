@@ -285,8 +285,21 @@ KernelRun run_implicit(sim::Device& dev, const tensor::Tensor& input,
   lc.regs_per_thread = static_cast<u32>(std::min<i64>(
       cfg.tm * cfg.tn + cfg.tm + cfg.tn + 2 * kMaxStage + 24, dev.arch().max_regs_per_thread));
 
+  sim::LaunchOptions lopt = opt;
+  if (lopt.plan_key.empty()) {
+    lopt.plan_key = strf(
+        "implicit_gemm|v1|n=%d|k=%lld|c=%lld|f=%lld|hi=%lld|wi=%lld|bm=%lld|"
+        "bn=%lld|bk=%lld|tm=%lld|tn=%lld|pf=%d",
+        N, static_cast<long long>(K), static_cast<long long>(C),
+        static_cast<long long>(F), static_cast<long long>(input.h()),
+        static_cast<long long>(input.w()), static_cast<long long>(cfg.bm),
+        static_cast<long long>(cfg.bn), static_cast<long long>(cfg.bk),
+        static_cast<long long>(cfg.tm), static_cast<long long>(cfg.tn),
+        cfg.prefetch ? 1 : 0);
+  }
+
   KernelRun run;
-  run.launch = sim::launch(dev, k, lc, opt);
+  run.launch = sim::launch(dev, k, lc, lopt);
   if (opt.profile) {
     // GEMM tiling traffic: the A (filter) panel is re-read once per
     // pixel-block column and the implicit B panel once per filter-block
@@ -301,7 +314,7 @@ KernelRun run_implicit(sim::Device& dev, const tensor::Tensor& input,
         (static_cast<double>(F * Kdim) * static_cast<double>(lc.grid.x) +
          static_cast<double>(Kdim * Np) * static_cast<double>(lc.grid.y));
   }
-  if (!run.launch.sampled) {
+  if (!run.launch.sampled && !run.launch.analytic) {
     run.output = d_out.download();
     run.output_valid = true;
   }

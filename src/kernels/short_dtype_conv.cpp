@@ -54,9 +54,20 @@ KernelRun run_typed(sim::Device& dev, const tensor::Tensor& input,
   lc.regs_per_thread = static_cast<u32>(
       std::min<i64>(K * (K + N - 1) + 3 * N + 12, dev.arch().max_regs_per_thread));
 
+  sim::LaunchOptions lopt = opt;
+  if (lopt.plan_key.empty()) {
+    lopt.plan_key = strf(
+        "short_dtype|v1|dt=%d|n=%d|k=%lld|f=%lld|hi=%lld|wi=%lld|bw=%lld|"
+        "bh=%lld",
+        static_cast<int>(cfg.dtype), N, static_cast<long long>(K),
+        static_cast<long long>(F), static_cast<long long>(Hi),
+        static_cast<long long>(Wi), static_cast<long long>(W),
+        static_cast<long long>(H));
+  }
+
   KernelRun run;
-  run.launch = sim::launch(dev, k, lc, opt);
-  if (!run.launch.sampled) {
+  run.launch = sim::launch(dev, k, lc, lopt);
+  if (!run.launch.sampled && !run.launch.analytic) {
     run.output = d_out.download();
     run.output_valid = true;
   }

@@ -55,8 +55,17 @@ KernelRun run_special(sim::Device& dev, const tensor::Tensor& input,
   lc.regs_per_thread = static_cast<u32>(
       std::min<i64>(K * (K + N - 1) + 3 * N + 12, dev.arch().max_regs_per_thread));
 
+  sim::LaunchOptions lopt = opt;
+  if (lopt.plan_key.empty()) {
+    lopt.plan_key = strf(
+        "special_conv|v1|n=%d|k=%lld|f=%lld|hi=%lld|wi=%lld|bw=%lld|bh=%lld",
+        N, static_cast<long long>(K), static_cast<long long>(F),
+        static_cast<long long>(Hi), static_cast<long long>(Wi),
+        static_cast<long long>(W), static_cast<long long>(H));
+  }
+
   KernelRun run;
-  run.launch = sim::launch(dev, k, lc, opt);
+  run.launch = sim::launch(dev, k, lc, lopt);
   if (opt.profile) {
     // Paper §3: the special case reads each input pixel from GM exactly
     // once, modulo the tile halo — one 4-byte load per pixel is the bound.
@@ -66,7 +75,7 @@ KernelRun run_special(sim::Device& dev, const tensor::Tensor& input,
     h.gm_load_bound_bytes =
         static_cast<double>(sizeof(float)) * static_cast<double>(Hi * Wi);
   }
-  if (!run.launch.sampled) {
+  if (!run.launch.sampled && !run.launch.analytic) {
     run.output = d_out.download();
     run.output_valid = true;
   }

@@ -162,4 +162,22 @@ inline void split_replay_profile(const PhaseProfile& local,
   }
 }
 
+/// The third slice of the representative's profile: exactly the
+/// address-dependent counters split_replay_profile zeroes out of
+/// `invariant` (minus the pattern counters, which analytic blocks never
+/// generate — they probe no cache). Analytic launches charge
+/// invariant + compute + addr_dep per served block, so the per-phase sum
+/// invariant holds against the analytic launch totals too.
+inline void split_addr_dep_profile(const PhaseProfile& local,
+                                   PhaseProfile& addr_dep) {
+  for (u32 i = 0; i < kNumPhases; ++i) {
+    const PhaseStats& l = local.p[i];
+    PhaseStats& a = addr_dep.p[i];
+    a = PhaseStats{};
+    a.gm_sectors = l.gm_sectors;
+    a.gm_sectors_dram = l.gm_sectors_dram;
+    a.const_line_misses = l.const_line_misses;
+  }
+}
+
 }  // namespace kconv::profile

@@ -1,10 +1,14 @@
 // Launch configuration and execution options.
 #pragma once
 
+#include <string>
+
 #include "src/common/types.hpp"
 #include "src/sim/dim.hpp"
 
 namespace kconv::sim {
+
+class PlanCache;
 
 /// What the executor records while running device code.
 enum class TraceLevel : u8 {
@@ -78,6 +82,28 @@ struct LaunchOptions {
   u64 profile_timeline_blocks = 8;
   /// Safety valve against runaway device programs (resume rounds per block).
   u64 max_rounds_per_block = 50'000'000;
+  /// Cross-launch plan persistence (docs/MODEL.md §5d): when set together
+  /// with a non-empty `plan_key` on a replay-capable launch, captured class
+  /// traces (and tapes, and the pattern-cache tables) are loaded from and
+  /// saved to this store, so a repeated launch replays every block with
+  /// zero representative execution. Stale or corrupt stores fall back to
+  /// capture (LaunchResult::plan_cache_status says why) — never silently
+  /// wrong. Ignored under hazard_check (a checking run must execute).
+  PlanCache* plan_cache = nullptr;
+  /// Caller-provided kernel+shape identity for the plan store. The launch
+  /// layer qualifies it with arch, grid/block geometry and trace level;
+  /// kernel runners must fold in every parameter that changes the kernel's
+  /// access pattern (and bump their embedded version tag when the kernel
+  /// code itself changes).
+  std::string plan_key;
+  /// Analytic execution (docs/MODEL.md §5d): serve every non-representative
+  /// block's counters straight from its class trace — no lane coroutines,
+  /// no functional memory, no output tensors (callers must not download).
+  /// Translation-invariant counters and the compute attribution stay exact;
+  /// the address-dependent counters (gm_sectors, gm_sectors_dram,
+  /// const_line_misses) are the representative's values scaled by block
+  /// count — approximate. Requires a replay_class kernel; implies replay.
+  bool analytic = false;
 };
 
 }  // namespace kconv::sim

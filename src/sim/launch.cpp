@@ -9,10 +9,21 @@
 #include "src/analysis/lint.hpp"
 #include "src/common/strutil.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/sim/plan_cache.hpp"
+#include "src/sim/plan_io.hpp"
 
 namespace kconv::sim::detail {
 
 namespace {
+
+/// Grids smaller than this skip the tape sidecar on both the load and the
+/// store side of the plan cache. Tape blobs scale with the instruction
+/// stream (tens of MB for filter-heavy kernels) while their benefit over
+/// fast-forward replay scales with the number of blocks that share the
+/// load; a handful of blocks never pays the I/O back. The threshold is a
+/// host-side amortization heuristic, not a correctness knob — below it warm
+/// replay fast-forwards every block with identical outputs and counters.
+constexpr u64 kTapeSidecarMinBlocks = 16;
 
 /// The set of blocks a launch executes: either the whole grid or a
 /// deterministic, evenly spaced sample. Ids are computed on the fly — a
@@ -98,10 +109,104 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
 
   // Replay engages only when both the caller opted in AND the kernel
   // declared a classifier; otherwise every block is unique (legacy path).
-  const bool replaying = opt.replay && static_cast<bool>(classify);
+  // Analytic mode is replay that never materializes: it hard-requires the
+  // classifier (there is no trace to serve from otherwise).
+  const bool analytic = opt.analytic;
+  if (analytic) {
+    KCONV_CHECK(static_cast<bool>(classify),
+                "analytic launch requires a kernel with a replay_class hook");
+    KCONV_CHECK(!opt.hazard_check,
+                "analytic launch cannot run the hazard checker");
+  }
+  const bool replaying =
+      (opt.replay || analytic) && static_cast<bool>(classify);
+  res.analytic = analytic;
 
   const bool profiling = opt.profile;
   res.profile.enabled = profiling;
+
+  // Cross-launch plan persistence (docs/MODEL.md §5d). A warm plan seeds
+  // every runner's class table before any block runs; any load-side
+  // mismatch (version, key, arch, config, payload damage) is a loud miss
+  // that falls back to capture. Saving is skipped when nothing fresh was
+  // captured this launch.
+  PlanCache* const plans = opt.plan_cache;
+  const bool plan_enabled = plans != nullptr && !opt.plan_key.empty() &&
+                            replaying && !opt.hazard_check;
+  LaunchPlan plan;
+  bool plan_hit = false;
+  std::string store_key;
+  if (plans != nullptr) {
+    res.plan_cache_status = plan_enabled ? "miss" : "disabled";
+  }
+  // Only a functional, non-analytic launch executes tapes, so only it pays
+  // for loading the tape sidecar — the heavyweight part of a stored plan.
+  // Analytic launches load the trace payload alone, which is what makes
+  // their warm path nearly free.
+  //
+  // The grid-size gate is an amortization cutoff: interpreting a tape beats
+  // fast-forward per block, but the sidecar can run to tens of megabytes
+  // (it scales with lane count x instruction stream, not with grid size),
+  // and reading it back only pays for itself when enough blocks share the
+  // cost. Below the cutoff warm replay uses per-block fast-forward, which
+  // is bit-identical — the tape is purely a throughput tier. The store key
+  // pins the launch config, so load and store sides of a key always agree
+  // on the gate.
+  const bool want_tapes = !analytic &&
+                          opt.trace == TraceLevel::Functional &&
+                          res.blocks_total >= kTapeSidecarMinBlocks;
+  if (plan_enabled) {
+    store_key = plan_store_key(opt.plan_key, arch, cfg, opt.trace,
+                               opt.profile);
+    std::string blob;
+    std::string_view payload;
+    std::string why;
+    if (plans->load_view(store_key, blob, payload, &why)) {
+      if (deserialize_plan(payload, plan, &why) &&
+          plan_matches(plan, arch, cfg, opt.trace, &why)) {
+        plan_hit = true;
+        why = "hit";
+        if (want_tapes) {
+          std::string tape_blob;
+          std::string_view tape_payload;
+          // A missing/damaged sidecar is not a plan miss: the traces are
+          // intact, so warm replay still serves every block — through
+          // per-block fast-forward instead of the tape interpreter.
+          if (plans->load_view(plan_tape_key(store_key), tape_blob,
+                               tape_payload)) {
+            (void)deserialize_tapes(tape_payload, plan);
+          }
+        }
+      } else {
+        plan = LaunchPlan{};
+      }
+    }
+    res.plan_cache_status = why;
+  }
+  res.plan_cache_hit = plan_hit;
+  const auto store_plan = [&](const LaunchPlan& out) {
+    plans->store(store_key, serialize_plan(out));
+    // An analytic warm launch never loaded the sidecar, so its view of the
+    // tapes is incomplete — leave the stored sidecar alone rather than
+    // shrink it to the freshly captured classes. Small grids skip the
+    // sidecar symmetrically with the load gate: no future launch of this
+    // key (same config, same grid) would ever read it.
+    if (analytic && plan_hit) return;
+    if (res.blocks_total < kTapeSidecarMinBlocks) return;
+    const std::string tapes = serialize_tapes(out);
+    if (!tapes.empty()) plans->store(plan_tape_key(store_key), tapes);
+  };
+  const auto saved_plan = [&](LaunchPlan&& loaded) {
+    LaunchPlan out;
+    out.arch = arch_fingerprint(arch);
+    out.trace_level = static_cast<u8>(opt.trace);
+    out.cfg = cfg;
+    // Keep every loaded class (a sampled warm launch may not even visit
+    // some of them); export_plan appends only ids not already present.
+    out.classes = std::move(loaded.classes);
+    out.pattern_blob = std::move(loaded.pattern_blob);
+    return out;
+  };
 
   if (threads <= 1) {
     // Exact-legacy serial path: one shared per-SM constant cache, every
@@ -132,7 +237,17 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
       ReplayRunner runner(arch, body, cfg, opt.trace,
                           opt.max_rounds_per_block, classify, origins,
                           pattern.get(), chk,
-                          profiling ? &res.profile.phases : nullptr);
+                          profiling ? &res.profile.phases : nullptr,
+                          analytic);
+      if (plan_hit) {
+        // Moved, not copied: the serial path has exactly one runner, and a
+        // post-capture store re-exports classes from live runner state.
+        runner.prime(std::move(plan));
+        if (!plan.pattern_blob.empty() && pattern.get() != nullptr) {
+          PlanReader pr(plan.pattern_blob);
+          (void)pattern.get()->restore(pr);  // priming only; safe to skip
+        }
+      }
       for (u64 i = 0; i < set.count; ++i) {
         const Dim3 bidx = unflatten(cfg.grid, set.flat_id(i));
         profile::BlockTimeline* tl = want_timeline(i, bidx);
@@ -141,6 +256,16 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
       }
       runner.finish(res.stats);
       res.blocks_replayed = runner.blocks_replayed();
+      if (plan_enabled && runner.captured_fresh()) {
+        LaunchPlan out = saved_plan(std::move(plan));
+        runner.export_plan(out);
+        if (pattern.get() != nullptr) {
+          PlanWriter pw;
+          pattern.get()->save(pw);
+          out.pattern_blob = pw.take();
+        }
+        store_plan(out);
+      }
     } else {
       for (u64 i = 0; i < set.count; ++i) {
         const Dim3 bidx = unflatten(cfg.grid, set.flat_id(i));
@@ -168,6 +293,11 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
         ceil_div(static_cast<i64>(set.count), static_cast<i64>(grain)));
     std::vector<KernelStats> shards(n_chunks);
     std::vector<u64> replayed(n_chunks, 0);
+    // Chunk runners live past the pool so captured classes can be merged
+    // into the saved plan in index order (deterministic store contents).
+    std::vector<std::unique_ptr<ReplayRunner>> runners(
+        replaying ? n_chunks : 0);
+    std::vector<std::string> pattern_blobs(plan_enabled ? n_chunks : 0);
     // Per-chunk phase shards and timeline shards, merged in index order
     // like the stats shards; the timeline cap uses the GLOBAL launch index
     // so the captured set is thread-count-invariant.
@@ -208,10 +338,19 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
       if (replaying) {
         // Per-chunk trace table, like the per-chunk cache replicas: each
         // chunk captures its own class representatives, so shard contents
-        // stay a pure function of the chunk partition.
-        ReplayRunner runner(arch, body, cfg, opt.trace,
-                            opt.max_rounds_per_block, classify, origins,
-                            pattern.get(), chk, psink);
+        // stay a pure function of the chunk partition. A warm plan primes
+        // every chunk's table, so no chunk executes a representative.
+        runners[chunk] = std::make_unique<ReplayRunner>(
+            arch, body, cfg, opt.trace, opt.max_rounds_per_block, classify,
+            origins, pattern.get(), chk, psink, analytic);
+        ReplayRunner& runner = *runners[chunk];
+        if (plan_hit) {
+          runner.prime(plan);
+          if (!plan.pattern_blob.empty() && pattern.get() != nullptr) {
+            PlanReader pr(plan.pattern_blob);
+            (void)pattern.get()->restore(pr);
+          }
+        }
         for (u64 i = b; i < e; ++i) {
           const Dim3 bidx = unflatten(cfg.grid, set.flat_id(i));
           profile::BlockTimeline* tl = want_timeline(i, bidx);
@@ -220,6 +359,11 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
         }
         runner.finish(stats);
         replayed[chunk] = runner.blocks_replayed();
+        if (plan_enabled && pattern.get() != nullptr) {
+          PlanWriter pw;
+          pattern.get()->save(pw);
+          pattern_blobs[chunk] = pw.take();
+        }
       } else {
         for (u64 i = b; i < e; ++i) {
           const Dim3 bidx = unflatten(cfg.grid, set.flat_id(i));
@@ -236,6 +380,24 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     });
     for (const KernelStats& s : shards) res.stats += s;  // index order
     for (const u64 r : replayed) res.blocks_replayed += r;
+    if (plan_enabled) {
+      bool dirty = false;
+      for (const auto& r : runners) {
+        dirty = dirty || (r != nullptr && r->captured_fresh());
+      }
+      if (dirty) {
+        LaunchPlan out = saved_plan(std::move(plan));
+        for (const auto& r : runners) {
+          if (r != nullptr) r->export_plan(out);  // index order, first wins
+        }
+        // One chunk's pattern tables are as good as another's (all are
+        // analyzer outputs); chunk 0's go to disk for determinism.
+        if (!pattern_blobs.empty() && !pattern_blobs[0].empty()) {
+          out.pattern_blob = std::move(pattern_blobs[0]);
+        }
+        store_plan(out);
+      }
+    }
     for (profile::PhaseProfile& p : pshards) res.profile.phases += p;
     for (std::vector<profile::BlockTimeline>& ts : tshards) {
       for (profile::BlockTimeline& tl : ts) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <concepts>
+#include <string>
 
 #include "src/analysis/diagnostics.hpp"
 #include "src/profile/collector.hpp"
@@ -63,6 +64,20 @@ struct LaunchResult {
   /// and the kernel declares a replay_class hook).
   u64 blocks_replayed = 0;
   bool sampled = false;
+  /// Analytic launch (LaunchOptions::analytic): counters were served from
+  /// class traces; output tensors were NOT materialized and the
+  /// address-dependent counters are per-class approximations (§5d).
+  bool analytic = false;
+  /// A warm plan (LaunchOptions::plan_cache) seeded the class tables:
+  /// every block of a planned class replayed with zero representative
+  /// execution.
+  bool plan_cache_hit = false;
+  /// Why the store (when configured) did or did not serve: "hit", "miss",
+  /// "corrupt", "corrupt-payload", "stale-version", "stale-key",
+  /// "stale-arch", "stale-config", "stale-trace-level", or "disabled"
+  /// (non-replay launch, empty key, or hazard_check). Empty when no
+  /// plan_cache was configured.
+  std::string plan_cache_status;
   /// kconv-check results (docs/MODEL.md §6). Populated only when
   /// LaunchOptions::hazard_check and/or ::lint are set; analysis.clean()
   /// is the pass/fail verdict.

@@ -32,6 +32,7 @@
 
 #include "src/sim/banks.hpp"
 #include "src/sim/coalescing.hpp"
+#include "src/sim/plan_cache.hpp"
 
 namespace kconv::sim {
 
@@ -69,6 +70,23 @@ class PatternCache {
   u64 lookups() const { return lookups_; }
   /// Lookups that matched a cached signature.
   u64 hits() const { return hits_; }
+
+  /// Number of memoized signatures (smem + gmem tables).
+  std::size_t entries() const {
+    return smem_tab_.sigs.size() + gmem_tab_.sigs.size();
+  }
+
+  /// Serializes the memoized tables (not the hit counters) for the plan
+  /// cache (docs/MODEL.md §5d). Geometry is embedded so a blob can only
+  /// prime a cache with matching bank/sector parameters.
+  void save(PlanWriter& w) const;
+
+  /// Primes this cache from a saved blob. Returns false (cache unchanged
+  /// beyond already-inserted entries) on malformed bytes or a geometry
+  /// mismatch — priming is an optimization, so the caller just skips it.
+  /// Memoized values are the analyzers' own outputs either way, so a primed
+  /// cache stays bit-identical to a cold one.
+  bool restore(PlanReader& r);
 
  private:
   /// Cached gmem layout: sector byte addresses relative to the base lane's
@@ -137,6 +155,10 @@ class PatternCache {
   /// can have). `base` receives the first active lane's address.
   static bool build_sig(std::span<const Access> lanes, u32 period,
                         PatternSig& sig, u64& base, u64& hash);
+
+  /// Hash of an already-built signature (same value build_sig derives while
+  /// filling it) — the restore path's re-insertion key.
+  static u64 sig_hash(const PatternSig& sig);
 
   u32 banks_;
   u32 bank_bytes_;

@@ -21,7 +21,7 @@ ReplayRunner::ReplayRunner(const Arch& arch, const KernelBody& body,
                            const ReplayOriginsFn& origins,
                            PatternCache* pattern,
                            analysis::BlockChecker* checker,
-                           profile::PhaseProfile* psink)
+                           profile::PhaseProfile* psink, bool analytic)
     : arch_(arch),
       body_(body),
       cfg_(cfg),
@@ -31,7 +31,10 @@ ReplayRunner::ReplayRunner(const Arch& arch, const KernelBody& body,
       origins_fn_(origins),
       pattern_(pattern),
       checker_(checker),
-      psink_(psink) {
+      psink_(psink),
+      analytic_(analytic) {
+  KCONV_CHECK(!(analytic_ && checker_ != nullptr),
+              "analytic mode cannot run the hazard checker");
   gmem_scratch_.sectors.reserve(2 * arch.warp_size);
 }
 
@@ -49,6 +52,11 @@ void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
       run_block(arch_, body_, cfg_, block_idx, trace_level_, max_rounds_,
                 const_cache, gm_l2, stats, nullptr, pattern_, checker_,
                 bp ? &*bp : nullptr);
+      return;
+    }
+    if (analytic_) {
+      serve_analytic(cs, stats);
+      ++blocks_replayed_;
       return;
     }
     if (cs.tape_ready && cs.validated) {
@@ -87,7 +95,11 @@ void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
     *psink_ += local_phases;
     profile::split_replay_profile(local_phases, cs.trace.phase_invariant,
                                   cs.trace.phase_compute);
+    profile::split_addr_dep_profile(local_phases, cs.trace.phase_addr_dep);
   }
+  cs.trace.addr_dep.gm_sectors = local.gm_sectors;
+  cs.trace.addr_dep.gm_sectors_dram = local.gm_sectors_dram;
+  cs.trace.addr_dep.const_line_misses = local.const_line_misses;
   cs.trace.invariant = local;
   KernelStats& cmp = cs.trace.compute;
   cmp.fma_lane_ops = local.fma_lane_ops;
@@ -115,6 +127,102 @@ void ReplayRunner::run(Dim3 block_idx, L2Cache* const_cache, L2Cache& gm_l2,
     capture_tape(block_idx, cs);
   }
   classes_.emplace(cls, std::move(cs));
+  captured_fresh_ = true;
+}
+
+void ReplayRunner::serve_analytic(const ClassState& cs, KernelStats& stats) {
+  stats += cs.trace.invariant;
+  stats += cs.trace.compute;
+  stats.gm_sectors += cs.trace.addr_dep.gm_sectors;
+  stats.gm_sectors_dram += cs.trace.addr_dep.gm_sectors_dram;
+  stats.const_line_misses += cs.trace.addr_dep.const_line_misses;
+  ++stats.blocks_executed;
+  if (psink_ != nullptr) {
+    *psink_ += cs.trace.phase_invariant;
+    *psink_ += cs.trace.phase_compute;
+    *psink_ += cs.trace.phase_addr_dep;
+  }
+}
+
+void ReplayRunner::prime(const LaunchPlan& plan) {
+  // Copy-and-adopt: the parallel path primes several runners from one
+  // loaded plan, so each gets its own class state.
+  LaunchPlan copy;
+  copy.classes = plan.classes;
+  prime(std::move(copy));
+}
+
+void ReplayRunner::prime(LaunchPlan&& plan) {
+  const u64 n_lanes = cfg_.block.count();
+  for (PlanClass& pc : plan.classes) {
+    if (classes_.count(pc.id) != 0) continue;
+    KCONV_CHECK(pc.trace.lane_events.size() == n_lanes &&
+                    pc.trace.lane_hash.size() == n_lanes,
+                "plan class lane count does not match the launch config");
+    ClassState cs;
+    cs.trace = std::move(pc.trace);
+    // Adopt the tape only on launch modes that would have captured one
+    // (functional, relocatable kernel, no checker); otherwise the class
+    // replays through fast-forward exactly like a post-capture class.
+    // Origins are re-resolved against this process's buffers — the tape's
+    // offsets are anchor-relative, so only the anchors are process-local.
+    if (pc.has_tape && trace_level_ == TraceLevel::Functional &&
+        origins_fn_ && checker_ == nullptr && !analytic_) {
+      cs.tape = std::move(pc.tape);
+      origins_fn_(cs.trace.captured_block, cs.origins);
+      bool origins_ok = true;
+      for (u32 i = 0; i < ReplayOrigins::kMaxOrigins; ++i) {
+        if (cs.tape.spans[i].used && i >= cs.origins.count) {
+          origins_ok = false;
+        }
+      }
+      if (origins_ok) {
+        cs.tape_ready = true;
+        // A tape the capturing launch already fast-forward-validated
+        // against a second block of the class is adopted as validated:
+        // the store key pins kernel/config/arch and the envelope checksum
+        // pins the bytes, so the relocation proof holds here too and every
+        // block goes straight to the batched interpreter. A tape whose
+        // class never got a second block at capture time keeps
+        // validated=false — this launch's first replayed block runs the
+        // event-by-event check before the class trusts it.
+        cs.validated = pc.validated;
+      } else {
+        cs.tape = FuncTape{};
+      }
+    }
+    classes_.emplace(pc.id, std::move(cs));
+  }
+  plan.classes.clear();
+}
+
+void ReplayRunner::export_plan(LaunchPlan& plan) const {
+  std::vector<const std::pair<const u64, ClassState>*> fresh;
+  fresh.reserve(classes_.size());
+  for (const auto& entry : classes_) {
+    if (entry.second.raced) continue;
+    bool present = false;
+    for (const PlanClass& pc : plan.classes) {
+      if (pc.id == entry.first) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) fresh.push_back(&entry);
+  }
+  std::sort(fresh.begin(), fresh.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : fresh) {
+    PlanClass pc;
+    pc.id = entry->first;
+    pc.trace = entry->second.trace;
+    if (entry->second.tape_ready) {
+      pc.has_tape = true;
+      pc.tape = entry->second.tape;
+      pc.validated = entry->second.validated;
+    }
+    plan.classes.push_back(std::move(pc));
+  }
 }
 
 void ReplayRunner::replay(Dim3 block_idx, const BlockTrace& trace,

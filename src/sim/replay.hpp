@@ -42,6 +42,7 @@
 #include "src/sim/block_exec.hpp"
 #include "src/sim/coalescing.hpp"
 #include "src/sim/pattern_cache.hpp"
+#include "src/sim/plan_io.hpp"
 #include "src/sim/trace.hpp"
 
 namespace kconv::sim {
@@ -77,12 +78,16 @@ class ReplayRunner {
   /// invariant profile and recompute the address-dependent and compute
   /// parts live, so per-phase sums match the launch totals exactly in
   /// every mode.
+  /// `analytic` (docs/MODEL.md §5d) serves every block of a known class
+  /// straight from the class trace: invariant + compute + the captured
+  /// addr_dep counters, no coroutines, no functional memory. Class
+  /// representatives still execute (and capture) normally on a cold class.
   ReplayRunner(const Arch& arch, const KernelBody& body,
                const LaunchConfig& cfg, TraceLevel trace, u64 max_rounds,
                const BlockClassifier& classify, const ReplayOriginsFn& origins,
                PatternCache* pattern = nullptr,
                analysis::BlockChecker* checker = nullptr,
-               profile::PhaseProfile* psink = nullptr);
+               profile::PhaseProfile* psink = nullptr, bool analytic = false);
 
   /// Executes or replays `block_idx`, accumulating into `stats` exactly
   /// what the direct path would have (serially, including cache counters).
@@ -100,6 +105,32 @@ class ReplayRunner {
   void finish(KernelStats& stats);
 
   u64 blocks_replayed() const { return blocks_replayed_; }
+
+  /// Seeds the class table from a warm plan (docs/MODEL.md §5d) before any
+  /// block runs: primed classes replay from block one with zero
+  /// representative execution. Tapes are adopted only on the launch modes
+  /// that would have captured them, with origin anchors re-resolved against
+  /// the live kernel's replay_origins for the captured block (plans store
+  /// no addresses). A tape the capturing launch validated is trusted
+  /// outright (every block goes to the batched interpreter); an
+  /// unvalidated one is fast-forward-checked by this launch's first
+  /// replayed block of the class before the class trusts it.
+  void prime(const LaunchPlan& plan);
+
+  /// Move variant for launch paths whose plan is not reused afterwards
+  /// (the serial runner): adopts traces and tapes without the multi-
+  /// megabyte copies. Leaves `plan.classes` empty so a later export
+  /// re-exports everything from live runner state.
+  void prime(LaunchPlan&& plan);
+
+  /// Appends this runner's captured classes (skipping ids already in
+  /// `plan`, raced classes, and nothing else) sorted by id, so merged
+  /// multi-chunk exports are deterministic.
+  void export_plan(LaunchPlan& plan) const;
+
+  /// True when any class was captured by execution in this run — the
+  /// signal that the store holds less than this runner now knows.
+  bool captured_fresh() const { return captured_fresh_; }
 
  private:
   /// Everything a class accumulates: the capture trace, and (on functional
@@ -132,6 +163,9 @@ class ReplayRunner {
 
   void replay(Dim3 block_idx, const BlockTrace& trace, L2Cache* const_cache,
               L2Cache& gm_l2, KernelStats& stats);
+  /// Analytic serving: charges the class's invariant + compute + addr_dep
+  /// deltas (and the matching phase slices) without touching memory.
+  void serve_analytic(const ClassState& cs, KernelStats& stats);
   /// Feeds the global stores of the block just replayed (still in the
   /// recorders) to the checker's cross-block overlap map.
   void harvest_gm_stores(Dim3 block_idx);
@@ -162,8 +196,10 @@ class ReplayRunner {
   analysis::BlockChecker* checker_;
   profile::PhaseProfile* psink_;
 
+  bool analytic_ = false;
   std::unordered_map<u64, ClassState> classes_;
   u64 blocks_replayed_ = 0;
+  bool captured_fresh_ = false;
 
   // Per-block scratch, allocated once and reused.
   struct ReplayLane {

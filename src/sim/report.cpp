@@ -23,10 +23,18 @@ std::string format_report(const Arch& arch, const LaunchResult& res) {
   const TimingEstimate& t = res.timing;
   std::string out;
   out += strf("=== %s ===\n", arch.name.c_str());
-  out += strf("blocks: %llu total, %llu executed%s\n",
+  out += strf("blocks: %llu total, %llu executed%s%s\n",
               static_cast<unsigned long long>(res.blocks_total),
               static_cast<unsigned long long>(res.blocks_executed),
-              res.sampled ? " (sampled)" : "");
+              res.sampled ? " (sampled)" : "",
+              res.analytic ? " (analytic: outputs not materialized, "
+                             "gm/const miss counters approximate)"
+                           : "");
+  if (!res.plan_cache_status.empty()) {
+    out += strf("plan cache: %s (%llu blocks replayed)\n",
+                res.plan_cache_status.c_str(),
+                static_cast<unsigned long long>(res.blocks_replayed));
+  }
   out += strf("time: %.3f ms  (%.0f cycles, %.1f waves)\n", t.seconds * 1e3,
               t.total_cycles, t.waves);
   out += strf("perf: %.1f GFlop/s  (%.1f%% of %.0f GFlop/s peak), bound: %s\n",
@@ -100,6 +108,15 @@ std::string to_json(const Arch& arch, const LaunchResult& res) {
   out += strf("  \"blocks_executed\": %llu,\n",
               static_cast<unsigned long long>(res.blocks_executed));
   out += strf("  \"sampled\": %s,\n", res.sampled ? "true" : "false");
+  out += strf("  \"analytic\": %s,\n", res.analytic ? "true" : "false");
+  out += strf("  \"blocks_replayed\": %llu,\n",
+              static_cast<unsigned long long>(res.blocks_replayed));
+  if (!res.plan_cache_status.empty()) {
+    out += strf("  \"plan_cache_hit\": %s,\n",
+                res.plan_cache_hit ? "true" : "false");
+    out += strf("  \"plan_cache_status\": \"%s\",\n",
+                res.plan_cache_status.c_str());
+  }
   out += strf("  \"seconds\": %.9g,\n", t.seconds);
   out += strf("  \"gflops\": %.6g,\n", t.gflops);
   out += strf("  \"bound\": \"%s\",\n", t.bound.c_str());

@@ -81,6 +81,17 @@ struct BlockTrace {
   /// these from the replayed lanes; the coroutine-free tape path adds this
   /// delta instead.
   KernelStats compute;
+  /// The captured block's own address-dependent counters. Replay never
+  /// reads these (it recomputes them against each block's addresses);
+  /// analytic launches (docs/MODEL.md §5d) charge them per served block as
+  /// the class's approximation, keeping phase sums and launch totals
+  /// consistent without a transaction walk.
+  struct AddrDep {
+    u64 gm_sectors = 0;
+    u64 gm_sectors_dram = 0;
+    u64 const_line_misses = 0;
+  };
+  AddrDep addr_dep;
   /// Global/constant transactions in retire order (= cache probe order).
   std::vector<ReplayTx> txs;
   std::vector<u32> tx_lanes;
@@ -93,7 +104,12 @@ struct BlockTrace {
   /// the KernelStats split above.
   profile::PhaseProfile phase_invariant;
   profile::PhaseProfile phase_compute;
-  /// Block the trace was captured from (for diagnostics).
+  /// Per-phase slice of `addr_dep` (the representative's address-dependent
+  /// profile), charged wholesale by analytic launches so the per-phase sum
+  /// invariant holds there too.
+  profile::PhaseProfile phase_addr_dep;
+  /// Block the trace was captured from (for diagnostics, and the block a
+  /// warm-loaded plan re-resolves its origin anchors against).
   Dim3 captured_block{};
 };
 

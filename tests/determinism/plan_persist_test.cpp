@@ -1,0 +1,460 @@
+// Cross-launch plan persistence suite (docs/MODEL.md §5d).
+//
+// The contract under test:
+//   - a warm launch (plan loaded from disk, zero representative execution)
+//     produces byte-identical outputs and equal scheduling-invariant
+//     counters to both the cold capture that wrote the plan and the direct
+//     no-replay path — serially, on the chunked parallel launcher, and at
+//     functional tape fidelity;
+//   - analytic mode serves the invariant and compute counters exactly from
+//     the (fresh or persisted) traces without materializing outputs, and
+//     its per-phase profile sums still equal the launch totals;
+//   - a damaged or foreign store falls back to capture — loudly classified,
+//     never silently wrong — and heals the store for the next launch;
+//   - one store directory serves concurrent warm launches;
+//   - a sampled launch's partial plan is unioned with a later full
+//     launch's classes instead of being clobbered;
+//   - warm autotune returns the stored ranking bit-exact without
+//     simulating a single candidate.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/core/autotune.hpp"
+#include "src/kernels/general_conv.hpp"
+#include "src/kernels/special_conv.hpp"
+#include "src/profile/phase.hpp"
+#include "src/sim/device.hpp"
+#include "src/sim/launch.hpp"
+#include "src/sim/plan_cache.hpp"
+
+namespace kconv {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("kconv_persist_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+/// Counters that must match bit for bit across direct, cold-capture and
+/// warm-plan launches. pattern_lookups/pattern_hits are excluded (a warm
+/// launch replays every block, so fewer shared-memory lookups reach the
+/// cache — by design), as is blocks_replayed.
+void expect_invariant_stats(const sim::KernelStats& a,
+                            const sim::KernelStats& b) {
+  EXPECT_EQ(a.fma_lane_ops, b.fma_lane_ops);
+  EXPECT_EQ(a.fma_warp_instrs, b.fma_warp_instrs);
+  EXPECT_EQ(a.alu_lane_ops, b.alu_lane_ops);
+  EXPECT_EQ(a.alu_warp_instrs, b.alu_warp_instrs);
+  EXPECT_EQ(a.smem_instrs, b.smem_instrs);
+  EXPECT_EQ(a.smem_request_cycles, b.smem_request_cycles);
+  EXPECT_EQ(a.smem_bytes, b.smem_bytes);
+  EXPECT_EQ(a.smem_lane_bytes, b.smem_lane_bytes);
+  EXPECT_EQ(a.smem_store_instrs, b.smem_store_instrs);
+  EXPECT_EQ(a.smem_store_request_cycles, b.smem_store_request_cycles);
+  EXPECT_EQ(a.gm_instrs, b.gm_instrs);
+  EXPECT_EQ(a.gm_sectors, b.gm_sectors);
+  EXPECT_EQ(a.gm_bytes_useful, b.gm_bytes_useful);
+  EXPECT_EQ(a.const_instrs, b.const_instrs);
+  EXPECT_EQ(a.const_requests, b.const_requests);
+  EXPECT_EQ(a.barriers, b.barriers);
+  EXPECT_EQ(a.gm_phases, b.gm_phases);
+  EXPECT_EQ(a.gm_dep_phases, b.gm_dep_phases);
+  EXPECT_EQ(a.divergent_retires, b.divergent_retires);
+  EXPECT_EQ(a.max_warp_instrs, b.max_warp_instrs);
+  EXPECT_EQ(a.blocks_executed, b.blocks_executed);
+}
+
+void expect_bytes_equal(std::span<const float> a, std::span<const float> b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+}
+
+struct RunParams {
+  sim::PlanCache* plans = nullptr;
+  bool replay = true;
+  bool analytic = false;
+  bool profile = false;
+  u32 num_threads = 1;
+  u64 sample = 0;
+  sim::TraceLevel trace = sim::TraceLevel::Functional;
+};
+
+sim::LaunchOptions options(const RunParams& p) {
+  sim::LaunchOptions opt;
+  opt.plan_cache = p.plans;
+  opt.replay = p.replay;
+  opt.analytic = p.analytic;
+  opt.profile = p.profile;
+  opt.num_threads = p.num_threads;
+  opt.sample_max_blocks = p.sample;
+  opt.trace = p.trace;
+  return opt;
+}
+
+/// General conv over a shape with interior, edge and corner classes.
+kernels::KernelRun run_general(const RunParams& p) {
+  Rng rng(11);
+  tensor::Tensor img = tensor::Tensor::image(8, 28, 28);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(32, 8, 3);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  kernels::GeneralConvConfig cfg;
+  cfg.block_w = 8;
+  cfg.block_h = 4;
+  cfg.ftb = 32;
+  cfg.wt = 4;
+  cfg.ft = 4;
+  cfg.csh = 2;
+  return kernels::general_conv(dev, img, flt, cfg, options(p));
+}
+
+/// Special conv (single channel, constant-memory filters, relocatable
+/// tape replay).
+kernels::KernelRun run_special(const RunParams& p) {
+  Rng rng(7);
+  tensor::Tensor img = tensor::Tensor::image(1, 40, 40);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 1, 5);
+  flt.fill_random(rng);
+  sim::Device dev(sim::kepler_k40m());
+  kernels::SpecialConvConfig cfg;
+  cfg.block_w = 16;
+  cfg.block_h = 4;
+  return kernels::special_conv(dev, img, flt, cfg, options(p));
+}
+
+TEST(PlanPersist, WarmLaunchIsByteIdenticalSerial) {
+  sim::PlanCache plans(fresh_dir("serial"));
+  const auto direct = run_general({.plans = nullptr, .replay = false});
+  const auto cold = run_general({.plans = &plans});
+  const auto warm = run_general({.plans = &plans});
+
+  EXPECT_FALSE(cold.launch.plan_cache_hit);
+  EXPECT_EQ(cold.launch.plan_cache_status, "miss");
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+  EXPECT_EQ(warm.launch.plan_cache_status, "hit");
+  // Zero representative execution: every block replays on the warm path.
+  EXPECT_EQ(warm.launch.blocks_replayed, warm.launch.blocks_total);
+
+  ASSERT_TRUE(direct.output_valid && cold.output_valid && warm.output_valid);
+  expect_bytes_equal(warm.output.flat(), direct.output.flat());
+  expect_bytes_equal(warm.output.flat(), cold.output.flat());
+  expect_invariant_stats(warm.launch.stats, direct.launch.stats);
+  expect_invariant_stats(warm.launch.stats, cold.launch.stats);
+}
+
+TEST(PlanPersist, WarmLaunchIsByteIdenticalSpecialKernel) {
+  sim::PlanCache plans(fresh_dir("special"));
+  const auto cold = run_special({.plans = &plans});
+  const auto warm = run_special({.plans = &plans});
+
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+  EXPECT_EQ(warm.launch.blocks_replayed, warm.launch.blocks_total);
+  ASSERT_TRUE(cold.output_valid && warm.output_valid);
+  expect_bytes_equal(warm.output.flat(), cold.output.flat());
+  expect_invariant_stats(warm.launch.stats, cold.launch.stats);
+}
+
+TEST(PlanPersist, WarmLaunchComposesWithParallelChunks) {
+  sim::PlanCache plans(fresh_dir("parallel"));
+  const auto cold = run_general({.plans = &plans});
+  const auto warm3 = run_general({.plans = &plans, .num_threads = 3});
+
+  EXPECT_TRUE(warm3.launch.plan_cache_hit);
+  EXPECT_EQ(warm3.launch.blocks_replayed, warm3.launch.blocks_total);
+  ASSERT_TRUE(warm3.output_valid);
+  expect_bytes_equal(warm3.output.flat(), cold.output.flat());
+  expect_invariant_stats(warm3.launch.stats, cold.launch.stats);
+}
+
+TEST(PlanPersist, ParallelColdCaptureServesSerialWarm) {
+  sim::PlanCache plans(fresh_dir("par_cold"));
+  const auto cold3 = run_general({.plans = &plans, .num_threads = 3});
+  const auto warm = run_general({.plans = &plans});
+
+  EXPECT_FALSE(cold3.launch.plan_cache_hit);
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+  EXPECT_EQ(warm.launch.blocks_replayed, warm.launch.blocks_total);
+  expect_bytes_equal(warm.output.flat(), cold3.output.flat());
+  expect_invariant_stats(warm.launch.stats, cold3.launch.stats);
+}
+
+TEST(PlanPersist, TimingLevelPlansRoundTrip) {
+  sim::PlanCache plans(fresh_dir("timing"));
+  const auto cold =
+      run_general({.plans = &plans, .trace = sim::TraceLevel::Timing});
+  const auto warm =
+      run_general({.plans = &plans, .trace = sim::TraceLevel::Timing});
+
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+  expect_bytes_equal(warm.output.flat(), cold.output.flat());
+  expect_invariant_stats(warm.launch.stats, cold.launch.stats);
+}
+
+TEST(PlanPersist, AnalyticServesExactInvariantCountersWithoutOutputs) {
+  sim::PlanCache plans(fresh_dir("analytic"));
+  const auto full = run_general({.plans = &plans});
+  const auto ana = run_general({.plans = &plans, .analytic = true});
+
+  EXPECT_TRUE(ana.launch.analytic);
+  EXPECT_TRUE(ana.launch.plan_cache_hit);
+  EXPECT_FALSE(ana.output_valid);  // outputs never materialized
+  EXPECT_EQ(ana.launch.blocks_replayed, ana.launch.blocks_total);
+  expect_invariant_stats(ana.launch.stats, full.launch.stats);
+  // The address-dependent approximation still lands on the same totals
+  // here: every class's blocks see congruent sector sets.
+  EXPECT_EQ(ana.launch.stats.gm_sectors, full.launch.stats.gm_sectors);
+}
+
+TEST(PlanPersist, AnalyticColdWorksWithoutAStore) {
+  const auto full = run_special({.plans = nullptr});
+  const auto ana = run_special({.plans = nullptr, .analytic = true});
+  EXPECT_TRUE(ana.launch.analytic);
+  EXPECT_FALSE(ana.output_valid);
+  expect_invariant_stats(ana.launch.stats, full.launch.stats);
+}
+
+TEST(PlanPersist, AnalyticPhaseSumsStillMatchLaunchTotals) {
+  sim::PlanCache plans(fresh_dir("ana_phase"));
+  // Profiled plans are keyed separately (only a profiled capture carries
+  // the per-phase splits), so the cold capture profiles too.
+  (void)run_general({.plans = &plans, .profile = true});
+  const auto ana =
+      run_general({.plans = &plans, .analytic = true, .profile = true});
+
+  EXPECT_TRUE(ana.launch.plan_cache_hit);
+  ASSERT_TRUE(ana.launch.profile.enabled);
+  const sim::KernelStats& s = ana.launch.stats;
+  u64 fma = 0, smem_cycles = 0, gm_sectors = 0, barriers = 0;
+  for (u32 i = 0; i < profile::kNumPhases; ++i) {
+    const profile::PhaseStats& p = ana.launch.profile.phases.p[i];
+    fma += p.fma_lane_ops;
+    smem_cycles += p.smem_request_cycles;
+    gm_sectors += p.gm_sectors;
+    barriers += p.barriers;
+  }
+  EXPECT_EQ(fma, s.fma_lane_ops);
+  EXPECT_EQ(smem_cycles, s.smem_request_cycles);
+  EXPECT_EQ(gm_sectors, s.gm_sectors);
+  EXPECT_EQ(barriers, s.barriers);
+}
+
+TEST(PlanPersist, DamagedStoreFallsBackAndHeals) {
+  sim::PlanCache plans(fresh_dir("damaged"));
+  const auto cold = run_general({.plans = &plans});
+
+  // Flip one byte in the single stored blob.
+  fs::path blob;
+  for (const auto& e : fs::directory_iterator(plans.dir())) blob = e.path();
+  ASSERT_FALSE(blob.empty());
+  {
+    std::FILE* f = std::fopen(blob.string().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -4, SEEK_END);
+    int ch = std::fgetc(f);
+    std::fseek(f, -4, SEEK_END);
+    std::fputc(ch ^ 0x20, f);
+    std::fclose(f);
+  }
+
+  const auto fallback = run_general({.plans = &plans});
+  EXPECT_FALSE(fallback.launch.plan_cache_hit);
+  EXPECT_EQ(fallback.launch.plan_cache_status, "corrupt");
+  expect_bytes_equal(fallback.output.flat(), cold.output.flat());
+  expect_invariant_stats(fallback.launch.stats, cold.launch.stats);
+
+  // The fallback capture re-stored a good plan.
+  const auto healed = run_general({.plans = &plans});
+  EXPECT_TRUE(healed.launch.plan_cache_hit);
+  expect_bytes_equal(healed.output.flat(), cold.output.flat());
+}
+
+/// The tape sidecar blob carries its key ("...|tapes") inside the envelope
+/// header; sniffing the first bytes tells it apart from the base plan.
+bool is_tape_sidecar(const fs::path& p) {
+  std::FILE* f = std::fopen(p.string().c_str(), "rb");
+  if (f == nullptr) return false;
+  char head[512] = {};
+  const std::size_t n = std::fread(head, 1, sizeof(head), f);
+  std::fclose(f);
+  return std::string_view(head, n).find("|tapes") != std::string_view::npos;
+}
+
+TEST(PlanPersist, DamagedTapeSidecarStillServesWarmByFastForward) {
+  sim::PlanCache plans(fresh_dir("sidecar"));
+  const auto cold = run_special({.plans = &plans});
+
+  // The special shape's grid clears the sidecar amortization gate, so the
+  // cold capture wrote base plan + tape sidecar.
+  fs::path sidecar;
+  for (const auto& e : fs::directory_iterator(plans.dir())) {
+    if (is_tape_sidecar(e.path())) sidecar = e.path();
+  }
+  ASSERT_FALSE(sidecar.empty());
+  fs::resize_file(sidecar, fs::file_size(sidecar) / 2);
+
+  // A truncated sidecar is not a plan miss: the base traces are intact, so
+  // the launch is still warm — every block replays, just through per-block
+  // fast-forward instead of the tape interpreter, with identical results.
+  const auto warm = run_special({.plans = &plans});
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+  EXPECT_EQ(warm.launch.plan_cache_status, "hit");
+  EXPECT_EQ(warm.launch.blocks_replayed, warm.launch.blocks_total);
+  ASSERT_TRUE(warm.output_valid);
+  expect_bytes_equal(warm.output.flat(), cold.output.flat());
+  expect_invariant_stats(warm.launch.stats, cold.launch.stats);
+}
+
+TEST(PlanPersist, SmallGridSkipsTheTapeSidecar) {
+  sim::PlanCache plans(fresh_dir("small_grid"));
+  Rng rng(7);
+  tensor::Tensor img = tensor::Tensor::image(1, 24, 24);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 1, 5);
+  flt.fill_random(rng);
+  kernels::SpecialConvConfig cfg;
+  cfg.block_w = 16;
+  cfg.block_h = 4;
+  sim::LaunchOptions opt;
+  opt.replay = true;
+  opt.plan_cache = &plans;
+
+  sim::Device dev(sim::kepler_k40m());
+  const auto cold = kernels::special_conv(dev, img, flt, cfg, opt);
+  // Under the amortization gate (16 blocks) the store holds the base plan
+  // only — a sidecar for this key would never be read back.
+  ASSERT_LT(cold.launch.blocks_total, 16u);
+  int blobs = 0;
+  for (const auto& e : fs::directory_iterator(plans.dir())) {
+    EXPECT_FALSE(is_tape_sidecar(e.path()));
+    ++blobs;
+  }
+  EXPECT_EQ(blobs, 1);
+
+  sim::Device dev2(sim::kepler_k40m());
+  const auto warm = kernels::special_conv(dev2, img, flt, cfg, opt);
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+  EXPECT_EQ(warm.launch.blocks_replayed, warm.launch.blocks_total);
+  ASSERT_TRUE(warm.output_valid);
+  expect_bytes_equal(warm.output.flat(), cold.output.flat());
+  expect_invariant_stats(warm.launch.stats, cold.launch.stats);
+}
+
+TEST(PlanPersist, DifferentArchNeverServesTheStoredPlan) {
+  const std::string dir = fresh_dir("arch");
+  sim::PlanCache plans(dir);
+
+  Rng rng(7);
+  tensor::Tensor img = tensor::Tensor::image(1, 40, 40);
+  img.fill_random(rng);
+  tensor::Tensor flt = tensor::Tensor::filters(8, 1, 5);
+  flt.fill_random(rng);
+  kernels::SpecialConvConfig cfg;
+  cfg.block_w = 16;
+  cfg.block_h = 4;
+
+  sim::LaunchOptions opt;
+  opt.replay = true;
+  opt.plan_cache = &plans;
+
+  sim::Device k40(sim::kepler_k40m());
+  (void)kernels::special_conv(k40, img, flt, cfg, opt);
+
+  // Same shape and key inputs, different bank geometry: the arch
+  // fingerprint in the store key keeps the plans apart.
+  sim::Device k40_4b(sim::kepler_k40m_4byte_banks());
+  const auto other = kernels::special_conv(k40_4b, img, flt, cfg, opt);
+  EXPECT_FALSE(other.launch.plan_cache_hit);
+
+  sim::Device k40b(sim::kepler_k40m());
+  const auto warm = kernels::special_conv(k40b, img, flt, cfg, opt);
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+}
+
+TEST(PlanPersist, ConcurrentWarmLaunchesShareOneStore) {
+  sim::PlanCache plans(fresh_dir("concurrent"));
+  const auto cold = run_special({.plans = &plans});
+
+  constexpr int kThreads = 4;
+  std::vector<kernels::KernelRun> runs(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    pool.emplace_back(
+        [&, i] { runs[i] = run_special({.plans = &plans}); });
+  }
+  for (auto& t : pool) t.join();
+
+  for (const auto& r : runs) {
+    EXPECT_TRUE(r.launch.plan_cache_hit);
+    ASSERT_TRUE(r.output_valid);
+    expect_bytes_equal(r.output.flat(), cold.output.flat());
+    expect_invariant_stats(r.launch.stats, cold.launch.stats);
+  }
+}
+
+TEST(PlanPersist, SampledPlanUnionsWithFullLaunch) {
+  sim::PlanCache plans(fresh_dir("sampled"));
+  // A sampled cold launch stores a partial plan (classes of the sampled
+  // blocks only; sampling is deliberately absent from the store key).
+  const auto sampled = run_general({.plans = &plans, .sample = 2});
+  EXPECT_TRUE(sampled.launch.sampled);
+  EXPECT_EQ(sampled.launch.plan_cache_status, "miss");
+
+  // The full launch starts from the partial plan, captures what is
+  // missing, and re-stores the union...
+  const auto full = run_general({.plans = &plans});
+  EXPECT_TRUE(full.launch.plan_cache_hit);
+
+  // ...so the next full launch replays everything.
+  const auto warm = run_general({.plans = &plans});
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+  EXPECT_EQ(warm.launch.blocks_replayed, warm.launch.blocks_total);
+  expect_bytes_equal(warm.output.flat(), full.output.flat());
+  expect_invariant_stats(warm.launch.stats, full.launch.stats);
+}
+
+TEST(PlanPersist, WarmAutotuneReturnsTheStoredRankingBitExact) {
+  sim::PlanCache plans(fresh_dir("autotune"));
+  sim::Device dev(sim::kepler_k40m());
+
+  const auto cold = core::autotune_special(dev, 5, 8, 64, {}, 4, 1, &plans);
+  EXPECT_FALSE(cold.from_plan_cache);
+  const auto warm = core::autotune_special(dev, 5, 8, 64, {}, 4, 1, &plans);
+  EXPECT_TRUE(warm.from_plan_cache);
+
+  EXPECT_EQ(warm.evaluated, cold.evaluated);
+  EXPECT_EQ(warm.skipped, cold.skipped);
+  ASSERT_EQ(warm.ranking.size(), cold.ranking.size());
+  for (std::size_t i = 0; i < warm.ranking.size(); ++i) {
+    EXPECT_EQ(warm.ranking[i].config.block_w, cold.ranking[i].config.block_w);
+    EXPECT_EQ(warm.ranking[i].config.block_h, cold.ranking[i].config.block_h);
+    EXPECT_EQ(warm.ranking[i].gflops, cold.ranking[i].gflops);  // bitwise
+  }
+
+  // Analytic probes are keyed separately and still converge on a ranking.
+  const auto ana =
+      core::autotune_special(dev, 5, 8, 64, {}, 4, 1, &plans, true);
+  EXPECT_FALSE(ana.from_plan_cache);
+  const auto ana_warm =
+      core::autotune_special(dev, 5, 8, 64, {}, 4, 1, &plans, true);
+  EXPECT_TRUE(ana_warm.from_plan_cache);
+  EXPECT_EQ(ana_warm.best.config.block_w, ana.best.config.block_w);
+  EXPECT_EQ(ana_warm.best.config.block_h, ana.best.config.block_h);
+}
+
+}  // namespace
+}  // namespace kconv
