@@ -5,6 +5,7 @@
 //             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
 //             [--sample B] [--threads T] [--replay] [--no-pattern-cache]
 //             [--plan-cache DIR] [--analytic] [--autotune]
+//             [--serve --network NAME [--requests N] [--no-fuse]]
 //             [--check] [--profile] [--trace-out FILE] [--json]
 //
 // Prints the performance report (or JSON with --json) and verifies against
@@ -18,15 +19,21 @@
 // across processes (docs/MODEL.md §5d); --analytic serves counters straight
 // from class traces without materializing outputs; --autotune sweeps the
 // kernel's tiling space for the given shape instead of running one
-// convolution.
+// convolution. --serve runs the layer-graph serving driver instead: it
+// queues --requests inference requests against the named network and
+// reports batch/temperature/fusion statistics (docs/MODEL.md §8).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/autotune.hpp"
 #include "src/core/conv_api.hpp"
+#include "src/serve/serving.hpp"
 #include "src/profile/trace_export.hpp"
 #include "src/sim/report.hpp"
 #include "src/tensor/compare.hpp"
@@ -46,6 +53,7 @@ void print_usage(std::FILE* to, const char* argv0) {
       "          [--sample BLOCKS] [--threads T] [--replay]\n"
       "          [--no-pattern-cache] [--plan-cache DIR] [--analytic]\n"
       "          [--autotune] [--check] [--profile]\n"
+      "          [--serve --network NAME [--requests N] [--no-fuse]]\n"
       "          [--trace-out FILE] [--json] [--help]\n"
       "  --threads T   host threads simulating blocks (0 = all cores;\n"
       "                default 1 = exact-legacy serial semantics)\n"
@@ -63,6 +71,18 @@ void print_usage(std::FILE* to, const char* argv0) {
       "  --autotune    sweep the kernel's tiling parameters for the given\n"
       "                K/C/F/N instead of running one convolution; with\n"
       "                --plan-cache a warm call reuses the stored ranking\n"
+      "  --serve       run the layer-graph serving driver instead of one\n"
+      "                convolution: queues --requests requests against\n"
+      "                --network (lenet | vgg-tiny) and reports batching,\n"
+      "                cold/warm/analytic counts, and fusion savings\n"
+      "                (MODEL.md §8); honors --threads, --plan-cache,\n"
+      "                --analytic, and --json\n"
+      "  --network NAME\n"
+      "                network served by --serve (lenet | lenet-wide |\n"
+      "                vgg-tiny)\n"
+      "  --requests N  requests to queue in --serve mode (default 4)\n"
+      "  --no-fuse     disable the fused conv+bias+ReLU epilogue in --serve\n"
+      "                mode (outputs are bit-identical either way)\n"
       "  --check       kconv-check: shared-memory race detection +\n"
       "                memory-efficiency lints (MODEL.md \u00a76); exit 3\n"
       "                when the kernel is not clean\n"
@@ -85,9 +105,12 @@ void print_usage(std::FILE* to, const char* argv0) {
 
 int main(int argc, char** argv) {
   i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0, threads = 1;
+  i64 requests = 4;
   std::string algo = "auto", arch_name = "kepler", trace_out, plan_cache_dir;
+  std::string network;
   bool same = false, json = false, replay = false, pattern_cache = true;
   bool check = false, profile = false, analytic = false, autotune = false;
+  bool serve = false, fuse = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -116,6 +139,12 @@ int main(int argc, char** argv) {
       plan_cache_dir = a.substr(std::strlen("--plan-cache="));
     else if (a == "--analytic") analytic = true;
     else if (a == "--autotune") autotune = true;
+    else if (a == "--serve") serve = true;
+    else if (a == "--network") network = next();
+    else if (a.rfind("--network=", 0) == 0)
+      network = a.substr(std::strlen("--network="));
+    else if (a == "--requests") requests = std::atoll(next());
+    else if (a == "--no-fuse") fuse = false;
     else if (a == "--check") check = true;
     else if (a == "--profile") profile = true;
     else if (a == "--trace-out") trace_out = next();
@@ -172,6 +201,94 @@ int main(int argc, char** argv) {
       return 2;
     }
     opt.launch.plan_cache = plans.get();
+  }
+
+  if (serve) {
+    if (network.empty() || requests <= 0) {
+      std::fprintf(stderr,
+                   "error: --serve requires --network NAME and a positive "
+                   "--requests count\n");
+      return 2;
+    }
+    serve::Network net;
+    try {
+      net = serve::make_network(network);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    serve::ServeOptions sopt;
+    sopt.threads = static_cast<u32>(threads);
+    sopt.plan_cache = plans.get();
+    sopt.fuse = fuse;
+    sopt.analytic = analytic;
+    sopt.launch.replay = replay;
+    sopt.launch.pattern_cache = pattern_cache;
+    try {
+      serve::ServingDriver driver(sopt);
+      for (i64 r = 0; r < requests; ++r)
+        driver.enqueue(net,
+                       serve::make_network_input(net, static_cast<u64>(r)));
+      const auto replies = driver.drain();
+      const auto stats = driver.stats();
+      double sim_total = 0.0;
+      bool all_ok = true;
+      std::vector<double> lat;
+      for (const auto& rep : replies) {
+        sim_total += rep.sim_seconds;
+        lat.push_back(rep.host_seconds);
+        // Analytic replies carry timings but no activations; everything
+        // else must have produced a valid output tensor.
+        if (!rep.ok && !rep.analytic) all_ok = false;
+      }
+      std::sort(lat.begin(), lat.end());
+      const auto pct_ms = [&lat](double q) {
+        const std::size_t idx = std::min(
+            lat.size() - 1,
+            static_cast<std::size_t>(
+                std::ceil(q * static_cast<double>(lat.size())) - 1));
+        return lat[idx] * 1e3;
+      };
+      if (json) {
+        std::printf(
+            "{\"serve\": {\"network\": \"%s\", \"requests\": %llu, "
+            "\"batches\": %llu, \"cold\": %llu, \"warm\": %llu, "
+            "\"analytic\": %llu, \"fused_pairs\": %llu, "
+            "\"fusion_gm_bytes_eliminated\": %.0f, "
+            "\"sim_seconds_total\": %.6g, "
+            "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}}\n",
+            net.name.c_str(), static_cast<unsigned long long>(stats.processed),
+            static_cast<unsigned long long>(stats.batches),
+            static_cast<unsigned long long>(stats.cold),
+            static_cast<unsigned long long>(stats.warm),
+            static_cast<unsigned long long>(stats.analytic),
+            static_cast<unsigned long long>(stats.fused_pairs),
+            stats.fusion_gm_bytes_eliminated, sim_total, pct_ms(0.50),
+            pct_ms(0.95), pct_ms(0.99));
+      } else {
+        std::printf("served %llu request(s) against %s in %llu batch(es)\n",
+                    static_cast<unsigned long long>(stats.processed),
+                    net.name.c_str(),
+                    static_cast<unsigned long long>(stats.batches));
+        std::printf("temperature: %llu cold, %llu warm, %llu analytic\n",
+                    static_cast<unsigned long long>(stats.cold),
+                    static_cast<unsigned long long>(stats.warm),
+                    static_cast<unsigned long long>(stats.analytic));
+        std::printf("fusion: %llu conv+bias+ReLU pair(s), %.0f bytes of "
+                    "simulated GM traffic eliminated\n",
+                    static_cast<unsigned long long>(stats.fused_pairs),
+                    stats.fusion_gm_bytes_eliminated);
+        std::printf("simulated device time: %.6f s total, %.6f s/request\n",
+                    sim_total, sim_total / static_cast<double>(requests));
+        std::printf("host latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                    pct_ms(0.50), pct_ms(0.95), pct_ms(0.99));
+      }
+      if (!all_ok) return 1;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   // Fail fast on an unwritable trace destination — before the simulation

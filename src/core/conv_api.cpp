@@ -1,5 +1,7 @@
 #include "src/core/conv_api.hpp"
 
+#include <vector>
+
 #include "src/kernels/general_conv.hpp"
 #include "src/kernels/im2col_conv.hpp"
 #include "src/kernels/implicit_gemm_conv.hpp"
@@ -165,6 +167,10 @@ ConvResult conv2d(sim::Device& dev, const tensor::Tensor& input,
   if (algo == Algo::Auto) {
     algo = input.c() == 1 ? Algo::Special : Algo::General;
   }
+  KCONV_CHECK(opt.fuse_bias_relu.empty() || algo == Algo::Special ||
+                  algo == Algo::General,
+              strf("fuse_bias_relu is not supported by the '%s' algorithm",
+                   algo_name(algo)));
 
   const i64 ho = tensor::conv_out_extent(in->h(), k, 0);
   const i64 wo = tensor::conv_out_extent(in->w(), k, 0);
@@ -178,7 +184,8 @@ ConvResult conv2d(sim::Device& dev, const tensor::Tensor& input,
       cfg.vec_width = opt.vec_width;
       // Shrink the default tile for images narrower than 256 outputs.
       while (cfg.block_w > 16 && cfg.block_w > wo * 2) cfg.block_w /= 2;
-      auto run = kernels::special_conv(dev, *in, filters, cfg, opt.launch);
+      auto run = kernels::special_conv(dev, *in, filters, cfg, opt.launch,
+                                       opt.fuse_bias_relu);
       res.output = std::move(run.output);
       res.output_valid = run.output_valid;
       res.launch = run.launch;
@@ -192,8 +199,17 @@ ConvResult conv2d(sim::Device& dev, const tensor::Tensor& input,
       if (plan.f_padded != filters.n()) {
         const tensor::Tensor padded_bank =
             pad_filter_bank(filters, plan.f_padded);
+        // Zero-pad the fused bias alongside the zero filters: the padding
+        // planes come out as max(0, 0 + 0) = 0 and are trimmed anyway.
+        std::vector<float> padded_bias;
+        std::span<const float> bias = opt.fuse_bias_relu;
+        if (!bias.empty()) {
+          padded_bias.assign(bias.begin(), bias.end());
+          padded_bias.resize(static_cast<std::size_t>(plan.f_padded), 0.0f);
+          bias = padded_bias;
+        }
         run = kernels::general_conv(dev, *in, padded_bank, plan.cfg,
-                                    opt.launch);
+                                    opt.launch, bias);
         if (run.output_valid) {
           // Drop the zero-filter planes.
           tensor::Tensor trimmed(1, filters.n(), run.output.h(),
@@ -205,7 +221,8 @@ ConvResult conv2d(sim::Device& dev, const tensor::Tensor& input,
           run.output = std::move(trimmed);
         }
       } else {
-        run = kernels::general_conv(dev, *in, filters, plan.cfg, opt.launch);
+        run = kernels::general_conv(dev, *in, filters, plan.cfg, opt.launch,
+                                    opt.fuse_bias_relu);
       }
       res.output = std::move(run.output);
       res.output_valid = run.output_valid;

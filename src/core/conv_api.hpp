@@ -9,6 +9,7 @@
 // is also individually selectable for comparisons.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "src/kernels/kernel_run.hpp"
@@ -39,6 +40,13 @@ struct ConvOptions {
   Padding padding = Padding::Valid;
   /// Forwarded to the chosen kernel; 0 keeps each kernel's default.
   i64 vec_width = 0;
+  /// Non-empty (F entries, caller keeps the storage alive for the call):
+  /// fold out = max(0, conv + bias[f]) into the kernel's write-back instead
+  /// of a separate bias_relu launch. Bit-identical to the two-launch
+  /// sequence; the intermediate never round-trips simulated GM. Supported by
+  /// the Special and General algorithms (Auto resolves to one of them);
+  /// other algorithms reject it.
+  std::span<const float> fuse_bias_relu;
   sim::LaunchOptions launch;
 };
 

@@ -32,11 +32,13 @@ class SpecialKernelT {
   PlanesViewT<T> in;           // (1, Hi, Wi)
   PlanesViewT<T> out;          // (F, Ho, Wo)
   sim::ConstView<float> filt;  // F*K*K, filter-major
+  sim::ConstView<float> bias;  // F scalars; read only when fused
   i64 K = 0, F = 0, Ho = 0, Wo = 0;
   i64 W = 0, H = 0;   // tile extents
   i64 sh_stride = 0;  // elements of T per SM row slot
   i64 n_tail = 0;     // threads loading the right halo piece
   u32 sh_off = 0;
+  bool fused = false;  // write-back applies max(0, acc + bias[f])
 
   /// Block equivalence class for trace replay (docs/MODEL.md §5b). Lane
   /// predicates here are per-thread constants (main_ok / tail_ok /
@@ -74,6 +76,7 @@ class SpecialKernelT {
     o.add(in.buf, in.idx(0, row0, col0));
     o.add(out.buf, out.idx(0, row0, col0));
     o.add(filt, 0);
+    if (fused) o.add(bias, 0);
   }
 
   sim::ThreadProgram operator()(sim::ThreadCtx& t) const {
@@ -171,6 +174,13 @@ class SpecialKernelT {
               acc = t.fma(xs, wv, acc);
             }
           }
+        }
+        if (fused) {
+          // `fused` is launch-uniform and f is warp-uniform, so the bias
+          // read stays a single constant-memory broadcast per filter.
+          sim::ProfilePhase phase(t, profile::Phase::Writeback);
+          const float bv = co_await t.ld_const(bias, f);
+          acc = t.bias_relu(acc, bv);
         }
         VecN sv;
         for (int j = 0; j < N; ++j) sv[j] = T(acc[j]);

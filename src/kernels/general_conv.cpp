@@ -1,6 +1,7 @@
 #include "src/kernels/general_conv.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/kernels/device_tensor.hpp"
 #include "src/sim/sim.hpp"
@@ -27,6 +28,8 @@ class GeneralKernel {
   i64 stride_img = 0, stride_flt = 0;
   u32 img_off = 0, flt_off = 0;
   bool prefetch = true;
+  sim::BufferView<float> bias;  // F scalars; read only when fused
+  bool fused = false;           // write-back applies max(0, acc + bias[f])
 
   /// Block equivalence class for trace replay (docs/MODEL.md §5b). Control
   /// flow and every predicate depend only on whether the spatial tile sits
@@ -57,6 +60,7 @@ class GeneralKernel {
     o.add(in.buf, in.idx(0, sy * H, sx * W));
     o.add(out.buf, out.idx(fblk * FTB, sy * H, sx * W));
     o.add(filt, fblk * FTB * C * K * K);
+    if (fused) o.add(bias, fblk * FTB);
   }
 
   sim::ThreadProgram operator()(sim::ThreadCtx& t) const {
@@ -296,11 +300,16 @@ class GeneralKernel {
     sim::ProfilePhase phase(t, profile::Phase::Writeback);
     for (i64 s = 0; s < FT; ++s) {
       const i64 gf = fblk * FTB + (tx + (s / N) * TX) * N + (s % N);
+      // gf < (fblk+1)*FTB <= F always, so the fused bias load needs no
+      // predicate; `fused` is launch-uniform, so lanes never diverge here.
+      float bv = 0.0f;
+      if (fused) bv = co_await t.ld_global(bias, gf);
       for (i64 wu = 0; wu * N < WT; ++wu) {
         const i64 ocol = sx * W + ocol_local + wu * N;
         const bool ok = orow < Ho && ocol < Wo;
         VecN v;
         for (int jj = 0; jj < N; ++jj) v[jj] = acc[s][wu * N + jj];
+        if (fused) v = t.bias_relu(v, bv);
         co_await t.st_global_if(ok, out.buf,
                                 ok ? out.idx(gf, orow, ocol) : 0, v);
       }
@@ -411,7 +420,8 @@ KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
                       const tensor::Tensor& filters,
                       const GeneralConvConfig& cfg,
                       const GeneralLaunchPlan& p,
-                      const sim::LaunchOptions& opt) {
+                      const sim::LaunchOptions& opt,
+                      std::span<const float> fuse_bias_relu) {
   const i64 K = filters.h();
   const i64 C = input.c();
   const i64 F = filters.n();
@@ -449,6 +459,15 @@ KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
   k.out = d_out.view();
   k.filt = d_filt.view();
 
+  // Allocated only when fused so unfused launches keep their exact historic
+  // address layout (and thus timing/plan bytes).
+  std::optional<decltype(dev.alloc<float>(fuse_bias_relu))> d_bias;
+  if (!fuse_bias_relu.empty()) {
+    d_bias.emplace(dev.alloc<float>(fuse_bias_relu));
+    k.bias = d_bias->view();
+    k.fused = true;
+  }
+
   // Every parameter that shapes the access pattern is folded into the plan
   // key; the "v1" tag invalidates stored plans if the kernel body changes.
   sim::LaunchOptions lopt = opt;
@@ -463,6 +482,8 @@ KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
         static_cast<long long>(cfg.wt), static_cast<long long>(cfg.ft),
         static_cast<long long>(cfg.csh), cfg.pad_filters ? 1 : 0,
         cfg.prefetch ? 1 : 0);
+    // Appended (not always present) so unfused keys match pre-fusion stores.
+    if (k.fused) lopt.plan_key += "|fused=br";
   }
 
   KernelRun run;
@@ -486,6 +507,13 @@ KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
         static_cast<double>(cfg.wt + K - 1) /
             static_cast<double>(K * cfg.ft * cfg.wt) +
         1.0 / static_cast<double>(cfg.wt);
+    if (k.fused) {
+      // The fused epilogue adds one bias read per (spatial block, filter):
+      // FTB scalars per block across grid.y blocks.
+      h.gm_load_bound_bytes +=
+          fs * static_cast<double>(F) *
+          static_cast<double>(ceil_div(p.Ho, cfg.block_h) * p.nbx);
+    }
   }
   if (!run.launch.sampled && !run.launch.analytic) {
     run.output = d_out.download();
@@ -527,10 +555,16 @@ std::string general_conv_check(const sim::Arch& arch, i64 k, i64 c, i64 f,
 KernelRun general_conv(sim::Device& dev, const tensor::Tensor& input,
                        const tensor::Tensor& filters,
                        const GeneralConvConfig& cfg,
-                       const sim::LaunchOptions& opt) {
+                       const sim::LaunchOptions& opt,
+                       std::span<const float> fuse_bias_relu) {
   KCONV_CHECK(input.n() == 1, "general case operates on a single image");
   KCONV_CHECK(filters.c() == input.c(), "channel mismatch");
   KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
+  KCONV_CHECK(fuse_bias_relu.empty() ||
+                  static_cast<i64>(fuse_bias_relu.size()) == filters.n(),
+              strf("fused bias has %zu entries for %lld filters",
+                   fuse_bias_relu.size(),
+                   static_cast<long long>(filters.n())));
 
   GeneralLaunchPlan plan;
   const std::string err =
@@ -539,9 +573,15 @@ KernelRun general_conv(sim::Device& dev, const tensor::Tensor& input,
   KCONV_CHECK(err.empty(), err);
 
   switch (plan.n) {
-    case 1: return run_general<1>(dev, input, filters, cfg, plan, opt);
-    case 2: return run_general<2>(dev, input, filters, cfg, plan, opt);
-    default: return run_general<4>(dev, input, filters, cfg, plan, opt);
+    case 1:
+      return run_general<1>(dev, input, filters, cfg, plan, opt,
+                            fuse_bias_relu);
+    case 2:
+      return run_general<2>(dev, input, filters, cfg, plan, opt,
+                            fuse_bias_relu);
+    default:
+      return run_general<4>(dev, input, filters, cfg, plan, opt,
+                            fuse_bias_relu);
   }
 }
 

@@ -20,6 +20,8 @@
 //    (broadcast) and contiguous filter units (conflict-free).
 #pragma once
 
+#include <span>
+
 #include "src/common/types.hpp"
 #include "src/kernels/kernel_run.hpp"
 #include "src/sim/launch.hpp"
@@ -63,12 +65,19 @@ std::string general_conv_check(const sim::Arch& arch, i64 k, i64 c, i64 f,
 /// Runs the general-case kernel: `input` is (1, C, Hi, Wi), `filters` is
 /// (F, C, K, K); output is the valid convolution (1, F, Ho, Wo).
 ///
+/// A non-empty `fuse_bias_relu` (F entries) folds the bias-add + ReLU
+/// epilogue into the write-back: out = max(0, conv + bias[f]). Bit-identical
+/// to a separate `bias_relu` pass over the unfused output (both compute
+/// std::max(0.0f, v + b) on the same fp32 values), but the intermediate
+/// never round-trips global memory.
+///
 /// Constraints (checked, throwing kconv::Error): K odd sizes up to 7,
 /// F % FTB == 0, C % CSH == 0, FTB % FT == 0, (W*H) % WT == 0,
 /// W % WT == 0, WT and FT multiples of the vector width.
 KernelRun general_conv(sim::Device& dev, const tensor::Tensor& input,
                        const tensor::Tensor& filters,
                        const GeneralConvConfig& cfg = {},
-                       const sim::LaunchOptions& opt = {});
+                       const sim::LaunchOptions& opt = {},
+                       std::span<const float> fuse_bias_relu = {});
 
 }  // namespace kconv::kernels

@@ -54,16 +54,38 @@ class BiasReluKernel {
   }
 };
 
+/// Reinterprets an (N, C, H, W) batch as the layout-identical
+/// (1, N*C, H, W) image (NCHW planes are contiguous).
+tensor::Tensor fold_batch(const tensor::Tensor& t) {
+  tensor::Tensor out(1, t.n() * t.c(), t.h(), t.w());
+  std::copy(t.flat().begin(), t.flat().end(), out.flat().begin());
+  return out;
+}
+
+/// Inverse of fold_batch for a kernel's (1, N*C, Ho, Wo) output.
+tensor::Tensor unfold_batch(const tensor::Tensor& t, i64 n, i64 c) {
+  tensor::Tensor out(n, c, t.h(), t.w());
+  std::copy(t.flat().begin(), t.flat().end(), out.flat().begin());
+  return out;
+}
+
 }  // namespace
 
 KernelRun max_pool_2x2(sim::Device& dev, const tensor::Tensor& input,
                        const sim::LaunchOptions& opt) {
-  KCONV_CHECK(input.n() == 1, "max_pool_2x2 operates on a single image");
   KCONV_CHECK(input.h() >= 2 && input.w() >= 2, "input too small to pool");
-  const i64 C = input.c(), Ho = input.h() / 2, Wo = input.w() / 2;
+  const i64 NB = input.n(), C = NB * input.c();
+  const i64 Ho = input.h() / 2, Wo = input.w() / 2;
+
+  const tensor::Tensor* in = &input;
+  tensor::Tensor folded;
+  if (NB > 1) {
+    folded = fold_batch(input);
+    in = &folded;
+  }
 
   DevicePlanes d_in(dev, C, input.h(), input.w());
-  d_in.upload(input);
+  d_in.upload(*in);
   DevicePlanes d_out(dev, C, Ho, Wo);
 
   MaxPoolKernel k;
@@ -80,6 +102,7 @@ KernelRun max_pool_2x2(sim::Device& dev, const tensor::Tensor& input,
   run.launch = sim::launch(dev, k, lc, opt);
   if (!run.launch.sampled) {
     run.output = d_out.download();
+    if (NB > 1) run.output = unfold_batch(run.output, NB, input.c());
     run.output_valid = true;
   }
   return run;
@@ -88,16 +111,30 @@ KernelRun max_pool_2x2(sim::Device& dev, const tensor::Tensor& input,
 KernelRun bias_relu(sim::Device& dev, const tensor::Tensor& input,
                     std::span<const float> bias,
                     const sim::LaunchOptions& opt) {
-  KCONV_CHECK(input.n() == 1, "bias_relu operates on a single image");
   KCONV_CHECK(static_cast<i64>(bias.size()) == input.c(),
               strf("bias has %zu entries for %lld channels", bias.size(),
                    static_cast<long long>(input.c())));
-  const i64 C = input.c(), H = input.h(), W = input.w();
+  const i64 NB = input.n(), C = NB * input.c();
+  const i64 H = input.h(), W = input.w();
+
+  const tensor::Tensor* in = &input;
+  tensor::Tensor folded;
+  std::vector<float> tiled_bias;
+  std::span<const float> plane_bias = bias;
+  if (NB > 1) {
+    folded = fold_batch(input);
+    in = &folded;
+    // One bias value per plane; the batch repeats the C-channel vector.
+    tiled_bias.reserve(static_cast<std::size_t>(C));
+    for (i64 b = 0; b < NB; ++b)
+      tiled_bias.insert(tiled_bias.end(), bias.begin(), bias.end());
+    plane_bias = tiled_bias;
+  }
 
   DevicePlanes d_in(dev, C, H, W);
-  d_in.upload(input);
+  d_in.upload(*in);
   DevicePlanes d_out(dev, C, H, W);
-  auto d_bias = dev.alloc<float>(bias);
+  auto d_bias = dev.alloc<float>(plane_bias);
 
   BiasReluKernel k;
   k.in = d_in.view();
@@ -114,6 +151,7 @@ KernelRun bias_relu(sim::Device& dev, const tensor::Tensor& input,
   run.launch = sim::launch(dev, k, lc, opt);
   if (!run.launch.sampled) {
     run.output = d_out.download();
+    if (NB > 1) run.output = unfold_batch(run.output, NB, input.c());
     run.output_valid = true;
   }
   return run;

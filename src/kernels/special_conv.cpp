@@ -1,6 +1,7 @@
 #include "src/kernels/special_conv.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/kernels/detail/special_kernel.hpp"
 #include "src/tensor/conv_ref.hpp"
@@ -13,7 +14,8 @@ template <int N>
 KernelRun run_special(sim::Device& dev, const tensor::Tensor& input,
                       const tensor::Tensor& filters,
                       const SpecialConvConfig& cfg,
-                      const sim::LaunchOptions& opt) {
+                      const sim::LaunchOptions& opt,
+                      std::span<const float> fuse_bias_relu) {
   const i64 K = filters.h();
   const i64 F = filters.n();
   const i64 Hi = input.h(), Wi = input.w();
@@ -33,6 +35,16 @@ KernelRun run_special(sim::Device& dev, const tensor::Tensor& input,
   k.out = d_out.view();
   k.filt =
       sim::ConstView<float>(d_filt.get(), 0, static_cast<i64>(flat.size()));
+
+  // The fused bias rides in constant memory next to the filters: f is
+  // warp-uniform in the write-back, so each read is a broadcast.
+  std::unique_ptr<sim::ConstBuffer> d_bias;
+  if (!fuse_bias_relu.empty()) {
+    d_bias = dev.alloc_const<float>(fuse_bias_relu);
+    k.bias = sim::ConstView<float>(
+        d_bias.get(), 0, static_cast<i64>(fuse_bias_relu.size()));
+    k.fused = true;
+  }
   k.K = K;
   k.F = F;
   k.Ho = Ho;
@@ -62,6 +74,8 @@ KernelRun run_special(sim::Device& dev, const tensor::Tensor& input,
         N, static_cast<long long>(K), static_cast<long long>(F),
         static_cast<long long>(Hi), static_cast<long long>(Wi),
         static_cast<long long>(W), static_cast<long long>(H));
+    // Appended (not always present) so unfused keys match pre-fusion stores.
+    if (k.fused) lopt.plan_key += "|fused=br";
   }
 
   KernelRun run;
@@ -124,22 +138,38 @@ std::string special_conv_check(const sim::Arch& arch, i64 k, i64 f, i64 hi,
 KernelRun special_conv(sim::Device& dev, const tensor::Tensor& input,
                        const tensor::Tensor& filters,
                        const SpecialConvConfig& cfg,
-                       const sim::LaunchOptions& opt) {
+                       const sim::LaunchOptions& opt,
+                       std::span<const float> fuse_bias_relu) {
   KCONV_CHECK(input.n() == 1, "special case operates on a single image");
   KCONV_CHECK(input.c() == 1 && filters.c() == 1,
               "special case requires exactly one input channel (C = 1)");
   KCONV_CHECK(filters.h() == filters.w(), "non-square filters unsupported");
+  KCONV_CHECK(fuse_bias_relu.empty() ||
+                  static_cast<i64>(fuse_bias_relu.size()) == filters.n(),
+              strf("fused bias has %zu entries for %lld filters",
+                   fuse_bias_relu.size(),
+                   static_cast<long long>(filters.n())));
   const std::string err =
       special_conv_check(dev.arch(), filters.h(), filters.n(), input.h(),
                          input.w(), cfg);
   KCONV_CHECK(err.empty(), err);
+  if (!fuse_bias_relu.empty()) {
+    const i64 cm_bytes = (filters.n() * filters.h() * filters.w() +
+                          static_cast<i64>(fuse_bias_relu.size())) *
+                         static_cast<i64>(sizeof(float));
+    KCONV_CHECK(cm_bytes <= dev.arch().const_capacity,
+                strf("filters + fused bias need %lld B of constant memory "
+                     "(capacity %u)",
+                     static_cast<long long>(cm_bytes),
+                     dev.arch().const_capacity));
+  }
 
   i64 n = cfg.vec_width;
   if (n == 0) n = dev.arch().smem_bank_bytes / sizeof(float);  // Eq. (1)
   switch (n) {
-    case 1: return run_special<1>(dev, input, filters, cfg, opt);
-    case 2: return run_special<2>(dev, input, filters, cfg, opt);
-    default: return run_special<4>(dev, input, filters, cfg, opt);
+    case 1: return run_special<1>(dev, input, filters, cfg, opt, fuse_bias_relu);
+    case 2: return run_special<2>(dev, input, filters, cfg, opt, fuse_bias_relu);
+    default: return run_special<4>(dev, input, filters, cfg, opt, fuse_bias_relu);
   }
 }
 

@@ -17,6 +17,8 @@
 // lower bound; only inter-tile halo columns/rows are re-read.
 #pragma once
 
+#include <span>
+
 #include "src/common/types.hpp"
 #include "src/kernels/kernel_run.hpp"
 #include "src/sim/launch.hpp"
@@ -50,11 +52,17 @@ std::string special_conv_check(const sim::Arch& arch, i64 k, i64 f, i64 hi,
 /// Runs the special-case kernel: `input` is (1, 1, Hi, Wi), `filters` is
 /// (F, 1, K, K), output is the valid convolution (1, F, Hi-K+1, Wi-K+1).
 ///
+/// A non-empty `fuse_bias_relu` (F entries, staged in constant memory next
+/// to the filters) folds the bias-add + ReLU epilogue into the write-back:
+/// out = max(0, conv + bias[f]). Bit-identical to a separate `bias_relu`
+/// pass over the unfused output, without the intermediate's GM round-trip.
+///
 /// Throws kconv::Error on invalid shapes/configs (C != 1, K even or > 7,
-/// filters exceeding constant memory, misaligned tile sizes).
+/// filters (+ fused bias) exceeding constant memory, misaligned tile sizes).
 KernelRun special_conv(sim::Device& dev, const tensor::Tensor& input,
                        const tensor::Tensor& filters,
                        const SpecialConvConfig& cfg = {},
-                       const sim::LaunchOptions& opt = {});
+                       const sim::LaunchOptions& opt = {},
+                       std::span<const float> fuse_bias_relu = {});
 
 }  // namespace kconv::kernels

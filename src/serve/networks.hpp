@@ -1,0 +1,45 @@
+// Named, deterministic network definitions for serving and benchmarks.
+//
+// Weights are pseudo-random from a fixed seed (these demonstrate the
+// serving pipeline, not trained models), so two processes that build the
+// same network name get bit-identical graphs — which is what lets a shared
+// plan cache serve both, and lets tests compare outputs across processes
+// and thread counts.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/graph.hpp"
+
+namespace kconv::serve {
+
+struct Network {
+  std::string name;
+  Graph graph;
+  Shape input;  ///< expected (C, H, W) of requests
+};
+
+/// Names understood by make_network().
+std::vector<std::string> network_names();
+
+/// Builds a named network:
+///  - "lenet":      28x28x1 -> conv 8@5x5 (special case) -> bias+ReLU ->
+///                  pool -> conv 16@5x5 (general case) -> bias+ReLU ->
+///                  pool -> dense 10
+///  - "lenet-wide": 36x36x1, the same chain at 48/96 channels with an extra
+///                  pool before the FC layer — conv-dominated, the regime
+///                  where the warm/analytic serving fast paths pay off (the
+///                  toy networks are bound by the aux layers, which have no
+///                  replay hooks)
+///  - "vgg-tiny":   32x32x1 -> conv 8@3x3 -> bias+ReLU -> pool
+///                  -> conv 16@3x3 -> bias+ReLU -> pool -> dense 10
+/// Throws kconv::Error for unknown names (kconv_cli maps that to its
+/// bad-config exit code).
+Network make_network(std::string_view name, u64 seed = 1234);
+
+/// A deterministic synthetic input for `net` derived from `salt`.
+tensor::Tensor make_network_input(const Network& net, u64 salt = 0);
+
+}  // namespace kconv::serve

@@ -1,0 +1,129 @@
+#include "src/serve/serving.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/sim/sim.hpp"
+
+namespace kconv::serve {
+
+ServingDriver::ServingDriver(ServeOptions opt)
+    : opt_(std::move(opt)), pool_(opt_.threads) {}
+
+u64 ServingDriver::enqueue(const Network& net, tensor::Tensor input) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Pending p;
+  const u64 id = next_id_++;
+  p.id = id;
+  p.net = &net;
+  p.input = std::move(input);
+  queue_.push_back(std::move(p));
+  return id;
+}
+
+ServeStats ServingDriver::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<ServeReply> ServingDriver::drain() {
+  std::vector<Pending> work;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work.swap(queue_);
+  }
+  if (work.empty()) return {};
+
+  // Batch by (network, input shape) in first-appearance order; requests
+  // keep their queue order inside a batch.
+  struct Batch {
+    const Network* net;
+    Shape shape;
+    std::vector<std::size_t> members;  // indices into `work`
+  };
+  std::vector<Batch> batches;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const Shape s{work[i].input.c(), work[i].input.h(), work[i].input.w()};
+    Batch* home = nullptr;
+    for (Batch& b : batches) {
+      if (b.net == work[i].net && b.shape == s) {
+        home = &b;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      batches.push_back(Batch{work[i].net, s, {}});
+      home = &batches.back();
+    }
+    home->members.push_back(i);
+  }
+
+  GraphRunOptions gopt;
+  gopt.fuse = opt_.fuse;
+  gopt.launch = opt_.launch;
+  gopt.launch.plan_cache = opt_.plan_cache;
+  if (opt_.plan_cache != nullptr) gopt.launch.replay = true;
+  gopt.launch.analytic = opt_.analytic;
+
+  std::vector<ServeReply> replies(work.size());
+  std::vector<u64> fused(work.size(), 0);
+  std::vector<double> gm_eliminated(work.size(), 0.0);
+  ServeStats delta;
+  for (const Batch& batch : batches) {
+    ++delta.batches;
+    // One simulated device per request: requests are independent and the
+    // simulator is deterministic, so results do not depend on which worker
+    // (or how many workers) ran them.
+    pool_.parallel_for(
+        0, batch.members.size(), 1, [&](u64 begin, u64 end, u32) {
+          for (u64 m = begin; m < end; ++m) {
+            const Pending& p = work[batch.members[m]];
+            const auto t0 = std::chrono::steady_clock::now();
+            sim::Device dev(sim::kepler_k40m());
+            GraphRun r = run_graph(dev, p.net->graph, p.input, gopt);
+            const auto t1 = std::chrono::steady_clock::now();
+            ServeReply& reply = replies[batch.members[m]];
+            reply.id = p.id;
+            reply.ok = r.output_valid;
+            reply.warm = r.warm;
+            reply.analytic = r.analytic;
+            reply.sim_seconds = r.total_seconds;
+            reply.host_seconds =
+                std::chrono::duration<double>(t1 - t0).count();
+            reply.output = std::move(r.output);
+            fused[batch.members[m]] = r.fused_pairs;
+            gm_eliminated[batch.members[m]] = r.fusion_gm_bytes_eliminated;
+          }
+        });
+  }
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    ++delta.processed;
+    if (replies[i].analytic) {
+      ++delta.analytic;
+    } else if (replies[i].warm) {
+      ++delta.warm;
+    } else {
+      ++delta.cold;
+    }
+    delta.fused_pairs += fused[i];
+    delta.fusion_gm_bytes_eliminated += gm_eliminated[i];
+  }
+  std::sort(replies.begin(), replies.end(),
+            [](const ServeReply& a, const ServeReply& b) {
+              return a.id < b.id;
+            });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.processed += delta.processed;
+    stats_.batches += delta.batches;
+    stats_.cold += delta.cold;
+    stats_.warm += delta.warm;
+    stats_.analytic += delta.analytic;
+    stats_.fused_pairs += delta.fused_pairs;
+    stats_.fusion_gm_bytes_eliminated += delta.fusion_gm_bytes_eliminated;
+  }
+  return replies;
+}
+
+}  // namespace kconv::serve

@@ -31,7 +31,8 @@ namespace kconv::sim {
 
 /// Envelope format version: bump whenever plan_io's payload layout changes
 /// incompatibly, so old stores are rejected loudly instead of misparsed.
-inline constexpr u32 kPlanFormatVersion = 1;
+/// v2: tape op set grew (TapeOp::BiasRelu, the fused conv epilogue).
+inline constexpr u32 kPlanFormatVersion = 2;
 
 /// Little-endian byte-buffer writer for plan payloads.
 class PlanWriter {
@@ -128,9 +129,25 @@ u64 plan_checksum(std::string_view bytes);
 /// constructing early, before any simulation work.
 class PlanCache {
  public:
-  explicit PlanCache(std::string dir);
+  /// `byte_budget` caps the directory's total blob bytes (0 = unbounded):
+  /// when a store pushes the directory past the cap, least-recently-used
+  /// entries are evicted — a plan blob and its `<key>|tapes` sidecar always
+  /// leave together, so a surviving entry is never left half-warm. Eviction
+  /// only costs a re-capture (an evicted key is an ordinary "miss" later);
+  /// the entry just stored is never evicted, even when it alone exceeds the
+  /// cap.
+  explicit PlanCache(std::string dir, u64 byte_budget = 0);
 
   const std::string& dir() const { return dir_; }
+
+  /// Adjusts the byte cap; takes effect at the next store() (0 disables).
+  void set_byte_budget(u64 bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  u64 byte_budget() const { return budget_.load(std::memory_order_relaxed); }
+
+  /// Total bytes currently held by the directory's plan blobs.
+  u64 disk_bytes() const;
 
   /// Loads and envelope-validates the blob for `key`. True on a valid hit
   /// (payload filled); false otherwise with `*why` one of "miss",
@@ -156,14 +173,20 @@ class PlanCache {
   u64 loads() const { return loads_.load(std::memory_order_relaxed); }
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 stores() const { return stores_.load(std::memory_order_relaxed); }
+  /// Files removed by budget eviction (a blob and its sidecar count as two).
+  u64 evictions() const { return evictions_.load(std::memory_order_relaxed); }
 
  private:
+  void evict_to_budget(const std::string& keep_key);
+
   std::string dir_;
+  std::atomic<u64> budget_{0};
   // One store may serve several host threads (parallel autotune probes,
   // concurrent warm launches) — count with relaxed atomics.
   std::atomic<u64> loads_{0};
   std::atomic<u64> hits_{0};
   std::atomic<u64> stores_{0};
+  std::atomic<u64> evictions_{0};
 };
 
 }  // namespace kconv::sim

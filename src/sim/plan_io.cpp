@@ -353,6 +353,9 @@ bool tape_entry_valid(const TapeEntry& e, const LaneTape& lt,
     case TapeOp::Gather:
       return dst_end <= slots &&
              static_cast<u64>(e.a) + e.width <= lt.gather.size();
+    case TapeOp::BiasRelu:
+      return dst_end <= slots && static_cast<u64>(e.a) + e.width <= slots &&
+             e.b < slots;
     case TapeOp::Sync:
       return true;
   }
@@ -372,7 +375,9 @@ bool load_tape(PlanReader& r, u64 n_lanes, u32 shared_bytes, FuncTape& tape) {
       if (g >= lt.n_slots) return false;
     }
     for (const TapeEntry& e : lt.entries) {
-      if (static_cast<u8>(e.op) > static_cast<u8>(TapeOp::Sync)) return false;
+      if (static_cast<u8>(e.op) > static_cast<u8>(TapeOp::BiasRelu)) {
+        return false;
+      }
       if (!tape_entry_valid(e, lt, shared_bytes)) return false;
     }
   }

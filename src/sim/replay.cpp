@@ -820,6 +820,20 @@ void ReplayRunner::run_tape_batch(const ClassState& cs, u32 batch) {
             }
             break;
           }
+          case TapeOp::BiasRelu: {
+            // std::max (not maxps) to stay bit-identical with direct
+            // execution's std::max for NaN and signed-zero inputs.
+            const float* xs = regs + static_cast<std::size_t>(e.a) * B;
+            const float* bv = regs + static_cast<std::size_t>(e.b) * B;
+            float* dst = regs + static_cast<std::size_t>(e.dst) * B;
+            const u32 wB = static_cast<u32>(e.width) * B;
+            for (u32 i = 0; i < wB; i += B) {
+              for (u32 b = 0; b < B; ++b) {
+                dst[i + b] = std::max(0.0f, xs[i + b] + bv[b]);
+              }
+            }
+            break;
+          }
           case TapeOp::Sync: {
             hit_sync = true;  // consumed by the loop increment
             break;

@@ -14,6 +14,8 @@
 // shared-memory bank width W_SMB, per the paper's Eq. (1).
 #pragma once
 
+#include <algorithm>
+
 #include "src/common/types.hpp"
 #include "src/profile/phase.hpp"
 #include "src/sim/dim.hpp"
@@ -75,6 +77,30 @@ class ThreadCtx {
     }
     Vec<float, N> out;
     for (int i = 0; i < N; ++i) out[i] = x[i] * y[i] + acc[i];
+    return out;
+  }
+
+  /// Fused bias+ReLU epilogue: out = max(0, x + bias). Charges 2 ALU
+  /// lane-ops (one add, one clamp — the same cost the standalone
+  /// bias_relu kernel charges per element), and is tape-recordable so
+  /// fused kernels keep their coroutine-free replay path.
+  float bias_relu(float x, float bias) {
+    charge_alu(2);
+    if (tape_ != nullptr) [[unlikely]] {
+      return LaneTapeBuilder::tag_value(tape_->note_bias_relu(&x, bias, 1));
+    }
+    return std::max(0.0f, x + bias);
+  }
+
+  /// Vector fused bias+ReLU: out[i] = max(0, x[i] + bias).
+  template <int N>
+  Vec<float, N> bias_relu(const Vec<float, N>& x, float bias) {
+    charge_alu(2 * N);
+    if (tape_ != nullptr) [[unlikely]] {
+      return tape_tagged<Vec<float, N>>(tape_->note_bias_relu(&x[0], bias, N));
+    }
+    Vec<float, N> out;
+    for (int i = 0; i < N; ++i) out[i] = std::max(0.0f, x[i] + bias);
     return out;
   }
 

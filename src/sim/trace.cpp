@@ -212,6 +212,15 @@ u32 LaneTapeBuilder::note_fma_vec(const float* xs, const float* ys,
   return dst;
 }
 
+u32 LaneTapeBuilder::note_bias_relu(const float* xs, float bias, u32 n) {
+  const u32 sx = run_of(xs, n);
+  const u32 sb = slot_of(bias);
+  const u32 dst = alloc(n);
+  tape_->entries.push_back(
+      {TapeOp::BiasRelu, 0, static_cast<u16>(n), dst, sx, sb, 0});
+  return dst;
+}
+
 void LaneTapeBuilder::note_sync() {
   tape_->entries.push_back({TapeOp::Sync, 0, 0, 0, 0, 0, 0});
 }
@@ -286,6 +295,10 @@ void compact_lane_tape(LaneTape& lt) {
       case TapeOp::Gather:
         for (u32 j = 0; j < e.width; ++j) touch(lt.gather[e.a + j], 1, i);
         break;
+      case TapeOp::BiasRelu:
+        touch(e.a, e.width, i);
+        touch(e.b, 1, i);
+        break;
       case TapeOp::StoreGm:
       case TapeOp::StoreSm:
         if ((e.flags & kTapeMasked) == 0) touch(e.b, e.width, i);
@@ -350,6 +363,10 @@ void compact_lane_tape(LaneTape& lt) {
         for (u32 j = 0; j < e.width; ++j) {
           lt.gather[e.a + j] = new_of[lt.gather[e.a + j]];
         }
+        break;
+      case TapeOp::BiasRelu:
+        e.a = new_of[e.a];
+        e.b = new_of[e.b];
         break;
       case TapeOp::StoreGm:
       case TapeOp::StoreSm:

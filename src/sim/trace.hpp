@@ -252,6 +252,7 @@ enum class TapeOp : u8 {
   FmaVec,     // regs[dst+i] = regs[a+i] * regs[b+i] + regs[u32(rel)+i]
   Gather,     // regs[dst+i] = regs[gather[a+i]]
   Sync,       // barrier segment boundary
+  BiasRelu,   // regs[dst+i] = max(0, regs[a+i] + regs[b])  (fused epilogue)
 };
 
 /// One recorded dataflow step. `rel` is narrow on purpose: global offsets
@@ -274,7 +275,8 @@ static_assert(sizeof(TapeEntry) == 20);
 inline constexpr bool tape_op_allocates(TapeOp op) {
   return op == TapeOp::LoadGm || op == TapeOp::LoadConst ||
          op == TapeOp::LoadSm || op == TapeOp::LoadLit ||
-         op == TapeOp::Axpy || op == TapeOp::FmaVec || op == TapeOp::Gather;
+         op == TapeOp::Axpy || op == TapeOp::FmaVec || op == TapeOp::Gather ||
+         op == TapeOp::BiasRelu;
 }
 
 inline constexpr u8 kTapeMasked = 1;
@@ -349,6 +351,7 @@ class LaneTapeBuilder {
   void note_store_sm(u64 byte_off, const float* elems, u32 n, bool pred);
   u32 note_axpy(const float* xs, float w, const float* acc, u32 n);
   u32 note_fma_vec(const float* xs, const float* ys, const float* acc, u32 n);
+  u32 note_bias_relu(const float* xs, float bias, u32 n);
   void note_sync();
   [[noreturn]] void unsupported(const char* what) const;
 

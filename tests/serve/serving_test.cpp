@@ -1,0 +1,191 @@
+// Serving-driver suite (docs/MODEL.md §8).
+//
+// The contracts under test: replies are deterministic — bit-identical for
+// any worker-thread count and any fuse setting; same-(network, shape) work
+// coalesces into batches; and a shared PlanCache moves traffic from cold to
+// warm to analytic with the outputs (when they exist) unchanged.
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/serving.hpp"
+
+namespace kconv::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("kconv_serving_test_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+bool bit_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.flat().size() == b.flat().size() &&
+         std::memcmp(a.flat().data(), b.flat().data(),
+                     a.flat().size() * sizeof(float)) == 0;
+}
+
+std::vector<ServeReply> serve_n(const Network& net, ServeOptions opt,
+                                int n) {
+  ServingDriver driver(std::move(opt));
+  for (int i = 0; i < n; ++i) {
+    driver.enqueue(net, make_network_input(net, static_cast<u64>(i)));
+  }
+  return driver.drain();
+}
+
+TEST(Serving, RepliesArriveInRequestIdOrder) {
+  const Network net = make_network("lenet");
+  const auto replies = serve_n(net, {}, 3);
+  ASSERT_EQ(replies.size(), 3u);
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    EXPECT_EQ(replies[i].id, i);
+    EXPECT_TRUE(replies[i].ok);
+    ASSERT_EQ(replies[i].output.c(), 10);
+  }
+}
+
+TEST(Serving, DeterministicAcrossThreadCounts) {
+  const Network net = make_network("lenet");
+  ServeOptions serial;
+  serial.threads = 1;
+  ServeOptions wide;
+  wide.threads = 4;
+  const auto a = serve_n(net, serial, 4);
+  const auto b = serve_n(net, wide, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_TRUE(bit_equal(a[i].output, b[i].output)) << "request " << i;
+    // Simulated time is a device-side quantity: identical too.
+    EXPECT_EQ(a[i].sim_seconds, b[i].sim_seconds);
+  }
+}
+
+TEST(Serving, FuseOffProducesBitIdenticalOutputs) {
+  const Network net = make_network("vgg-tiny");
+  ServeOptions fused;
+  ServeOptions unfused;
+  unfused.fuse = false;
+  const auto a = serve_n(net, fused, 2);
+  const auto b = serve_n(net, unfused, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(bit_equal(a[i].output, b[i].output));
+  }
+}
+
+TEST(Serving, BatchesBySameNetworkAndShape) {
+  const Network lenet = make_network("lenet");
+  const Network vgg = make_network("vgg-tiny");
+  ServingDriver driver({});
+  driver.enqueue(lenet, make_network_input(lenet, 0));
+  driver.enqueue(vgg, make_network_input(vgg, 1));
+  driver.enqueue(lenet, make_network_input(lenet, 2));
+  driver.enqueue(vgg, make_network_input(vgg, 3));
+  const auto replies = driver.drain();
+  ASSERT_EQ(replies.size(), 4u);
+  const ServeStats s = driver.stats();
+  EXPECT_EQ(s.processed, 4u);
+  EXPECT_EQ(s.batches, 2u);  // interleaved arrivals, two groups
+}
+
+TEST(Serving, SharedPlanCacheWarmsWithinOneDrain) {
+  const std::string dir = fresh_dir("warm_drain");
+  sim::PlanCache plans(dir);
+  const Network net = make_network("lenet");
+  ServeOptions opt;
+  opt.plan_cache = &plans;
+  ServingDriver driver(opt);
+  for (int i = 0; i < 3; ++i) {
+    driver.enqueue(net, make_network_input(net, static_cast<u64>(i)));
+  }
+  const auto replies = driver.drain();
+  const ServeStats s = driver.stats();
+  EXPECT_EQ(s.cold, 1u);  // first request captures the plans
+  EXPECT_EQ(s.warm, 2u);  // the rest replay them
+  for (const auto& r : replies) EXPECT_TRUE(r.ok);
+  fs::remove_all(dir);
+}
+
+TEST(Serving, ColdWarmAnalyticProgressionAcrossDrivers) {
+  const std::string dir = fresh_dir("progression");
+  sim::PlanCache plans(dir);
+  const Network net = make_network("lenet");
+
+  ServeOptions opt;
+  opt.plan_cache = &plans;
+  const auto cold = serve_n(net, opt, 1);
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_TRUE(cold[0].ok);
+  EXPECT_FALSE(cold[0].warm);
+
+  // A fresh driver (fresh process, in production) over the same store.
+  const auto warm = serve_n(net, opt, 1);
+  ASSERT_EQ(warm.size(), 1u);
+  EXPECT_TRUE(warm[0].warm);
+  EXPECT_TRUE(bit_equal(cold[0].output, warm[0].output));
+  EXPECT_EQ(cold[0].sim_seconds, warm[0].sim_seconds);
+
+  // Analytic: zero representative execution, timings only.
+  opt.analytic = true;
+  const auto fast = serve_n(net, opt, 1);
+  ASSERT_EQ(fast.size(), 1u);
+  EXPECT_TRUE(fast[0].analytic);
+  EXPECT_FALSE(fast[0].ok);  // no activations materialized
+  EXPECT_EQ(fast[0].sim_seconds, cold[0].sim_seconds);
+  fs::remove_all(dir);
+}
+
+TEST(Serving, AnalyticRepliesAreDeterministicAcrossThreadCounts) {
+  const std::string dir = fresh_dir("analytic_threads");
+  sim::PlanCache plans(dir);
+  const Network net = make_network("lenet");
+  ServeOptions opt;
+  opt.plan_cache = &plans;
+  (void)serve_n(net, opt, 1);  // seed the store
+
+  opt.analytic = true;
+  opt.threads = 1;
+  const auto a = serve_n(net, opt, 3);
+  opt.threads = 3;
+  const auto b = serve_n(net, opt, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].analytic);
+    EXPECT_TRUE(b[i].analytic);
+    EXPECT_EQ(a[i].sim_seconds, b[i].sim_seconds);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Serving, StatsAccumulateAcrossDrains) {
+  const Network net = make_network("lenet");
+  ServingDriver driver({});
+  driver.enqueue(net, make_network_input(net, 0));
+  (void)driver.drain();
+  driver.enqueue(net, make_network_input(net, 1));
+  driver.enqueue(net, make_network_input(net, 2));
+  (void)driver.drain();
+  const ServeStats s = driver.stats();
+  EXPECT_EQ(s.processed, 3u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_GT(s.fused_pairs, 0u);
+  EXPECT_GT(s.fusion_gm_bytes_eliminated, 0.0);
+}
+
+TEST(Serving, EmptyDrainIsANoOp) {
+  ServingDriver driver({});
+  EXPECT_TRUE(driver.drain().empty());
+  EXPECT_EQ(driver.stats().processed, 0u);
+  EXPECT_EQ(driver.stats().batches, 0u);
+}
+
+}  // namespace
+}  // namespace kconv::serve
