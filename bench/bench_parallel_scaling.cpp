@@ -7,9 +7,14 @@
 // rankings are thread-count-invariant (see tests/determinism), so every
 // row computes the same result — only the wall clock should move.
 //
-// Each row is also emitted as a JSON line (prefix "JSON ") for scripted
-// consumption.
+// Emits one pure-JSON document (embedded as the artifact's "report" by
+// scripts/run_benches.sh). On a single-CPU host the thread pool can only
+// overlap scheduling, not compute, so the speedup columns are noise, not
+// signal: the report carries "host_limited": true and the regression gate
+// (scripts/check_bench_regression.sh) skips speedup-ratio gating — but
+// NOT absolute blocks/sec gating — when it sees that flag.
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -33,12 +38,13 @@ std::vector<u32> thread_counts() {
 }
 
 void launch_scaling() {
-  header("parallel launcher scaling (general-case kernel, K=3)");
   const tensor::Tensor img = make_image(16, 128, 128);
   const tensor::Tensor flt = make_filters(64, 16, 3);
   const kernels::GeneralConvConfig cfg = kernels::table1_config(3);
 
+  std::printf(" \"launch_scaling\": [\n");
   double base = 0.0;
+  bool first = true;
   for (const u32 t : thread_counts()) {
     sim::Device dev(sim::kepler_k40m());
     sim::LaunchOptions opt;
@@ -48,45 +54,49 @@ void launch_scaling() {
     const double secs = seconds_since(t0);
     const double blocks = static_cast<double>(run.launch.blocks_executed);
     if (t == 1) base = secs;
-    std::printf("threads %2u   %8.3f s   %9.0f blocks/s   speedup %.2fx\n",
-                t, secs, blocks / secs, base / secs);
-    std::printf("JSON {\"bench\":\"launch_scaling\",\"threads\":%u,"
-                "\"seconds\":%.6f,\"blocks\":%.0f,\"blocks_per_sec\":%.1f,"
-                "\"speedup\":%.3f}\n",
-                t, secs, blocks, blocks / secs, base / secs);
+    std::printf("%s  {\"name\": \"launch_threads_%u\", \"threads\": %u,"
+                " \"seconds\": %.6f, \"blocks\": %.0f,\n"
+                "   \"blocks_per_sec\": %.1f, \"speedup\": %.3f}",
+                first ? "" : ",\n", t, t, secs, blocks, blocks / secs,
+                base / secs);
+    first = false;
   }
+  std::printf("\n ],\n");
 }
 
 void autotune_scaling() {
-  header("parallel autotune scaling (general-case sweep, K=5)");
+  std::printf(" \"autotune_scaling\": [\n");
   double base = 0.0;
+  bool first = true;
   for (const u32 t : thread_counts()) {
     sim::Device dev(sim::kepler_k40m());
     const auto t0 = std::chrono::steady_clock::now();
     const auto res = core::autotune_general(dev, 5, 8, 64, 64, {}, 2, t);
     const double secs = seconds_since(t0);
     if (t == 1) base = secs;
-    std::printf("threads %2u   %8.3f s   %3lld evaluated / %3lld skipped   "
-                "speedup %.2fx\n",
-                t, secs, static_cast<long long>(res.evaluated),
+    std::printf("%s  {\"name\": \"autotune_threads_%u\", \"threads\": %u,"
+                " \"seconds\": %.6f,\n"
+                "   \"evaluated\": %lld, \"skipped\": %lld,"
+                " \"speedup\": %.3f}",
+                first ? "" : ",\n", t, t, secs,
+                static_cast<long long>(res.evaluated),
                 static_cast<long long>(res.skipped), base / secs);
-    std::printf("JSON {\"bench\":\"autotune_scaling\",\"threads\":%u,"
-                "\"seconds\":%.6f,\"evaluated\":%lld,\"skipped\":%lld,"
-                "\"speedup\":%.3f}\n",
-                t, secs, static_cast<long long>(res.evaluated),
-                static_cast<long long>(res.skipped), base / secs);
+    first = false;
   }
+  std::printf("\n ]\n");
 }
 
 }  // namespace
 }  // namespace kconv::bench
 
 int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("{\"bench\": \"parallel_scaling\","
+              " \"hardware_concurrency\": %u,"
+              " \"host_limited\": %s,\n",
+              hw, hw <= 1 ? "true" : "false");
   kconv::bench::launch_scaling();
   kconv::bench::autotune_scaling();
-  kconv::bench::footnote(
-      "host-simulation throughput; speedups depend on available cores "
-      "(hardware_concurrency = " +
-      std::to_string(std::thread::hardware_concurrency()) + ")");
+  std::printf("}\n");
   return 0;
 }

@@ -51,12 +51,21 @@ void print_usage(std::FILE* to, const char* argv0) {
       "          [--arch kepler|kepler4b|fermi|maxwell]\n"
       "          [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]\n"
       "          [--sample BLOCKS] [--threads T] [--replay]\n"
+      "          [--devices N] [--shard batch|channel|spatial]\n"
       "          [--no-pattern-cache] [--plan-cache DIR] [--analytic]\n"
       "          [--autotune] [--check] [--profile]\n"
       "          [--serve --network NAME [--requests N] [--no-fuse]]\n"
       "          [--trace-out FILE] [--json] [--help]\n"
       "  --threads T   host threads simulating blocks (0 = all cores;\n"
       "                default 1 = exact-legacy serial semantics)\n"
+      "  --devices N   shard the launch across N simulated devices\n"
+      "                (MODEL.md §9): outputs and invariant counters stay\n"
+      "                identical to N=1; the report gains a fleet block\n"
+      "                with modeled staging/halo traffic and Demmel-Dinh\n"
+      "                bound verdicts\n"
+      "  --shard S     fleet shard strategy: batch (default; flat block\n"
+      "                slabs), channel (filter-group axis), or spatial\n"
+      "                (output-row slabs with halo exchange)\n"
       "  --replay      trace-replay repeated block classes (MODEL.md \u00a75b)\n"
       "  --no-pattern-cache\n"
       "                disable warp access-pattern memoization (MODEL.md\n"
@@ -105,9 +114,9 @@ void print_usage(std::FILE* to, const char* argv0) {
 
 int main(int argc, char** argv) {
   i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0, threads = 1;
-  i64 requests = 4;
+  i64 requests = 4, devices = 1;
   std::string algo = "auto", arch_name = "kepler", trace_out, plan_cache_dir;
-  std::string network;
+  std::string network, shard = "batch";
   bool same = false, json = false, replay = false, pattern_cache = true;
   bool check = false, profile = false, analytic = false, autotune = false;
   bool serve = false, fuse = true;
@@ -131,6 +140,12 @@ int main(int argc, char** argv) {
     else if (a == "--vec") vec = std::atoll(next());
     else if (a == "--sample") sample = std::atoll(next());
     else if (a == "--threads") threads = std::atoll(next());
+    else if (a == "--devices") devices = std::atoll(next());
+    else if (a.rfind("--devices=", 0) == 0)
+      devices = std::atoll(a.c_str() + std::strlen("--devices="));
+    else if (a == "--shard") shard = next();
+    else if (a.rfind("--shard=", 0) == 0)
+      shard = a.substr(std::strlen("--shard="));
     else if (a == "--same") same = true;
     else if (a == "--replay") replay = true;
     else if (a == "--no-pattern-cache") pattern_cache = false;
@@ -190,6 +205,36 @@ int main(int argc, char** argv) {
   }
   opt.launch.analytic = analytic;
 
+  sim::ShardStrategy shard_strategy = sim::ShardStrategy::Batch;
+  if (!sim::parse_shard(shard, shard_strategy)) {
+    std::fprintf(stderr,
+                 "error: unknown --shard value '%s' (expected batch, "
+                 "channel, or spatial)\n",
+                 shard.c_str());
+    return 2;
+  }
+  if (devices < 1) {
+    std::fprintf(stderr,
+                 "error: --devices must be at least 1 (got %lld)\n",
+                 static_cast<long long>(devices));
+    return 2;
+  }
+  if (devices > 1 && analytic) {
+    std::fprintf(stderr,
+                 "error: --devices cannot be combined with --analytic "
+                 "(sharded launches execute blocks; analytic launches "
+                 "don't)\n");
+    return 2;
+  }
+  if (devices > 1 && sample > 0) {
+    std::fprintf(stderr,
+                 "error: --devices cannot be combined with --sample "
+                 "(sharding partitions the full grid)\n");
+    return 2;
+  }
+  opt.launch.fleet.devices = static_cast<u32>(devices);
+  opt.launch.fleet.strategy = shard_strategy;
+
   // Fail fast on an unusable plan-cache directory — before the simulation
   // spends time, mirroring the --trace-out probe below.
   std::unique_ptr<sim::PlanCache> plans;
@@ -224,6 +269,7 @@ int main(int argc, char** argv) {
     sopt.analytic = analytic;
     sopt.launch.replay = replay;
     sopt.launch.pattern_cache = pattern_cache;
+    sopt.launch.fleet = opt.launch.fleet;
     try {
       serve::ServingDriver driver(sopt);
       for (i64 r = 0; r < requests; ++r)
@@ -254,17 +300,29 @@ int main(int argc, char** argv) {
             "{\"serve\": {\"network\": \"%s\", \"requests\": %llu, "
             "\"batches\": %llu, \"cold\": %llu, \"warm\": %llu, "
             "\"analytic\": %llu, \"fused_pairs\": %llu, "
-            "\"fusion_gm_bytes_eliminated\": %.0f, "
-            "\"sim_seconds_total\": %.6g, "
-            "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}}\n",
+            "\"fusion_gm_bytes_eliminated\": %.0f, ",
             net.name.c_str(), static_cast<unsigned long long>(stats.processed),
             static_cast<unsigned long long>(stats.batches),
             static_cast<unsigned long long>(stats.cold),
             static_cast<unsigned long long>(stats.warm),
             static_cast<unsigned long long>(stats.analytic),
             static_cast<unsigned long long>(stats.fused_pairs),
-            stats.fusion_gm_bytes_eliminated, sim_total, pct_ms(0.50),
-            pct_ms(0.95), pct_ms(0.99));
+            stats.fusion_gm_bytes_eliminated);
+        if (devices > 1) {
+          std::printf(
+              "\"fleet\": {\"devices\": %lld, \"shard\": \"%s\", "
+              "\"h2d_bytes\": %llu, \"d2h_bytes\": %llu, "
+              "\"d2d_bytes\": %llu, \"transfer_seconds\": %.6g}, ",
+              static_cast<long long>(devices), sim::shard_name(shard_strategy),
+              static_cast<unsigned long long>(stats.fleet_h2d_bytes),
+              static_cast<unsigned long long>(stats.fleet_d2h_bytes),
+              static_cast<unsigned long long>(stats.fleet_d2d_bytes),
+              stats.fleet_transfer_seconds);
+        }
+        std::printf(
+            "\"sim_seconds_total\": %.6g, "
+            "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}}\n",
+            sim_total, pct_ms(0.50), pct_ms(0.95), pct_ms(0.99));
       } else {
         std::printf("served %llu request(s) against %s in %llu batch(es)\n",
                     static_cast<unsigned long long>(stats.processed),
@@ -278,6 +336,16 @@ int main(int argc, char** argv) {
                     "simulated GM traffic eliminated\n",
                     static_cast<unsigned long long>(stats.fused_pairs),
                     stats.fusion_gm_bytes_eliminated);
+        if (devices > 1) {
+          std::printf("fleet: %lld devices (shard=%s), staged %llu B h2d, "
+                      "%llu B d2h, %llu B d2d (%.6f s modeled transfers)\n",
+                      static_cast<long long>(devices),
+                      sim::shard_name(shard_strategy),
+                      static_cast<unsigned long long>(stats.fleet_h2d_bytes),
+                      static_cast<unsigned long long>(stats.fleet_d2h_bytes),
+                      static_cast<unsigned long long>(stats.fleet_d2d_bytes),
+                      stats.fleet_transfer_seconds);
+        }
         std::printf("simulated device time: %.6f s total, %.6f s/request\n",
                     sim_total, sim_total / static_cast<double>(requests));
         std::printf("host latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",

@@ -5,9 +5,13 @@
 #   scripts/check_bench_regression.sh [bench-out-dir] [baseline-dir]
 #     defaults: bench-out, bench/baselines
 #
-# Every numeric field ending in "blocks_per_sec" that appears in both the
-# baseline and the fresh artifact is compared; a drop beyond the tolerance
-# fails the check. A baseline field MISSING from the fresh run also fails:
+# Every numeric field ending in "blocks_per_sec" or "speedup" that appears
+# in both the baseline and the fresh artifact is compared; a drop beyond
+# the tolerance fails the check. Speedup fields measure host-parallel
+# ratios, which are meaningless on a single-CPU runner: when an artifact's
+# report says "host_limited": true, its speedup fields are skipped (noted,
+# not gated) while absolute blocks/sec gating still applies. A baseline
+# field MISSING from the fresh run also fails:
 # a silently dropped shape/mode is exactly the regression this check
 # exists to catch. So does a fresh artifact recorded from a bench that
 # exited non-zero — its numbers are not trustworthy. Fields only the fresh
@@ -61,13 +65,14 @@ tolerance = float(os.environ["TOLERANCE"])
 base_path, cur_path, name = sys.argv[1:4]
 
 def throughputs(node, path, out):
-    """Collect every *blocks_per_sec field, keyed by a stable path built
-    from the name/mode labels rather than list positions."""
+    """Collect every *blocks_per_sec and *speedup field, keyed by a stable
+    path built from the name/mode labels rather than list positions."""
     if isinstance(node, dict):
         label = node.get("name") or node.get("mode")
         here = path + [str(label)] if label else path
         for key, value in node.items():
-            if key.endswith("blocks_per_sec") and isinstance(value, (int, float)):
+            gated = key.endswith("blocks_per_sec") or key.endswith("speedup")
+            if gated and isinstance(value, (int, float)):
                 out[".".join(here + [key])] = float(value)
             else:
                 throughputs(value, here, out)
@@ -75,12 +80,29 @@ def throughputs(node, path, out):
         for item in node:
             throughputs(item, path, out)
 
+def host_limited(node):
+    """True when any dict in the document says host_limited: true — the
+    bench itself reporting that this host cannot exercise parallelism."""
+    if isinstance(node, dict):
+        if node.get("host_limited") is True:
+            return True
+        return any(host_limited(v) for v in node.values())
+    if isinstance(node, list):
+        return any(host_limited(v) for v in node)
+    return False
+
 base, cur = {}, {}
-throughputs(json.load(open(base_path)), [], base)
-throughputs(json.load(open(cur_path)), [], cur)
+base_doc, cur_doc = json.load(open(base_path)), json.load(open(cur_path))
+throughputs(base_doc, [], base)
+throughputs(cur_doc, [], cur)
+skip_speedups = host_limited(cur_doc) or host_limited(base_doc)
 
 failed = False
 for key in sorted(base):
+    if key.endswith("speedup") and skip_speedups:
+        print(f"skip {name}: {key} (host_limited — speedup ratios carry "
+              f"no signal on this runner)")
+        continue
     if key not in cur:
         print(f"FAIL {name}: baseline field {key} missing from the fresh "
               f"run — the bench no longer emits this shape/mode. If that "

@@ -1,5 +1,6 @@
 #include "src/core/conv_api.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/kernels/general_conv.hpp"
@@ -90,6 +91,24 @@ ConvResult conv2d_batched(sim::Device& dev, const tensor::Tensor& input,
   KCONV_CHECK(input.n() >= 1, "empty batch");
   if (input.n() == 1) return conv2d(dev, input, filters, opt);
 
+  // Batch sharding with a real batch means whole images, not block slabs:
+  // images round-robin across devices, each running single-device (outputs
+  // stay bit-identical), and the batch makespan is the busiest device's
+  // summed compute plus its staging ledger (filters land once per device).
+  const sim::FleetOptions& fopt = opt.launch.fleet;
+  const bool image_shard =
+      fopt.devices > 1 && fopt.strategy == sim::ShardStrategy::Batch;
+  ConvOptions per = opt;
+  if (image_shard) per.launch.fleet = sim::FleetOptions{};
+  std::vector<double> dev_busy;
+  std::vector<sim::TransferLedger> dev_led;
+  std::vector<u64> dev_images;
+  if (image_shard) {
+    dev_busy.assign(fopt.devices, 0.0);
+    dev_led.assign(fopt.devices, sim::TransferLedger{});
+    dev_images.assign(fopt.devices, 0);
+  }
+
   // Slice each image out of the batch and run it; filters are identical
   // across the batch, which in a real deployment keeps them resident (the
   // simulator re-uploads per launch — the timing model charges GM filter
@@ -101,7 +120,22 @@ ConvResult conv2d_batched(sim::Device& dev, const tensor::Tensor& input,
       for (i64 y = 0; y < input.h(); ++y)
         for (i64 x = 0; x < input.w(); ++x)
           one.at(0, c, y, x) = input.at(img, c, y, x);
-    ConvResult r = conv2d(dev, one, filters, opt);
+    ConvResult r = conv2d(dev, one, filters, per);
+    if (image_shard) {
+      const u32 d = static_cast<u32>(img % fopt.devices);
+      sim::TransferLedger& led = dev_led[d];
+      const u64 fs = sizeof(float);
+      if (dev_images[d] == 0) {
+        led.h2d_bytes += fs * static_cast<u64>(filters.n() * filters.c() *
+                                               filters.h() * filters.w());
+        led.h2d_ops += 1;
+      }
+      led.h2d_bytes +=
+          fs * static_cast<u64>(input.c() * input.h() * input.w());
+      led.h2d_ops += 1;
+      dev_busy[d] += r.total_seconds;
+      dev_images[d] += 1;
+    }
     if (img == 0) {
       total = std::move(r);
       if (total.output_valid) {
@@ -139,6 +173,37 @@ ConvResult conv2d_batched(sim::Device& dev, const tensor::Tensor& input,
                                               ? input.w() + k - 1
                                               : input.w(),
                                           k, 0);
+  if (image_shard) {
+    sim::FleetResult& f = total.launch.fleet;
+    f.enabled = true;
+    f.devices = fopt.devices;
+    f.strategy = fopt.strategy;
+    f.interconnect = fopt.interconnect.name;
+    f.p2p = fopt.interconnect.p2p;
+    const u64 fs = sizeof(float);
+    double makespan = 0.0;
+    for (u32 d = 0; d < fopt.devices; ++d) {
+      sim::TransferLedger& led = dev_led[d];
+      led.d2h_bytes +=
+          fs * static_cast<u64>(filters.n() * ho * wo) * dev_images[d];
+      led.d2h_ops += dev_images[d];
+      const double transfer = led.seconds(fopt.interconnect);
+      sim::FleetDeviceReport rep;
+      rep.device = d;
+      rep.blocks = dev_images[d];  // image-granular sharding: images, not blocks
+      rep.ledger = led;
+      rep.transfer_seconds = transfer;
+      rep.compute_seconds = dev_busy[d];
+      f.device_reports.push_back(rep);
+      f.h2d_bytes += led.h2d_bytes;
+      f.d2h_bytes += led.d2h_bytes;
+      f.transfer_seconds += transfer;
+      f.compute_seconds = std::max(f.compute_seconds, dev_busy[d]);
+      makespan = std::max(makespan, dev_busy[d] + transfer);
+    }
+    f.seconds = makespan;
+    total.total_seconds = makespan;
+  }
   total.effective_gflops =
       input.n() * conv_flops(input.c(), filters.n(), k, ho, wo) /
       total.total_seconds / 1e9;
@@ -170,6 +235,13 @@ ConvResult conv2d(sim::Device& dev, const tensor::Tensor& input,
   KCONV_CHECK(opt.fuse_bias_relu.empty() || algo == Algo::Special ||
                   algo == Algo::General,
               strf("fuse_bias_relu is not supported by the '%s' algorithm",
+                   algo_name(algo)));
+  // Only the paper kernels declare shard-axis hints; sharding the other
+  // algorithms would silently skip the transfer model, so reject instead.
+  KCONV_CHECK(opt.launch.fleet.devices <= 1 || algo == Algo::Special ||
+                  algo == Algo::General,
+              strf("multi-device sharding is not supported by the '%s' "
+                   "algorithm",
                    algo_name(algo)));
 
   const i64 ho = tensor::conv_out_extent(in->h(), k, 0);
@@ -278,6 +350,11 @@ ConvResult conv2d(sim::Device& dev, const tensor::Tensor& input,
     }
     case Algo::Auto:
       KCONV_ASSERT(false);
+  }
+  if (res.launch.fleet.enabled) {
+    // A sharded launch's end-to-end time is the fleet makespan (staging +
+    // the busiest device), not the single-device kernel estimate.
+    res.total_seconds = res.launch.fleet.seconds;
   }
   res.effective_gflops =
       res.total_seconds > 0 ? flops / res.total_seconds / 1e9 : 0.0;

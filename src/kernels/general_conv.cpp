@@ -486,6 +486,22 @@ KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
     if (k.fused) lopt.plan_key += "|fused=br";
   }
 
+  if (lopt.fleet.devices > 1) {
+    // Shard geometry for the fleet layer (docs/MODEL.md §9): grid.x walks
+    // filter groups (channel axis), grid.y folds nbx column tiles under
+    // each output-row group (spatial axis, minor = nbx).
+    sim::FleetHints& fh = lopt.fleet_hints;
+    fh.provided = true;
+    fh.channel_axis = 0;
+    fh.spatial_axis = 1;
+    fh.spatial_minor = static_cast<u32>(p.nbx);
+    const u64 fs = sizeof(float);
+    fh.input_bytes = fs * static_cast<u64>(C * Hi * Wi);
+    fh.filter_bytes = fs * static_cast<u64>(C * K * K * F);
+    fh.output_bytes = fs * static_cast<u64>(F * p.Ho * p.Wo);
+    fh.halo_bytes_per_cut = fs * static_cast<u64>(C * (K - 1) * Wi);
+  }
+
   KernelRun run;
   run.launch = sim::launch(dev, k, p.lc, lopt);
   if (opt.profile) {

@@ -78,6 +78,22 @@ KernelRun run_special(sim::Device& dev, const tensor::Tensor& input,
     if (k.fused) lopt.plan_key += "|fused=br";
   }
 
+  if (lopt.fleet.devices > 1) {
+    // Shard geometry for the fleet layer (docs/MODEL.md §9). The grid is
+    // (col-tiles, row-tiles): output rows shard along y with no folded
+    // minor axis. There is no filter-group grid axis — the kernel loops F
+    // internally — so channel sharding stays undeclared (rejected loudly).
+    sim::FleetHints& fh = lopt.fleet_hints;
+    fh.provided = true;
+    fh.spatial_axis = 1;
+    fh.spatial_minor = 1;
+    const u64 fs = sizeof(float);
+    fh.input_bytes = fs * static_cast<u64>(Hi * Wi);
+    fh.filter_bytes = fs * static_cast<u64>(F * K * K);
+    fh.output_bytes = fs * static_cast<u64>(F * Ho * Wo);
+    fh.halo_bytes_per_cut = fs * static_cast<u64>((K - 1) * Wi);
+  }
+
   KernelRun run;
   run.launch = sim::launch(dev, k, lc, lopt);
   if (opt.profile) {

@@ -298,6 +298,10 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
   sim::LaunchOptions aux = opt.launch;
   aux.analytic = false;
   aux.replay = false;
+  // Fleet sharding applies to the conv launches (which declare shard-axis
+  // hints); the epilogue kernels are a rounding error of the graph's work
+  // and run single-device.
+  aux.fleet = sim::FleetOptions{};
 
   GraphRun run;
   run.arena_slots = arena.num_slots;
@@ -367,6 +371,12 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
         const bool in_ok = valid[static_cast<std::size_t>(n.input)];
         auto res = core::conv2d(dev, input_of(i), n.filters, copt);
         run.total_seconds += res.total_seconds;
+        if (res.launch.fleet.enabled) {
+          run.fleet_h2d_bytes += res.launch.fleet.h2d_bytes;
+          run.fleet_d2h_bytes += res.launch.fleet.d2h_bytes;
+          run.fleet_d2d_bytes += res.launch.fleet.d2d_bytes;
+          run.fleet_transfer_seconds += res.launch.fleet.transfer_seconds;
+        }
         ++conv_launches;
         if (res.launch.plan_cache_hit) ++conv_hits;
         if (res.launch.analytic) ++conv_analytic;

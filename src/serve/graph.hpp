@@ -137,6 +137,14 @@ struct GraphRun {
   u64 fused_pairs = 0;
   double fusion_gm_bytes_eliminated = 0.0;
 
+  /// Fleet aggregates (LaunchOptions::fleet.devices > 1): modeled staging
+  /// and halo traffic summed over every sharded conv launch in the graph
+  /// (docs/MODEL.md §9). Zero on single-device runs.
+  u64 fleet_h2d_bytes = 0;
+  u64 fleet_d2h_bytes = 0;
+  u64 fleet_d2d_bytes = 0;
+  double fleet_transfer_seconds = 0.0;
+
   /// Arena accounting (bytes are activation payloads, host-side view).
   i32 arena_slots = 0;
   i32 arena_tensors = 0;  ///< intermediates that would otherwise stay live

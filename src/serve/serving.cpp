@@ -69,6 +69,7 @@ std::vector<ServeReply> ServingDriver::drain() {
   std::vector<ServeReply> replies(work.size());
   std::vector<u64> fused(work.size(), 0);
   std::vector<double> gm_eliminated(work.size(), 0.0);
+  std::vector<GraphRun> fleet_runs(work.size());
   ServeStats delta;
   for (const Batch& batch : batches) {
     ++delta.batches;
@@ -94,6 +95,11 @@ std::vector<ServeReply> ServingDriver::drain() {
             reply.output = std::move(r.output);
             fused[batch.members[m]] = r.fused_pairs;
             gm_eliminated[batch.members[m]] = r.fusion_gm_bytes_eliminated;
+            GraphRun& fr = fleet_runs[batch.members[m]];
+            fr.fleet_h2d_bytes = r.fleet_h2d_bytes;
+            fr.fleet_d2h_bytes = r.fleet_d2h_bytes;
+            fr.fleet_d2d_bytes = r.fleet_d2d_bytes;
+            fr.fleet_transfer_seconds = r.fleet_transfer_seconds;
           }
         });
   }
@@ -108,6 +114,10 @@ std::vector<ServeReply> ServingDriver::drain() {
     }
     delta.fused_pairs += fused[i];
     delta.fusion_gm_bytes_eliminated += gm_eliminated[i];
+    delta.fleet_h2d_bytes += fleet_runs[i].fleet_h2d_bytes;
+    delta.fleet_d2h_bytes += fleet_runs[i].fleet_d2h_bytes;
+    delta.fleet_d2d_bytes += fleet_runs[i].fleet_d2d_bytes;
+    delta.fleet_transfer_seconds += fleet_runs[i].fleet_transfer_seconds;
   }
   std::sort(replies.begin(), replies.end(),
             [](const ServeReply& a, const ServeReply& b) {
@@ -122,6 +132,10 @@ std::vector<ServeReply> ServingDriver::drain() {
     stats_.analytic += delta.analytic;
     stats_.fused_pairs += delta.fused_pairs;
     stats_.fusion_gm_bytes_eliminated += delta.fusion_gm_bytes_eliminated;
+    stats_.fleet_h2d_bytes += delta.fleet_h2d_bytes;
+    stats_.fleet_d2h_bytes += delta.fleet_d2h_bytes;
+    stats_.fleet_d2d_bytes += delta.fleet_d2d_bytes;
+    stats_.fleet_transfer_seconds += delta.fleet_transfer_seconds;
   }
   return replies;
 }

@@ -56,6 +56,11 @@ struct ServeStats {
   u64 cold = 0, warm = 0, analytic = 0;
   u64 fused_pairs = 0;
   double fusion_gm_bytes_eliminated = 0.0;
+  /// Fleet traffic aggregates when ServeOptions::launch.fleet requests
+  /// multi-device sharding: modeled staging/halo bytes summed over every
+  /// sharded conv launch of every request (docs/MODEL.md §9).
+  u64 fleet_h2d_bytes = 0, fleet_d2h_bytes = 0, fleet_d2d_bytes = 0;
+  double fleet_transfer_seconds = 0.0;
 };
 
 class ServingDriver {

@@ -5,6 +5,7 @@
 
 #include "src/common/types.hpp"
 #include "src/sim/dim.hpp"
+#include "src/sim/transfer.hpp"
 
 namespace kconv::sim {
 
@@ -104,6 +105,20 @@ struct LaunchOptions {
   /// const_line_misses) are the representative's values scaled by block
   /// count — approximate. Requires a replay_class kernel; implies replay.
   bool analytic = false;
+  /// Multi-device sharding (docs/MODEL.md §9): fleet.devices > 1 splits the
+  /// grid across N simulated devices by fleet.strategy, each shard running
+  /// against its own Device (cold L2/constant caches) with a modeled
+  /// host<->device staging + device<->device halo transfer ledger. Outputs
+  /// stay byte-identical and scheduling-invariant counters exact versus
+  /// devices == 1 (same contract as num_threads, §5a). Unsupported with
+  /// `analytic` (no per-block execution to shard) and with sampling.
+  FleetOptions fleet;
+  /// Shard-axis geometry, filled by kernel runners (conv2d and friends)
+  /// before the launch; direct launch() callers sharding a raw kernel must
+  /// fill it themselves. Required for channel/spatial strategies and for
+  /// the transfer ledger; a Batch fleet without hints still shards but
+  /// stages nothing.
+  FleetHints fleet_hints;
 };
 
 }  // namespace kconv::sim

@@ -122,6 +122,20 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
       (opt.replay || analytic) && static_cast<bool>(classify);
   res.analytic = analytic;
 
+  // Multi-device sharding (docs/MODEL.md §9). The shard partition is fixed
+  // before anything runs — a pure function of grid, strategy and device
+  // count — so fleet launches are exactly reproducible like the parallel
+  // path. Analytic launches have no per-block execution to shard, and
+  // sampling would break the shard/transfer geometry; both are rejected
+  // loudly (the CLI turns these into exit-2 flag errors first).
+  const bool fleet_on = opt.fleet.devices > 1;
+  if (fleet_on) {
+    KCONV_CHECK(!analytic,
+                "multi-device launch is unsupported with analytic execution");
+    KCONV_CHECK(!set.sampled,
+                "multi-device launch cannot combine with block sampling");
+  }
+
   const bool profiling = opt.profile;
   res.profile.enabled = profiling;
 
@@ -208,7 +222,171 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     return out;
   };
 
-  if (threads <= 1) {
+  if (fleet_on) {
+    // Fleet path: the chunk unit is a (device, block-range, transfer-ledger)
+    // triple. Each device runs its shard's block ranges against its own L2
+    // and constant-cache replica — per-device state depends only on the
+    // shard partition, never on host scheduling, so outputs and all
+    // scheduling-invariant counters are bit-identical to devices == 1
+    // (docs/MODEL.md §5a contract, §9 for the transfer layer on top).
+    const u32 D = opt.fleet.devices;
+    std::vector<FleetShard> fshards =
+        shard_grid(cfg.grid, opt.fleet, opt.fleet_hints);
+    model_transfers(opt.fleet, opt.fleet_hints, res.blocks_total, fshards);
+    DeviceFleet fleet(arch, D);
+    std::vector<KernelStats> shards(D);
+    std::vector<u64> replayed(D, 0);
+    // Device runners outlive the pool so captured classes merge into the
+    // shared plan in device-index order — one store for the whole fleet.
+    std::vector<std::unique_ptr<ReplayRunner>> runners(replaying ? D : 0);
+    std::vector<std::string> pattern_blobs(plan_enabled ? D : 0);
+    std::vector<profile::PhaseProfile> pshards(profiling ? D : 0);
+    std::vector<std::vector<profile::BlockTimeline>> tshards(profiling ? D
+                                                                       : 0);
+    std::vector<std::unique_ptr<analysis::BlockChecker>> checkers(D);
+    if (opt.hazard_check) {
+      for (u32 d = 0; d < D; ++d) {
+        checkers[d] =
+            std::make_unique<analysis::BlockChecker>(cfg, arch.warp_size);
+      }
+    }
+    const u32 workers = static_cast<u32>(
+        std::min<u64>(ThreadPool::resolve_threads(opt.num_threads), D));
+    ThreadPool pool(workers);
+    pool.parallel_for(0, D, 1, [&](u64 db, u64 de, u32 /*chunk*/) {
+      for (u64 dvc = db; dvc < de; ++dvc) {
+        const FleetShard& fs = fshards[dvc];
+        if (fs.blocks == 0) continue;
+        Device& fdev = fleet.device(static_cast<u32>(dvc));
+        L2Cache const_cache(arch.const_cache_per_sm, arch.const_line_bytes,
+                            4);
+        ChunkPatternCache pattern(arch, opt.pattern_cache);
+        KernelStats& stats = shards[dvc];
+        analysis::BlockChecker* chk = checkers[dvc].get();
+        profile::PhaseProfile* psink = profiling ? &pshards[dvc] : nullptr;
+        profile::BlockTimeline scratch_tl;
+        // The timeline cap keys on the FLAT block id (== the serial launch
+        // index — fleet launches never sample), so the captured block set
+        // is device-count-invariant.
+        const auto want_timeline =
+            [&](u64 flat, Dim3 bidx) -> profile::BlockTimeline* {
+          if (!profiling || flat >= opt.profile_timeline_blocks) {
+            return nullptr;
+          }
+          scratch_tl = profile::BlockTimeline{};
+          scratch_tl.block = bidx;
+          scratch_tl.seq = flat;
+          return &scratch_tl;
+        };
+        const auto keep_timeline = [&](profile::BlockTimeline* tl) {
+          if (tl != nullptr && !tl->slices.empty()) {
+            tshards[dvc].push_back(std::move(*tl));
+          }
+        };
+        if (replaying) {
+          runners[dvc] = std::make_unique<ReplayRunner>(
+              arch, body, cfg, opt.trace, opt.max_rounds_per_block, classify,
+              origins, pattern.get(), chk, psink, analytic);
+          ReplayRunner& runner = *runners[dvc];
+          if (plan_hit) {
+            runner.prime(plan);
+            if (!plan.pattern_blob.empty() && pattern.get() != nullptr) {
+              PlanReader pr(plan.pattern_blob);
+              (void)pattern.get()->restore(pr);
+            }
+          }
+          for (const BlockRange& r : fs.runs) {
+            for (u64 flat = r.begin; flat < r.end; ++flat) {
+              const Dim3 bidx = unflatten(cfg.grid, flat);
+              profile::BlockTimeline* tl = want_timeline(flat, bidx);
+              runner.run(bidx, &const_cache, fdev.l2(), stats, tl);
+              keep_timeline(tl);
+            }
+          }
+          runner.finish(stats);
+          replayed[dvc] = runner.blocks_replayed();
+          if (plan_enabled && pattern.get() != nullptr) {
+            PlanWriter pw;
+            pattern.get()->save(pw);
+            pattern_blobs[dvc] = pw.take();
+          }
+        } else {
+          for (const BlockRange& r : fs.runs) {
+            for (u64 flat = r.begin; flat < r.end; ++flat) {
+              const Dim3 bidx = unflatten(cfg.grid, flat);
+              profile::BlockTimeline* tl = want_timeline(flat, bidx);
+              std::optional<profile::BlockProfiler> bp;
+              if (psink != nullptr) bp.emplace(*psink, tl);
+              run_block(arch, body, cfg, bidx, opt.trace,
+                        opt.max_rounds_per_block, &const_cache, fdev.l2(),
+                        stats, nullptr, pattern.get(), chk,
+                        bp ? &*bp : nullptr);
+              keep_timeline(tl);
+            }
+          }
+        }
+        pattern.drain(stats);
+      }
+    });
+    for (const KernelStats& s : shards) res.stats += s;  // device order
+    for (const u64 r : replayed) res.blocks_replayed += r;
+    if (plan_enabled) {
+      // Store-once across the fleet: classes merge in device-index order
+      // (first device to own a class wins) and exactly one store call runs
+      // after every device finished — concurrent devices never race a
+      // sidecar write.
+      bool dirty = false;
+      for (const auto& r : runners) {
+        dirty = dirty || (r != nullptr && r->captured_fresh());
+      }
+      if (dirty) {
+        LaunchPlan out = saved_plan(std::move(plan));
+        for (const auto& r : runners) {
+          if (r != nullptr) r->export_plan(out);
+        }
+        for (std::string& blob : pattern_blobs) {
+          if (!blob.empty()) {
+            out.pattern_blob = std::move(blob);
+            break;
+          }
+        }
+        store_plan(out);
+      }
+    }
+    for (profile::PhaseProfile& p : pshards) res.profile.phases += p;
+    for (std::vector<profile::BlockTimeline>& ts : tshards) {
+      for (profile::BlockTimeline& tl : ts) {
+        res.profile.timelines.push_back(std::move(tl));
+      }
+    }
+    // Channel shards interleave flat ids across devices; restore launch
+    // order so the timeline list reads like the serial one.
+    std::stable_sort(res.profile.timelines.begin(),
+                     res.profile.timelines.end(),
+                     [](const profile::BlockTimeline& a,
+                        const profile::BlockTimeline& b) {
+                       return a.seq < b.seq;
+                     });
+    if (opt.hazard_check) {
+      std::vector<analysis::BlockChecker*> ordered;
+      ordered.reserve(D);
+      for (const auto& c : checkers) ordered.push_back(c.get());
+      analysis::finalize_hazards(ordered, res.analysis);
+    }
+    // Per-device compute seconds: each device executes only its shard, so
+    // its time is the unscaled estimate over the shard's own blocks.
+    std::vector<double> dev_seconds(D, 0.0);
+    if (opt.trace == TraceLevel::Timing) {
+      for (u32 d = 0; d < D; ++d) {
+        if (fshards[d].blocks > 0) {
+          dev_seconds[d] =
+              estimate_time(arch, cfg, shards[d], fshards[d].blocks).seconds;
+        }
+      }
+    }
+    res.fleet = analyze_fleet(arch, opt.fleet, opt.fleet_hints,
+                              res.blocks_total, fshards, shards, dev_seconds);
+  } else if (threads <= 1) {
     // Exact-legacy serial path: one shared per-SM constant cache, every
     // block's sectors through the device's single L2 (which therefore stays
     // warm across blocks — and across launches when reset_l2 is off).

@@ -22,6 +22,7 @@
 #include "src/profile/collector.hpp"
 #include "src/sim/block_exec.hpp"
 #include "src/sim/device.hpp"
+#include "src/sim/fleet.hpp"
 #include "src/sim/replay.hpp"
 #include "src/sim/timing.hpp"
 
@@ -88,6 +89,11 @@ struct LaunchResult {
   /// profile.hints so the roofline attribution knows the paper bound that
   /// applies to the kernel that ran.
   profile::LaunchProfile profile;
+  /// Multi-device sharding report (LaunchOptions::fleet.devices > 1):
+  /// per-device blocks + transfer ledgers, the modeled fleet makespan, and
+  /// the Demmel–Dinh communication-bound attribution (docs/MODEL.md §9).
+  /// fleet.enabled is false on single-device launches.
+  FleetResult fleet;
 };
 
 namespace detail {

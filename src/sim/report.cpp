@@ -89,12 +89,92 @@ std::string format_report(const Arch& arch, const LaunchResult& res) {
                   ? static_cast<double>(s.barriers) /
                         static_cast<double>(s.blocks_executed)
                   : 0.0);
+  if (res.fleet.enabled) {
+    const FleetResult& f = res.fleet;
+    out += strf("fleet: %u devices, shard=%s, link=%s%s\n", f.devices,
+                shard_name(f.strategy), f.interconnect.c_str(),
+                f.p2p ? " (p2p)" : "");
+    out += strf("fleet time: %.3f ms makespan (compute %.3f ms + transfers "
+                "%.3f ms total)\n",
+                f.seconds * 1e3, f.compute_seconds * 1e3,
+                f.transfer_seconds * 1e3);
+    out += strf("fleet traffic: h2d %s, d2h %s, d2d %s\n",
+                human_bytes(static_cast<double>(f.h2d_bytes)).c_str(),
+                human_bytes(static_cast<double>(f.d2h_bytes)).c_str(),
+                human_bytes(static_cast<double>(f.d2d_bytes)).c_str());
+    out += strf("fleet bounds: inter-device %.2fx of Demmel-Dinh (%s), "
+                "inter-level %.2fx (%s)\n",
+                f.interdevice_ratio, f.interdevice_verdict.c_str(),
+                f.interlevel_ratio, f.interlevel_verdict.c_str());
+    for (const FleetDeviceReport& d : f.device_reports) {
+      out += strf("  dev%u: %llu blocks, h2d %s, d2h %s, d2d %s, "
+                  "transfer %.3f ms, compute %.3f ms\n",
+                  d.device, static_cast<unsigned long long>(d.blocks),
+                  human_bytes(static_cast<double>(d.ledger.h2d_bytes)).c_str(),
+                  human_bytes(static_cast<double>(d.ledger.d2h_bytes)).c_str(),
+                  human_bytes(static_cast<double>(d.ledger.d2d_bytes)).c_str(),
+                  d.transfer_seconds * 1e3, d.compute_seconds * 1e3);
+    }
+  }
   if (res.analysis.hazard_checked || res.analysis.linted) {
     out += analysis::format_analysis(res.analysis);
   }
   if (res.profile.enabled) {
     out += profile::format_profile(arch, res.profile);
   }
+  return out;
+}
+
+std::string fleet_to_json(const FleetResult& f, int indent) {
+  const std::string pad(indent, ' ');
+  const std::string pad2(indent + 2, ' ');
+  const std::string pad4(indent + 4, ' ');
+  std::string out = "{\n";
+  out += pad2 + strf("\"devices\": %u,\n", f.devices);
+  out += pad2 + strf("\"shard\": \"%s\",\n", shard_name(f.strategy));
+  out += pad2 + strf("\"interconnect\": \"%s\",\n", f.interconnect.c_str());
+  out += pad2 + strf("\"p2p\": %s,\n", f.p2p ? "true" : "false");
+  out += pad2 + strf("\"seconds\": %.9g,\n", f.seconds);
+  out += pad2 + strf("\"transfer_seconds\": %.9g,\n", f.transfer_seconds);
+  out += pad2 + strf("\"compute_seconds\": %.9g,\n", f.compute_seconds);
+  out += pad2 + strf("\"h2d_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(f.h2d_bytes));
+  out += pad2 + strf("\"d2h_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(f.d2h_bytes));
+  out += pad2 + strf("\"d2d_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(f.d2d_bytes));
+  out += pad2 + strf("\"interdevice_bound_bytes\": %.9g,\n",
+                     f.interdevice_bound_bytes);
+  out += pad2 + strf("\"interdevice_moved_bytes\": %.9g,\n",
+                     f.interdevice_moved_bytes);
+  out += pad2 + strf("\"interdevice_ratio\": %.6g,\n", f.interdevice_ratio);
+  out += pad2 + strf("\"interdevice_verdict\": \"%s\",\n",
+                     f.interdevice_verdict.c_str());
+  out += pad2 + strf("\"interlevel_bound_bytes\": %.9g,\n",
+                     f.interlevel_bound_bytes);
+  out += pad2 + strf("\"interlevel_moved_bytes\": %.9g,\n",
+                     f.interlevel_moved_bytes);
+  out += pad2 + strf("\"interlevel_ratio\": %.6g,\n", f.interlevel_ratio);
+  out += pad2 + strf("\"interlevel_verdict\": \"%s\",\n",
+                     f.interlevel_verdict.c_str());
+  out += pad2 + "\"device_reports\": [\n";
+  for (std::size_t i = 0; i < f.device_reports.size(); ++i) {
+    const FleetDeviceReport& d = f.device_reports[i];
+    out += pad4 +
+           strf("{\"device\": %u, \"blocks\": %llu, \"h2d_bytes\": %llu, "
+                "\"d2h_bytes\": %llu, \"d2d_bytes\": %llu, "
+                "\"transfer_seconds\": %.9g, \"compute_seconds\": %.9g, "
+                "\"comm_bound_bytes\": %.9g, \"comm_ratio\": %.6g}%s\n",
+                d.device, static_cast<unsigned long long>(d.blocks),
+                static_cast<unsigned long long>(d.ledger.h2d_bytes),
+                static_cast<unsigned long long>(d.ledger.d2h_bytes),
+                static_cast<unsigned long long>(d.ledger.d2d_bytes),
+                d.transfer_seconds, d.compute_seconds, d.comm_bound_bytes,
+                d.comm_ratio,
+                i + 1 < f.device_reports.size() ? "," : "");
+  }
+  out += pad2 + "]\n";
+  out += pad + "}";
   return out;
 }
 
@@ -151,9 +231,14 @@ std::string to_json(const Arch& arch, const LaunchResult& res) {
               static_cast<unsigned long long>(s.pattern_hits));
   const bool with_analysis = res.analysis.hazard_checked || res.analysis.linted;
   const bool with_profile = res.profile.enabled;
+  const bool with_fleet = res.fleet.enabled;
   out += strf("  \"barriers\": %llu%s\n",
               static_cast<unsigned long long>(s.barriers),
-              with_analysis || with_profile ? "," : "");
+              with_analysis || with_profile || with_fleet ? "," : "");
+  if (with_fleet) {
+    out += "  \"fleet\": " + fleet_to_json(res.fleet, 2) +
+           (with_analysis || with_profile ? ",\n" : "\n");
+  }
   if (with_analysis) {
     out += "  \"analysis\": " + analysis::to_json(res.analysis, 2) +
            (with_profile ? ",\n" : "\n");

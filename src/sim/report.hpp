@@ -18,4 +18,8 @@ std::string format_brief(const LaunchResult& res);
 /// the hook for external analysis/plotting of simulator runs.
 std::string to_json(const Arch& arch, const LaunchResult& res);
 
+/// JSON object for a fleet report (the `fleet` block of to_json; also used
+/// by bench_fleet_scaling). `indent` is the caller's current indent depth.
+std::string fleet_to_json(const FleetResult& f, int indent);
+
 }  // namespace kconv::sim

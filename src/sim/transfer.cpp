@@ -1,0 +1,50 @@
+#include "src/sim/transfer.hpp"
+
+namespace kconv::sim {
+
+const char* shard_name(ShardStrategy s) {
+  switch (s) {
+    case ShardStrategy::Batch: return "batch";
+    case ShardStrategy::Channel: return "channel";
+    case ShardStrategy::Spatial: return "spatial";
+  }
+  return "?";
+}
+
+bool parse_shard(const std::string& s, ShardStrategy& out) {
+  if (s == "batch") out = ShardStrategy::Batch;
+  else if (s == "channel") out = ShardStrategy::Channel;
+  else if (s == "spatial") out = ShardStrategy::Spatial;
+  else return false;
+  return true;
+}
+
+Interconnect pcie3_x16() { return Interconnect{}; }
+
+Interconnect nvlink_like() {
+  Interconnect link;
+  link.name = "nvlink";
+  link.h2d_bytes_per_s = 40.0e9;
+  link.d2h_bytes_per_s = 40.0e9;
+  link.d2d_bytes_per_s = 40.0e9;
+  link.latency_s = 5.0e-6;
+  link.p2p = true;
+  return link;
+}
+
+double TransferLedger::seconds(const Interconnect& link) const {
+  double s = 0.0;
+  if (h2d_bytes > 0 && link.h2d_bytes_per_s > 0) {
+    s += static_cast<double>(h2d_bytes) / link.h2d_bytes_per_s;
+  }
+  if (d2h_bytes > 0 && link.d2h_bytes_per_s > 0) {
+    s += static_cast<double>(d2h_bytes) / link.d2h_bytes_per_s;
+  }
+  if (d2d_bytes > 0 && link.d2d_bytes_per_s > 0) {
+    s += static_cast<double>(d2d_bytes) / link.d2d_bytes_per_s;
+  }
+  s += static_cast<double>(h2d_ops + d2h_ops + d2d_ops) * link.latency_s;
+  return s;
+}
+
+}  // namespace kconv::sim

@@ -1,0 +1,123 @@
+// Inter-device transfer model for sharded (multi-device) launches.
+//
+// The functional simulator executes every block against shared host-side
+// memory, so sharding a grid across N simulated devices changes no output
+// byte and no execution counter. What sharding DOES create is traffic that
+// a single device never pays: staging each device's working set over the
+// host link and exchanging halo rows between spatial neighbors. This header
+// models exactly that layer — `Interconnect` is the Arch-style profile of
+// the links, `TransferLedger` the per-device byte/op accounting, and
+// `FleetOptions`/`FleetHints` the knobs kernel runners and callers use to
+// request a sharded launch (docs/MODEL.md §9: the ledger is MODELED from
+// shard geometry, unlike the execution counters, which stay counter-exact).
+#pragma once
+
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace kconv::sim {
+
+/// How a fleet launch splits the block grid across devices.
+enum class ShardStrategy : u8 {
+  /// Contiguous slabs of the flat block list (images, when the caller
+  /// shards a batch; otherwise a naive block split). Each device stages a
+  /// full input replica — the baseline the other strategies beat.
+  Batch,
+  /// Slabs along the kernel's output-channel (filter-group) grid axis.
+  /// Every device reads the whole input but only its filter slice.
+  Channel,
+  /// Slabs of output-row blocks with explicit halo exchange: each device
+  /// stages only its input rows and receives the (K-1)-row halo from its
+  /// lower neighbor device-to-device.
+  Spatial,
+};
+
+const char* shard_name(ShardStrategy s);
+/// Parses "batch" | "channel" | "spatial"; returns false on anything else.
+bool parse_shard(const std::string& s, ShardStrategy& out);
+
+/// Arch-style profile of the links connecting host and devices. Values are
+/// achievable (not datasheet-peak) bandwidths; latency is charged once per
+/// staging/exchange operation.
+struct Interconnect {
+  std::string name = "pcie3-x16";
+  /// Host -> device staging bandwidth, bytes/second.
+  double h2d_bytes_per_s = 12.0e9;
+  /// Device -> host write-back bandwidth, bytes/second.
+  double d2h_bytes_per_s = 12.0e9;
+  /// Device -> device bandwidth. Without peer-to-peer this is the
+  /// store-and-forward rate through host memory (each byte crosses the
+  /// host link twice).
+  double d2d_bytes_per_s = 6.0e9;
+  /// Per-operation launch latency in seconds (DMA setup + driver).
+  double latency_s = 10.0e-6;
+  /// Direct device-to-device DMA (NVLink-class). Affects only the modeled
+  /// d2d rate above; the byte accounting is identical either way.
+  bool p2p = false;
+};
+
+/// PCIe gen3 x16 per device, no peer-to-peer: the K40m-era deployment the
+/// paper's hardware actually shipped in.
+Interconnect pcie3_x16();
+/// NVLink-class mesh with peer-to-peer DMA, for what-if comparisons.
+Interconnect nvlink_like();
+
+/// Per-device transfer accounting for one sharded launch. Bytes are exact
+/// consequences of the shard geometry; seconds come from the Interconnect
+/// model.
+struct TransferLedger {
+  u64 h2d_bytes = 0;  ///< host -> device staging (input shard + filters)
+  u64 d2h_bytes = 0;  ///< device -> host write-back (output shard)
+  u64 d2d_bytes = 0;  ///< device <-> device halo/reduce exchange
+  u64 h2d_ops = 0;
+  u64 d2h_ops = 0;
+  u64 d2d_ops = 0;
+
+  u64 total_bytes() const { return h2d_bytes + d2h_bytes + d2d_bytes; }
+
+  /// Modeled wall time of this ledger over `link` (transfers serialize
+  /// with compute in the fleet model; see docs/MODEL.md §9).
+  double seconds(const Interconnect& link) const;
+
+  TransferLedger& operator+=(const TransferLedger& o) {
+    h2d_bytes += o.h2d_bytes;
+    d2h_bytes += o.d2h_bytes;
+    d2d_bytes += o.d2d_bytes;
+    h2d_ops += o.h2d_ops;
+    d2h_ops += o.d2h_ops;
+    d2d_ops += o.d2d_ops;
+    return *this;
+  }
+};
+
+/// Caller-facing fleet request, carried on LaunchOptions. devices == 1 is
+/// the single-device path (everything below is ignored).
+struct FleetOptions {
+  u32 devices = 1;
+  ShardStrategy strategy = ShardStrategy::Batch;
+  Interconnect interconnect;
+};
+
+/// Shard geometry a kernel runner declares so the launch layer can split
+/// its grid and model the resulting traffic. Axis conventions:
+///   - the spatial axis is the grid axis enumerating output-row blocks,
+///     with `spatial_minor` column blocks folded in below each row block
+///     (general kernel: grid.y = rows * nbx, minor = nbx);
+///   - the channel axis enumerates filter groups (general: grid.x).
+/// A kernel that cannot shard along a strategy leaves its axis at -1; the
+/// launch layer rejects the request loudly instead of mis-sharding.
+struct FleetHints {
+  bool provided = false;
+  i32 channel_axis = -1;
+  i32 spatial_axis = -1;
+  u32 spatial_minor = 1;
+  /// Full-problem staging footprints, bytes.
+  u64 input_bytes = 0;
+  u64 filter_bytes = 0;
+  u64 output_bytes = 0;
+  /// Input bytes re-read across one interior spatial cut ((K-1) rows).
+  u64 halo_bytes_per_cut = 0;
+};
+
+}  // namespace kconv::sim
