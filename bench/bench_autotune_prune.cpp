@@ -1,0 +1,108 @@
+// kconv-xray autotune pruning (docs/MODEL.md §10).
+//
+// Measures, per shape, what the static pre-pass buys a tuning sweep: the
+// full sweep simulates every legal candidate; the pruned sweep first ranks
+// all of them with the symbolic analyzer (no execution) and simulates only
+// the top half. The contract is that the winner is unchanged — the static
+// counters are the very numbers the timing model consumes — so the bench
+// gates two deterministic ratios:
+//
+//   candidates_sim_speedup   full.evaluated / pruned.evaluated  (>= 2.0)
+//   winner_agreement_speedup 1.0 when both sweeps pick the same config
+//                            (0.0 = disagreement, a contract break)
+//
+// Both end in "speedup" so check_bench_regression.sh gates them against
+// the committed baseline; both are candidate *counts*, not wall clock, so
+// they are exact on any host. Wall-clock seconds are reported for context
+// under names the checker ignores.
+#include <chrono>
+
+#include "bench/bench_util.hpp"
+#include "src/core/autotune.hpp"
+
+using namespace kconv;
+
+namespace {
+
+struct Shape {
+  const char* name;
+  i64 c, f, k, n;
+};
+
+struct Sweep {
+  i64 evaluated = 0;
+  i64 pruned = 0;
+  double gflops = 0.0;
+  double seconds = 0.0;
+  kernels::GeneralConvConfig config;
+};
+
+Sweep run_sweep(const Shape& s, bool static_prune) {
+  sim::Device dev(sim::kepler_k40m());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res =
+      core::autotune_general(dev, s.k, s.c, s.f, s.n, {}, /*sample_blocks=*/2,
+                             /*num_threads=*/0, /*plans=*/nullptr,
+                             /*analytic=*/false, static_prune);
+  Sweep out;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.evaluated = res.evaluated;
+  out.pruned = res.pruned;
+  out.gflops = res.best.gflops;
+  out.config = res.best.config;
+  return out;
+}
+
+bool same_config(const kernels::GeneralConvConfig& a,
+                 const kernels::GeneralConvConfig& b) {
+  return a.block_w == b.block_w && a.block_h == b.block_h && a.ftb == b.ftb &&
+         a.wt == b.wt && a.ft == b.ft && a.csh == b.csh;
+}
+
+void report(const Shape& s, bool first) {
+  const Sweep full = run_sweep(s, false);
+  const Sweep pruned = run_sweep(s, true);
+  const bool agree =
+      same_config(full.config, pruned.config) && full.gflops == pruned.gflops;
+  std::printf(
+      "%s    {\"name\": \"%s\", \"c\": %lld, \"f\": %lld, \"k\": %lld, "
+      "\"n\": %lld,\n"
+      "     \"full_evaluated\": %lld, \"pruned_evaluated\": %lld, "
+      "\"pruned_out\": %lld,\n"
+      "     \"full_seconds\": %.4f, \"pruned_seconds\": %.4f,\n"
+      "     \"best_gflops\": %.6g,\n"
+      "     \"candidates_sim_speedup\": %.2f, "
+      "\"winner_agreement_speedup\": %.1f}",
+      first ? "" : ",\n", s.name, static_cast<long long>(s.c),
+      static_cast<long long>(s.f), static_cast<long long>(s.k),
+      static_cast<long long>(s.n), static_cast<long long>(full.evaluated),
+      static_cast<long long>(pruned.evaluated),
+      static_cast<long long>(pruned.pruned), full.seconds, pruned.seconds,
+      pruned.gflops,
+      static_cast<double>(full.evaluated) /
+          static_cast<double>(pruned.evaluated),
+      agree ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  // The default GeneralSpace over paper-scale shapes: big enough that the
+  // sweep cost is real, small enough that the bench stays seconds-scale.
+  const Shape shapes[] = {
+      {"vgg_c16_f32_k3_n32", 16, 32, 3, 32},
+      {"wide_c8_f64_k3_n40", 8, 64, 3, 40},
+      {"k5_c16_f32_k5_n34", 16, 32, 5, 34},
+  };
+  std::printf("{\"bench\": \"autotune_prune\", \"sample_blocks\": 2,\n");
+  std::printf(" \"shapes\": [\n");
+  bool first = true;
+  for (const Shape& s : shapes) {
+    report(s, first);
+    first = false;
+  }
+  std::printf("\n]}\n");
+  return 0;
+}

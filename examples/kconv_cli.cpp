@@ -4,9 +4,9 @@
 //             [--arch kepler|kepler4b|fermi|maxwell]
 //             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
 //             [--sample B] [--threads T] [--replay] [--no-pattern-cache]
-//             [--plan-cache DIR] [--analytic] [--autotune]
+//             [--plan-cache DIR] [--analytic] [--autotune] [--static-prune]
 //             [--serve --network NAME [--requests N] [--no-fuse]]
-//             [--check] [--profile] [--trace-out FILE] [--json]
+//             [--check] [--profile] [--xray] [--trace-out FILE] [--json]
 //
 // Prints the performance report (or JSON with --json) and verifies against
 // the CPU reference when the launch ran every block. With --check, runs the
@@ -22,6 +22,14 @@
 // convolution. --serve runs the layer-graph serving driver instead: it
 // queues --requests inference requests against the named network and
 // reports batch/temperature/fusion statistics (docs/MODEL.md §8).
+// --xray runs the kconv-xray symbolic analyzer (docs/MODEL.md §10): alone
+// it derives the kernel's bank-conflict/coalescing/race report without
+// executing a single block (exit 3 when not clean); combined with
+// --check/--profile/--analytic it also runs the launch, cross-validates
+// the static counters against the dynamic ones (exit 3 on any mismatch),
+// and appends the static_analysis block to the report. --static-prune adds
+// the xray pre-pass to --autotune: dominated candidates are never
+// simulated.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -53,7 +61,8 @@ void print_usage(std::FILE* to, const char* argv0) {
       "          [--sample BLOCKS] [--threads T] [--replay]\n"
       "          [--devices N] [--shard batch|channel|spatial]\n"
       "          [--no-pattern-cache] [--plan-cache DIR] [--analytic]\n"
-      "          [--autotune] [--check] [--profile]\n"
+      "          [--autotune] [--static-prune] [--check] [--profile]\n"
+      "          [--xray]\n"
       "          [--serve --network NAME [--requests N] [--no-fuse]]\n"
       "          [--trace-out FILE] [--json] [--help]\n"
       "  --threads T   host threads simulating blocks (0 = all cores;\n"
@@ -80,6 +89,17 @@ void print_usage(std::FILE* to, const char* argv0) {
       "  --autotune    sweep the kernel's tiling parameters for the given\n"
       "                K/C/F/N instead of running one convolution; with\n"
       "                --plan-cache a warm call reuses the stored ranking\n"
+      "  --static-prune\n"
+      "                with --autotune: rank candidates with the kconv-xray\n"
+      "                symbolic pass first and simulate only the top half\n"
+      "                (MODEL.md §10; the winner is unchanged)\n"
+      "  --xray        kconv-xray static analysis (MODEL.md §10): derive\n"
+      "                bank conflicts, coalescing, traffic-vs-bound and\n"
+      "                barrier-interval races symbolically, with zero block\n"
+      "                execution; exit 3 when not clean. With --check,\n"
+      "                --profile or --analytic, also runs the launch and\n"
+      "                cross-validates static against dynamic counters\n"
+      "                (exit 3 on any mismatch)\n"
       "  --serve       run the layer-graph serving driver instead of one\n"
       "                convolution: queues --requests requests against\n"
       "                --network (lenet | vgg-tiny) and reports batching,\n"
@@ -119,7 +139,7 @@ int main(int argc, char** argv) {
   std::string network, shard = "batch";
   bool same = false, json = false, replay = false, pattern_cache = true;
   bool check = false, profile = false, analytic = false, autotune = false;
-  bool serve = false, fuse = true;
+  bool serve = false, fuse = true, xray = false, static_prune = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -154,6 +174,8 @@ int main(int argc, char** argv) {
       plan_cache_dir = a.substr(std::strlen("--plan-cache="));
     else if (a == "--analytic") analytic = true;
     else if (a == "--autotune") autotune = true;
+    else if (a == "--static-prune") static_prune = true;
+    else if (a == "--xray") xray = true;
     else if (a == "--serve") serve = true;
     else if (a == "--network") network = next();
     else if (a.rfind("--network=", 0) == 0)
@@ -205,6 +227,39 @@ int main(int argc, char** argv) {
   }
   opt.launch.analytic = analytic;
 
+  if (static_prune && !autotune) {
+    std::fprintf(stderr,
+                 "error: --static-prune only applies to --autotune sweeps\n");
+    return 2;
+  }
+  if (xray && serve) {
+    std::fprintf(stderr,
+                 "error: --xray cannot be combined with --serve (analyze "
+                 "one convolution launch at a time)\n");
+    return 2;
+  }
+  if (xray && autotune) {
+    std::fprintf(stderr,
+                 "error: --xray cannot be combined with --autotune (use "
+                 "--autotune --static-prune for the xray pre-pass)\n");
+    return 2;
+  }
+  if (xray && sample > 0) {
+    std::fprintf(stderr,
+                 "error: --xray cannot be combined with --sample (the "
+                 "static cross-validation contract covers the full grid)\n");
+    return 2;
+  }
+  // Auto resolves to special (C==1) or general — both have describers.
+  if (xray && !(algo == "auto" || algo == "special" || algo == "general" ||
+                algo == "implicit-gemm")) {
+    std::fprintf(stderr,
+                 "error: --xray supports the special, general and "
+                 "implicit-gemm kernels (got --algo %s)\n",
+                 algo.c_str());
+    return 2;
+  }
+
   sim::ShardStrategy shard_strategy = sim::ShardStrategy::Batch;
   if (!sim::parse_shard(shard, shard_strategy)) {
     std::fprintf(stderr,
@@ -246,6 +301,28 @@ int main(int argc, char** argv) {
       return 2;
     }
     opt.launch.plan_cache = plans.get();
+  }
+
+  // kconv-xray static-only mode (docs/MODEL.md §10): derive the report
+  // symbolically — no Device is constructed and zero blocks execute. The
+  // run modes (--check/--profile/--analytic) fall through and
+  // cross-validate instead.
+  if (xray && !check && !profile && !analytic) {
+    try {
+      const xray::StaticReport rep =
+          xray::analyze(arch, core::conv2d_xray_model(arch, c, f, k, n, n,
+                                                      opt));
+      if (json) {
+        std::printf("{\"static_analysis\": %s}\n",
+                    xray::to_json(rep, 2).c_str());
+      } else {
+        std::printf("%s", xray::format_static(rep).c_str());
+      }
+      return rep.clean() ? 0 : 3;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (serve) {
@@ -378,22 +455,27 @@ int main(int argc, char** argv) {
       sim::Device dev(arch);
       if (c == 1) {
         const auto r = core::autotune_special(dev, k, f, n, {}, 4, 0,
-                                              plans.get(), analytic);
+                                              plans.get(), analytic,
+                                              static_prune);
         if (json) {
           std::printf("{\"kernel\": \"special\", \"evaluated\": %lld, "
-                      "\"skipped\": %lld, \"from_plan_cache\": %s, "
+                      "\"skipped\": %lld, \"pruned\": %lld, "
+                      "\"from_plan_cache\": %s, "
                       "\"best\": {\"block_w\": %lld, \"block_h\": %lld, "
                       "\"gflops\": %.6g}}\n",
                       static_cast<long long>(r.evaluated),
                       static_cast<long long>(r.skipped),
+                      static_cast<long long>(r.pruned),
                       r.from_plan_cache ? "true" : "false",
                       static_cast<long long>(r.best.config.block_w),
                       static_cast<long long>(r.best.config.block_h),
                       r.best.gflops);
         } else {
-          std::printf("autotune special: %lld evaluated, %lld skipped%s\n",
+          std::printf("autotune special: %lld evaluated, %lld skipped, "
+                      "%lld pruned%s\n",
                       static_cast<long long>(r.evaluated),
                       static_cast<long long>(r.skipped),
+                      static_cast<long long>(r.pruned),
                       r.from_plan_cache ? " (ranking served from plan cache)"
                                         : "");
           std::printf("best: W=%lld H=%lld   %.1f GFlop/s\n",
@@ -403,15 +485,18 @@ int main(int argc, char** argv) {
         }
       } else {
         const auto r = core::autotune_general(dev, k, c, f, n, {}, 2, 0,
-                                              plans.get(), analytic);
+                                              plans.get(), analytic,
+                                              static_prune);
         if (json) {
           std::printf("{\"kernel\": \"general\", \"evaluated\": %lld, "
-                      "\"skipped\": %lld, \"from_plan_cache\": %s, "
+                      "\"skipped\": %lld, \"pruned\": %lld, "
+                      "\"from_plan_cache\": %s, "
                       "\"best\": {\"block_w\": %lld, \"block_h\": %lld, "
                       "\"ftb\": %lld, \"wt\": %lld, \"ft\": %lld, "
                       "\"csh\": %lld, \"gflops\": %.6g}}\n",
                       static_cast<long long>(r.evaluated),
                       static_cast<long long>(r.skipped),
+                      static_cast<long long>(r.pruned),
                       r.from_plan_cache ? "true" : "false",
                       static_cast<long long>(r.best.config.block_w),
                       static_cast<long long>(r.best.config.block_h),
@@ -421,9 +506,11 @@ int main(int argc, char** argv) {
                       static_cast<long long>(r.best.config.csh),
                       r.best.gflops);
         } else {
-          std::printf("autotune general: %lld evaluated, %lld skipped%s\n",
+          std::printf("autotune general: %lld evaluated, %lld skipped, "
+                      "%lld pruned%s\n",
                       static_cast<long long>(r.evaluated),
                       static_cast<long long>(r.skipped),
+                      static_cast<long long>(r.pruned),
                       r.from_plan_cache ? " (ranking served from plan cache)"
                                         : "");
           std::printf("best: W=%lld H=%lld FTB=%lld WT=%lld FT=%lld "
@@ -453,12 +540,51 @@ int main(int argc, char** argv) {
   try {
     sim::Device dev(arch);
     const auto res = core::conv2d(dev, img, flt, opt);
+
+    // Cross-validation mode (docs/MODEL.md §10): the symbolic counters
+    // must be bit-equal to what the launch just measured (the analytic
+    // launch relaxes only the address-dependent gm_sectors).
+    xray::StaticReport xrep;
+    xray::CrossCheck xcheck;
+    if (xray) {
+      xrep = xray::analyze(arch, core::conv2d_xray_model(arch, c, f, k, n, n,
+                                                         opt));
+      xcheck = xray::cross_validate(xrep, res.launch.stats, analytic);
+    }
+
     if (json) {
-      std::printf("%s\n", sim::to_json(dev.arch(), res.launch).c_str());
+      std::string out = sim::to_json(dev.arch(), res.launch);
+      if (xray) {
+        out.erase(out.rfind('}'));
+        while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+          out.pop_back();
+        out += ",\n  \"static_analysis\": " + xray::to_json(xrep, 2);
+        out += ",\n  \"static_cross_check\": {\"ok\": ";
+        out += xcheck.ok ? "true" : "false";
+        out += ", \"mismatches\": [";
+        for (std::size_t m = 0; m < xcheck.mismatches.size(); ++m) {
+          if (m > 0) out += ", ";
+          out += "\"";
+          out += xcheck.mismatches[m];
+          out += "\"";
+        }
+        out += "]}\n}";
+      }
+      std::printf("%s\n", out.c_str());
     } else {
       std::printf("algorithm: %s   effective: %.1f GFlop/s\n",
                   core::algo_name(res.algo_used), res.effective_gflops);
       std::printf("%s", sim::format_report(dev.arch(), res.launch).c_str());
+      if (xray) {
+        std::printf("%s", xray::format_static(xrep).c_str());
+        if (xcheck.ok) {
+          std::printf("static counters match the launch: yes\n");
+        } else {
+          std::printf("static counters match the launch: NO\n");
+          for (const std::string& m : xcheck.mismatches)
+            std::printf("  mismatch %s\n", m.c_str());
+        }
+      }
       if (res.output_valid) {
         const i64 pad = same ? (k - 1) / 2 : 0;
         const bool ok = tensor::allclose(
@@ -486,6 +612,7 @@ int main(int argc, char** argv) {
       }
     }
     if (check && !res.launch.analysis.clean()) return 3;
+    if (xray && !xcheck.ok) return 3;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,11 +1,14 @@
 #include "src/core/autotune.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "src/analysis/static/xray.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/strutil.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/sim/plan_io.hpp"
+#include "src/sim/timing.hpp"
 
 namespace kconv::core {
 
@@ -24,6 +27,7 @@ std::string serialize_ranking(const Result& res, const SaveEntry& save_entry) {
   sim::PlanWriter w;
   w.put_u64(static_cast<u64>(res.evaluated));
   w.put_u64(static_cast<u64>(res.skipped));
+  w.put_u64(static_cast<u64>(res.pruned));
   w.put_u32(static_cast<u32>(res.ranking.size()));
   for (const auto& e : res.ranking) {
     save_entry(w, e);
@@ -41,6 +45,7 @@ bool deserialize_ranking(const std::string& payload, Result& res,
   Result out;
   out.evaluated = static_cast<i64>(r.get_u64());
   out.skipped = static_cast<i64>(r.get_u64());
+  out.pruned = static_cast<i64>(r.get_u64());
   const u32 count = r.get_u32();
   if (!r.ok() || count == 0 || count > (1u << 20) ||
       static_cast<i64>(count) != out.evaluated) {
@@ -96,6 +101,54 @@ std::vector<Outcome> sweep(u64 count, u32 num_threads, const Check& check,
   return out;
 }
 
+/// Static score of one candidate (docs/MODEL.md §10): run kconv-xray over
+/// the same evenly spaced block sample the probe launch would execute and
+/// feed the predicted counters to the simulator's own timing model. No
+/// Device, no coroutines — the cost is a handful of symbolic blocks.
+/// Cache state is invisible to the static pass, so DRAM demand uses the
+/// pessimistic all-miss assumption, uniformly across candidates (the
+/// relative order is what pruning consumes).
+double static_score(const sim::Arch& arch, const xray::KernelModel& model,
+                    u64 sample_blocks) {
+  const u64 total = model.cfg.grid.count();
+  xray::XrayOptions xopt;
+  xopt.races = false;
+  xopt.dual_bank_modes = false;
+  xopt.findings = false;
+  if (sample_blocks > 0 && sample_blocks < total) {
+    // Mirror the launch layer's BlockSet sampling: even spacing, offset
+    // half a stride so border blocks are not over-represented.
+    const double stride =
+        static_cast<double>(total) / static_cast<double>(sample_blocks);
+    for (u64 i = 0; i < sample_blocks; ++i) {
+      xopt.block_ids.push_back(
+          static_cast<u64>((static_cast<double>(i) + 0.5) * stride));
+    }
+  }
+  const xray::StaticReport rep = xray::analyze(arch, model, xopt);
+  sim::KernelStats s = rep.predicted;
+  s.gm_sectors_dram = s.gm_sectors;
+  return sim::estimate_time(arch, model.cfg, s, total).gflops;
+}
+
+/// keep[i] for every candidate: true when the candidate survives the
+/// static pre-pass — the top ceil(legal/2) by static score, enumeration
+/// order breaking ties so the verdict is deterministic. Illegal
+/// candidates (score slot NaN) are never kept.
+std::vector<char> prune_keep(const std::vector<double>& score) {
+  std::vector<u64> legal;
+  for (std::size_t i = 0; i < score.size(); ++i) {
+    if (score[i] == score[i]) legal.push_back(i);  // not NaN
+  }
+  std::stable_sort(legal.begin(), legal.end(), [&](u64 a, u64 b) {
+    return score[a] > score[b];
+  });
+  const std::size_t kept = (legal.size() + 1) / 2;
+  std::vector<char> keep(score.size(), 0);
+  for (std::size_t i = 0; i < kept; ++i) keep[legal[i]] = 1;
+  return keep;
+}
+
 template <typename Scored, typename Result>
 void finish(const std::vector<Scored>& scored,
             const std::vector<Outcome>& outcomes, Result& res) {
@@ -120,7 +173,8 @@ void finish(const std::vector<Scored>& scored,
 GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
                                        i64 n, const GeneralSpace& space,
                                        u64 sample_blocks, u32 num_threads,
-                                       sim::PlanCache* plans, bool analytic) {
+                                       sim::PlanCache* plans, bool analytic,
+                                       bool static_prune) {
   const auto save_entry = [](sim::PlanWriter& w, const ScoredGeneralConfig& e) {
     w.put_i64(e.config.block_w);
     w.put_i64(e.config.block_h);
@@ -146,7 +200,7 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
   std::string ranking_key;
   if (plans != nullptr) {
     ranking_key = strf(
-        "autotune_general|v1|%s|k=%lld|c=%lld|f=%lld|n=%lld|sample=%llu|"
+        "autotune_general|v2|%s|k=%lld|c=%lld|f=%lld|n=%lld|sample=%llu|"
         "analytic=%d|w=%s|h=%s|ftb=%s|wt=%s|ft=%s|csh=%s",
         sim::arch_fingerprint(dev.arch()).c_str(), static_cast<long long>(k),
         static_cast<long long>(c), static_cast<long long>(f),
@@ -155,6 +209,9 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
         join_dims(space.block_w).c_str(), join_dims(space.block_h).c_str(),
         join_dims(space.ftb).c_str(), join_dims(space.wt).c_str(),
         join_dims(space.ft).c_str(), join_dims(space.csh).c_str());
+    // Pruned and unpruned rankings are different artifacts (fewer entries,
+    // a non-zero pruned count) — never served interchangeably.
+    if (static_prune) ranking_key += "|prune=1";
     std::string payload;
     GeneralAutotuneResult warm;
     if (plans->load(ranking_key, payload) &&
@@ -204,10 +261,35 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
   }
 
   const sim::Arch& arch = dev.arch();
+  const auto check = [&](u64 i) {
+    return kernels::general_conv_check(arch, k, c, f, n, n, candidates[i]);
+  };
+
+  // kconv-xray pre-pass (docs/MODEL.md §10): rank every legal candidate on
+  // its statically predicted counters and keep the top half. Dominated
+  // configurations are never simulated.
+  std::vector<char> keep;
+  i64 pruned_count = 0;
+  if (static_prune) {
+    std::vector<double> score(candidates.size(),
+                              std::numeric_limits<double>::quiet_NaN());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!check(i).empty()) continue;
+      score[i] = static_score(
+          arch, kernels::general_conv_xray(arch, k, c, f, n, n, candidates[i]),
+          sample_blocks);
+    }
+    keep = prune_keep(score);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (score[i] == score[i] && keep[i] == 0) ++pruned_count;
+    }
+  }
+
   const auto outcomes = sweep(
       candidates.size(), num_threads,
       [&](u64 i) {
-        return kernels::general_conv_check(arch, k, c, f, n, n, candidates[i]);
+        if (!keep.empty() && keep[i] == 0) return std::string("pruned");
+        return check(i);
       },
       [&](u64 i) {
         // A fresh device per candidate: scores never depend on what the
@@ -220,6 +302,8 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
 
   GeneralAutotuneResult res;
   finish(candidates, outcomes, res);
+  res.pruned = pruned_count;
+  res.skipped -= pruned_count;
   if (plans != nullptr) {
     plans->store(ranking_key, serialize_ranking(res, save_entry));
   }
@@ -229,7 +313,8 @@ GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
 SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
                                        const SpecialSpace& space,
                                        u64 sample_blocks, u32 num_threads,
-                                       sim::PlanCache* plans, bool analytic) {
+                                       sim::PlanCache* plans, bool analytic,
+                                       bool static_prune) {
   const auto save_entry = [](sim::PlanWriter& w, const ScoredSpecialConfig& e) {
     w.put_i64(e.config.block_w);
     w.put_i64(e.config.block_h);
@@ -243,12 +328,13 @@ SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
   std::string ranking_key;
   if (plans != nullptr) {
     ranking_key = strf(
-        "autotune_special|v1|%s|k=%lld|f=%lld|n=%lld|sample=%llu|"
+        "autotune_special|v2|%s|k=%lld|f=%lld|n=%lld|sample=%llu|"
         "analytic=%d|w=%s|h=%s",
         sim::arch_fingerprint(dev.arch()).c_str(), static_cast<long long>(k),
         static_cast<long long>(f), static_cast<long long>(n),
         static_cast<unsigned long long>(sample_blocks), analytic ? 1 : 0,
         join_dims(space.block_w).c_str(), join_dims(space.block_h).c_str());
+    if (static_prune) ranking_key += "|prune=1";
     std::string payload;
     SpecialAutotuneResult warm;
     if (plans->load(ranking_key, payload) &&
@@ -280,10 +366,32 @@ SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
   }
 
   const sim::Arch& arch = dev.arch();
+  const auto check = [&](u64 i) {
+    return kernels::special_conv_check(arch, k, f, n, n, candidates[i]);
+  };
+
+  std::vector<char> keep;
+  i64 pruned_count = 0;
+  if (static_prune) {
+    std::vector<double> score(candidates.size(),
+                              std::numeric_limits<double>::quiet_NaN());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!check(i).empty()) continue;
+      score[i] = static_score(
+          arch, kernels::special_conv_xray(arch, k, f, n, n, candidates[i]),
+          sample_blocks);
+    }
+    keep = prune_keep(score);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (score[i] == score[i] && keep[i] == 0) ++pruned_count;
+    }
+  }
+
   const auto outcomes = sweep(
       candidates.size(), num_threads,
       [&](u64 i) {
-        return kernels::special_conv_check(arch, k, f, n, n, candidates[i]);
+        if (!keep.empty() && keep[i] == 0) return std::string("pruned");
+        return check(i);
       },
       [&](u64 i) {
         sim::Device cand_dev(arch);
@@ -293,6 +401,8 @@ SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
 
   SpecialAutotuneResult res;
   finish(candidates, outcomes, res);
+  res.pruned = pruned_count;
+  res.skipped -= pruned_count;
   if (plans != nullptr) {
     plans->store(ranking_key, serialize_ranking(res, save_entry));
   }

@@ -39,6 +39,9 @@ struct GeneralAutotuneResult {
   std::vector<ScoredGeneralConfig> ranking;
   i64 evaluated = 0;
   i64 skipped = 0;  // illegal configurations rejected by the kernel
+  /// Legal configurations the kconv-xray pre-pass (static_prune) ranked
+  /// out before simulation (docs/MODEL.md §10). 0 when pruning was off.
+  i64 pruned = 0;
   /// The full ranking was served from a persisted plan store; no candidate
   /// was simulated. Scores are bit-identical to the cold sweep that wrote
   /// the entry (same arch, proxy, space, sampling and probe mode).
@@ -64,12 +67,22 @@ struct GeneralAutotuneResult {
 /// exact compute/smem counters and per-class approximate GM counters —
 /// rankings on these proxies are unchanged, only cheaper. Analytic and
 /// non-analytic sweeps are keyed separately.
+///
+/// `static_prune` (docs/MODEL.md §10) runs the kconv-xray symbolic pass
+/// over every legal candidate first — no Device, no block execution —
+/// scores each on the analytic time estimate of its predicted counters
+/// (same sampled block ids the probe launch would run), and simulates only
+/// the top half. Dominated configurations land in `pruned` instead of the
+/// ranking; the winner is unchanged on the shipping spaces (asserted by
+/// tests and the bench baseline), because the static counters are the
+/// exact inputs the simulator's own timing model consumes.
 GeneralAutotuneResult autotune_general(sim::Device& dev, i64 k, i64 c, i64 f,
                                        i64 n, const GeneralSpace& space = {},
                                        u64 sample_blocks = 2,
                                        u32 num_threads = 0,
                                        sim::PlanCache* plans = nullptr,
-                                       bool analytic = false);
+                                       bool analytic = false,
+                                       bool static_prune = false);
 
 struct SpecialSpace {
   std::vector<i64> block_w = {64, 128, 256, 512};
@@ -86,17 +99,20 @@ struct SpecialAutotuneResult {
   std::vector<ScoredSpecialConfig> ranking;
   i64 evaluated = 0;
   i64 skipped = 0;
+  /// Legal configurations the kconv-xray pre-pass ranked out (§10).
+  i64 pruned = 0;
   bool from_plan_cache = false;
 };
 
 /// Sweeps the special-case kernel's {W, H} (paper: best is 256 x 8).
-/// Parallel evaluation, persistence and analytic-probe semantics match
-/// `autotune_general`.
+/// Parallel evaluation, persistence, analytic-probe and static_prune
+/// semantics match `autotune_general`.
 SpecialAutotuneResult autotune_special(sim::Device& dev, i64 k, i64 f, i64 n,
                                        const SpecialSpace& space = {},
                                        u64 sample_blocks = 4,
                                        u32 num_threads = 0,
                                        sim::PlanCache* plans = nullptr,
-                                       bool analytic = false);
+                                       bool analytic = false,
+                                       bool static_prune = false);
 
 }  // namespace kconv::core

@@ -361,4 +361,53 @@ ConvResult conv2d(sim::Device& dev, const tensor::Tensor& input,
   return res;
 }
 
+xray::KernelModel conv2d_xray_model(const sim::Arch& arch, i64 c, i64 f,
+                                    i64 k, i64 hi, i64 wi,
+                                    const ConvOptions& opt) {
+  KCONV_CHECK(c >= 1 && f >= 1 && k >= 1 && hi >= k && wi >= k,
+              "conv2d_xray_model: degenerate problem shape");
+  if (opt.padding == Padding::Same) {
+    KCONV_CHECK(k % 2 == 1, "`same` padding requires an odd filter size");
+    hi += k - 1;
+    wi += k - 1;
+  }
+  Algo algo = opt.algo;
+  if (algo == Algo::Auto) algo = c == 1 ? Algo::Special : Algo::General;
+  const bool fused = !opt.fuse_bias_relu.empty();
+  KCONV_CHECK(!fused || algo == Algo::Special || algo == Algo::General,
+              strf("fuse_bias_relu is not supported by the '%s' algorithm",
+                   algo_name(algo)));
+  const i64 wo = tensor::conv_out_extent(wi, k, 0);
+
+  if (algo == Algo::Special) {
+    KCONV_CHECK(c == 1, "the special-case kernel requires C == 1");
+    kernels::SpecialConvConfig cfg;
+    cfg.vec_width = opt.vec_width;
+    while (cfg.block_w > 16 && cfg.block_w > wo * 2) cfg.block_w /= 2;
+    const std::string err =
+        kernels::special_conv_check(arch, k, f, hi, wi, cfg);
+    KCONV_CHECK(err.empty(), err);
+    return kernels::special_conv_xray(arch, k, f, hi, wi, cfg, fused);
+  }
+  if (algo == Algo::General) {
+    auto plan = plan_general(k, c, f);
+    plan.cfg.vec_width = opt.vec_width;
+    const std::string err = kernels::general_conv_check(arch, k, c,
+                                                        plan.f_padded, hi, wi,
+                                                        plan.cfg);
+    KCONV_CHECK(err.empty(), err);
+    return kernels::general_conv_xray(arch, k, c, plan.f_padded, hi, wi,
+                                      plan.cfg, fused);
+  }
+  KCONV_CHECK(algo == Algo::ImplicitGemm,
+              strf("the '%s' algorithm has no kconv-xray describer",
+                   algo_name(algo)));
+  auto cfg = kernels::implicit_gemm_auto_config(f, c, k);
+  if (opt.vec_width != 0) cfg.vec_width = opt.vec_width;
+  const std::string err =
+      kernels::implicit_gemm_check(arch, k, c, f, hi, wi, cfg);
+  KCONV_CHECK(err.empty(), err);
+  return kernels::implicit_gemm_xray(arch, k, c, f, hi, wi, cfg);
+}
+
 }  // namespace kconv::core

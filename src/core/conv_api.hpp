@@ -12,6 +12,7 @@
 #include <span>
 #include <string>
 
+#include "src/analysis/static/xray.hpp"
 #include "src/kernels/kernel_run.hpp"
 #include "src/sim/launch.hpp"
 
@@ -79,5 +80,17 @@ ConvResult conv2d_batched(sim::Device& dev, const tensor::Tensor& input,
 
 /// Useful flops of a valid convolution (2 per MAC).
 double conv_flops(i64 c, i64 f, i64 k, i64 ho, i64 wo);
+
+/// The kconv-xray model (docs/MODEL.md §10) of the exact kernel launch
+/// conv2d would make for a (1, C, Hi, Wi) input and (F, C, K, K) filters:
+/// same algorithm resolution, same `same`-padding staging, same tiling
+/// shrinks and filter-count padding — derived without a Device and without
+/// executing a block. Supported for the Special, General and ImplicitGemm
+/// algorithms (Auto resolves as conv2d does); throws kconv::Error for
+/// algorithms without a static describer or configurations the kernel
+/// would reject.
+xray::KernelModel conv2d_xray_model(const sim::Arch& arch, i64 c, i64 f,
+                                    i64 k, i64 hi, i64 wi,
+                                    const ConvOptions& opt = {});
 
 }  // namespace kconv::core

@@ -471,19 +471,28 @@ KernelRun run_general(sim::Device& dev, const tensor::Tensor& input,
   // Every parameter that shapes the access pattern is folded into the plan
   // key; the "v1" tag invalidates stored plans if the kernel body changes.
   sim::LaunchOptions lopt = opt;
-  if (lopt.plan_key.empty()) {
-    lopt.plan_key = strf(
-        "general_conv|v1|n=%d|k=%lld|c=%lld|f=%lld|hi=%lld|wi=%lld|bw=%lld|"
-        "bh=%lld|ftb=%lld|wt=%lld|ft=%lld|csh=%lld|pad=%d|pf=%d",
-        N, static_cast<long long>(K), static_cast<long long>(C),
-        static_cast<long long>(F), static_cast<long long>(Hi),
-        static_cast<long long>(Wi), static_cast<long long>(cfg.block_w),
-        static_cast<long long>(cfg.block_h), static_cast<long long>(cfg.ftb),
-        static_cast<long long>(cfg.wt), static_cast<long long>(cfg.ft),
-        static_cast<long long>(cfg.csh), cfg.pad_filters ? 1 : 0,
-        cfg.prefetch ? 1 : 0);
-    // Appended (not always present) so unfused keys match pre-fusion stores.
-    if (k.fused) lopt.plan_key += "|fused=br";
+  std::string canonical_key = strf(
+      "general_conv|v1|n=%d|k=%lld|c=%lld|f=%lld|hi=%lld|wi=%lld|bw=%lld|"
+      "bh=%lld|ftb=%lld|wt=%lld|ft=%lld|csh=%lld|pad=%d|pf=%d",
+      N, static_cast<long long>(K), static_cast<long long>(C),
+      static_cast<long long>(F), static_cast<long long>(Hi),
+      static_cast<long long>(Wi), static_cast<long long>(cfg.block_w),
+      static_cast<long long>(cfg.block_h), static_cast<long long>(cfg.ftb),
+      static_cast<long long>(cfg.wt), static_cast<long long>(cfg.ft),
+      static_cast<long long>(cfg.csh), cfg.pad_filters ? 1 : 0,
+      cfg.prefetch ? 1 : 0);
+  // Appended (not always present) so unfused keys match pre-fusion stores.
+  if (k.fused) canonical_key += "|fused=br";
+  if (lopt.plan_key.empty()) lopt.plan_key = canonical_key;
+  // Warm-plan pre-validation (docs/MODEL.md §10): stamp the launch with the
+  // kernel's xray signature so a stored plan captured under a different
+  // access pattern is rejected ("stale-static-signature"), not replayed.
+  // Memoized: the block-0 symbolic walk runs once per config per process.
+  if (lopt.plan_cache != nullptr && lopt.plan_static_signature == 0) {
+    lopt.plan_static_signature = xray::memoized_signature(
+        dev.arch(), canonical_key, [&] {
+          return general_conv_xray(dev.arch(), K, C, F, Hi, Wi, cfg, k.fused);
+        });
   }
 
   if (lopt.fleet.devices > 1) {
@@ -566,6 +575,301 @@ std::string general_conv_check(const sim::Arch& arch, i64 k, i64 c, i64 f,
                                i64 hi, i64 wi, const GeneralConvConfig& cfg) {
   GeneralLaunchPlan plan;
   return plan_general(arch, k, c, f, hi, wi, cfg, plan);
+}
+
+xray::KernelModel general_conv_xray(const sim::Arch& arch, i64 k, i64 c,
+                                    i64 f, i64 hi, i64 wi,
+                                    const GeneralConvConfig& cfg, bool fused) {
+  GeneralLaunchPlan plan;
+  const std::string err = plan_general(arch, k, c, f, hi, wi, cfg, plan);
+  KCONV_CHECK(err.empty(), err);
+
+  // Every parameter below replicates run_general<N> line for line: the same
+  // DevicePlanes pitches, the same GM allocation order (image, output,
+  // filters, then bias when fused), the same SharedLayout offsets.
+  struct P {
+    i64 K, C, F, Hi, Wi, Ho, Wo, W, H, FTB, WT, FT, CSH, TX, TY, nbx, N;
+    i64 rows_halo, cols_halo, stride_img, stride_flt;
+    i64 nthreads, units_per_row, total_img_units, total_flt;
+    i64 img_iters, flt_iters;
+    i64 in_pitch, out_pitch;
+    u64 in_base, out_base, filt_base, bias_base;
+    u64 sh_img, sh_flt;
+    bool prefetch, fused;
+  } p{};
+  p.K = k;
+  p.C = c;
+  p.F = f;
+  p.Hi = hi;
+  p.Wi = wi;
+  p.Ho = plan.Ho;
+  p.Wo = plan.Wo;
+  p.W = cfg.block_w;
+  p.H = cfg.block_h;
+  p.FTB = cfg.ftb;
+  p.WT = cfg.wt;
+  p.FT = cfg.ft;
+  p.CSH = cfg.csh;
+  p.TX = plan.TX;
+  p.TY = plan.TY;
+  p.nbx = plan.nbx;
+  p.N = plan.n;
+  p.rows_halo = plan.rows_halo;
+  p.cols_halo = plan.cols_halo;
+  p.stride_img = plan.stride_img;
+  p.stride_flt = plan.stride_flt;
+  p.nthreads = plan.TX * plan.TY;
+  p.units_per_row = ceil_div(plan.cols_halo, plan.n);
+  p.total_img_units = cfg.csh * plan.rows_halo * p.units_per_row;
+  p.total_flt = cfg.csh * k * k * cfg.ftb;
+  p.img_iters = plan.img_iters;
+  p.flt_iters = plan.flt_scalars;
+  p.prefetch = cfg.prefetch;
+  p.fused = fused;
+
+  xray::AddressSpace gm;
+  p.in_base = gm.alloc_planes(c, hi, wi, p.in_pitch);
+  p.out_base = gm.alloc_planes(f, p.Ho, p.Wo, p.out_pitch);
+  p.filt_base = gm.alloc_floats(f * c * k * k);
+  p.bias_base = fused ? gm.alloc_floats(f) : 0;
+  p.sh_img = plan.img_off;
+  p.sh_flt = plan.flt_off;
+
+  xray::KernelModel m;
+  m.kernel = "general_conv";
+  m.cfg = plan.lc;
+  // Paper §4 bound: each filter group re-reads the image once (grid.x
+  // passes), each spatial block reads its filter group once, each output is
+  // written once — the same terms as the roofline hints plus the store side.
+  const double fs = static_cast<double>(sizeof(float));
+  const double nby = static_cast<double>(ceil_div(p.Ho, p.H));
+  m.min_gm_bytes =
+      fs * static_cast<double>(c * hi * wi) *
+          static_cast<double>(plan.lc.grid.x) +
+      fs * static_cast<double>(c * k * k * f) * nby *
+          static_cast<double>(p.nbx) +
+      fs * static_cast<double>(f) * static_cast<double>(p.Ho) *
+          static_cast<double>(p.Wo);
+  if (fused) {
+    m.min_gm_bytes +=
+        fs * static_cast<double>(f) * nby * static_cast<double>(p.nbx);
+  }
+
+  enum Site : u32 {
+    kGmImgStage, kSmImgStage, kGmFltStage, kSmFltStage,
+    kSmImgRow, kSmFltCompute,
+    kGmImgNext, kGmFltNext, kSmImgPublish, kSmFltPublish,
+    kGmWriteback,
+    kGmBias,  // only declared when fused
+  };
+  m.sites = {
+      {"gm-img-stage", sim::Op::LoadGlobal, "§4.1 Alg. 2 line 4", false},
+      {"sm-img-stage", sim::Op::StoreShared, "§4.1 Alg. 2 line 5", false},
+      {"gm-flt-stage", sim::Op::LoadGlobal, "§4.2 Alg. 2 line 4", false},
+      {"sm-flt-stage", sim::Op::StoreShared, "§4.2 Fig. 6", false},
+      {"sm-img-row", sim::Op::LoadShared, "§4.2 Alg. 2 line 11", false},
+      {"sm-flt-compute", sim::Op::LoadShared, "§4.2 Alg. 2 line 12", false},
+      {"gm-img-next", sim::Op::LoadGlobal, "§4.1 Alg. 2 lines 8/17", false},
+      {"gm-flt-next", sim::Op::LoadGlobal, "§4.2 Alg. 2 lines 9/17", false},
+      {"sm-img-publish", sim::Op::StoreShared, "§4.1 Alg. 2 line 17", false},
+      {"sm-flt-publish", sim::Op::StoreShared, "§4.2 Fig. 6", false},
+      {"gm-writeback", sim::Op::StoreGlobal, "§4 Alg. 2 line 20", false},
+  };
+  if (fused) {
+    m.sites.push_back({"gm-bias", sim::Op::LoadGlobal,
+                       "§4 Alg. 2 line 20 (fused epilogue)", false});
+  }
+
+  m.emit = [p](sim::Dim3 b, xray::ModelSink& sink) {
+    constexpr u32 kNone = ~0u;
+    const u32 vb = static_cast<u32>(p.N * sizeof(float));
+    const u32 sb = static_cast<u32>(sizeof(float));
+    const i64 fblk = b.x;
+    const i64 sx = static_cast<i64>(b.y) % p.nbx;
+    const i64 sy = static_cast<i64>(b.y) / p.nbx;
+    const i64 KK = p.K * p.K;
+    const auto in_addr = [&p](i64 ci, i64 y, i64 x) {
+      return p.in_base + static_cast<u64>(
+                             (((ci * p.Hi + y) * p.in_pitch) + x) *
+                             static_cast<i64>(sizeof(float)));
+    };
+    const auto out_addr = [&p](i64 pf, i64 y, i64 x) {
+      return p.out_base + static_cast<u64>(
+                              (((pf * p.Ho + y) * p.out_pitch) + x) *
+                              static_cast<i64>(sizeof(float)));
+    };
+    const auto filt_addr = [&p](i64 idx) {
+      return p.filt_base + static_cast<u64>(idx) * sizeof(float);
+    };
+    const auto sm_img = [&p](i64 idx) {
+      return p.sh_img + static_cast<u64>(idx) * sizeof(float);
+    };
+    const auto sm_flt = [&p](i64 idx) {
+      return p.sh_flt + static_cast<u64>(idx) * sizeof(float);
+    };
+    std::vector<xray::LaneAccess> lanes(static_cast<size_t>(p.nthreads));
+    const auto each = [&](auto&& fill) {
+      for (i64 t = 0; t < p.nthreads; ++t) {
+        lanes[static_cast<size_t>(t)] = fill(t % p.TX, t / p.TX);
+      }
+    };
+
+    // Lines 4-5 / 8-9 / 17-18: the cooperative image staging loop, emitted
+    // for channel base `cbase` with either or both of its GM-load and
+    // SM-store halves (prefetch splits them across a barrier).
+    const auto img_stage = [&](i64 cbase, u32 gm_site, u32 sm_site) {
+      for (i64 it = 0; it < p.img_iters; ++it) {
+        const auto idx = [&](i64 tx, i64 ty, i64& ci, i64& ry, i64& cu,
+                             bool& ok, bool& any) {
+          const i64 u = (tx + p.TX * ty) + it * p.nthreads;
+          ci = (u / (p.rows_halo * p.units_per_row)) % p.CSH;
+          const i64 rem = u % (p.rows_halo * p.units_per_row);
+          ry = rem / p.units_per_row;
+          cu = rem % p.units_per_row;
+          any = u < p.total_img_units;
+          ok = any && sy * p.H + ry < p.Hi && sx * p.W + cu * p.N < p.Wi;
+        };
+        if (gm_site != kNone) {
+          each([&](i64 tx, i64 ty) -> xray::LaneAccess {
+            i64 ci, ry, cu;
+            bool ok, any;
+            idx(tx, ty, ci, ry, cu, ok, any);
+            return {ok ? in_addr(cbase + ci, sy * p.H + ry, sx * p.W + cu * p.N)
+                       : 0,
+                    vb, ok, any};
+          });
+          sink.site(gm_site, lanes);
+        }
+        if (sm_site != kNone) {
+          each([&](i64 tx, i64 ty) -> xray::LaneAccess {
+            i64 ci, ry, cu;
+            bool ok, any;
+            idx(tx, ty, ci, ry, cu, ok, any);
+            return {sm_img((ci * p.rows_halo + ry) * p.stride_img + cu * p.N),
+                    vb, ok, any};
+          });
+          sink.site(sm_site, lanes);
+        }
+      }
+    };
+    // The filter staging loop; the in-range predicate is block-invariant.
+    const auto flt_stage = [&](i64 cbase, u32 gm_site, u32 sm_site) {
+      for (i64 it = 0; it < p.flt_iters; ++it) {
+        const auto idx = [&](i64 tx, i64 ty, i64& ff, i64& ci, i64& kk,
+                             bool& ok) {
+          const i64 e = (tx + p.TX * ty) + it * p.nthreads;
+          ok = e < p.total_flt;
+          ff = ok ? e / (p.CSH * KK) : 0;
+          const i64 rem = ok ? e % (p.CSH * KK) : 0;
+          ci = rem / KK;
+          kk = rem % KK;
+        };
+        if (gm_site != kNone) {
+          each([&](i64 tx, i64 ty) -> xray::LaneAccess {
+            i64 ff, ci, kk;
+            bool ok;
+            idx(tx, ty, ff, ci, kk, ok);
+            return {ok ? filt_addr(((fblk * p.FTB + ff) * p.C + cbase + ci) *
+                                   KK + kk)
+                       : 0,
+                    sb, ok, ok};
+          });
+          sink.site(gm_site, lanes);
+        }
+        if (sm_site != kNone) {
+          each([&](i64 tx, i64 ty) -> xray::LaneAccess {
+            i64 ff, ci, kk;
+            bool ok;
+            idx(tx, ty, ff, ci, kk, ok);
+            return {sm_flt((ci * KK + kk) * p.stride_flt + ff), sb, ok, ok};
+          });
+          sink.site(sm_site, lanes);
+        }
+      }
+    };
+
+    // Lines 4-6: the initial fill.
+    img_stage(0, kGmImgStage, kSmImgStage);
+    flt_stage(0, kGmFltStage, kSmFltStage);
+    sink.sync();
+
+    // Line 7: the channel loop.
+    for (i64 c0 = 0; c0 < p.C; c0 += p.CSH) {
+      const bool has_next = c0 + p.CSH < p.C;
+
+      // Lines 10-15: compute. All addresses are block-invariant; TX
+      // consecutive threads broadcast image rows and stride filter units.
+      for (i64 i = 0; i < p.CSH; ++i) {
+        for (i64 j = 0; j < p.K; ++j) {
+          for (i64 u = 0; u * p.N < p.WT + p.K - 1; ++u) {
+            each([&](i64, i64 ty) -> xray::LaneAccess {
+              const i64 orow_local = (ty * p.WT) / p.W;
+              const i64 ocol_local = (ty * p.WT) % p.W;
+              return {sm_img((i * p.rows_halo + orow_local + j) *
+                                 p.stride_img + ocol_local + u * p.N),
+                      vb, true, true};
+            });
+            sink.site(kSmImgRow, lanes);
+          }
+          for (i64 kx = 0; kx < p.K; ++kx) {
+            for (i64 u = 0; u < p.FT / p.N; ++u) {
+              each([&](i64 tx, i64) -> xray::LaneAccess {
+                return {sm_flt((i * KK + j * p.K + kx) * p.stride_flt +
+                               (tx + u * p.TX) * p.N),
+                        vb, true, true};
+              });
+              sink.site(kSmFltCompute, lanes);
+            }
+            sink.fma(static_cast<u64>(p.FT * p.WT));
+          }
+        }
+      }
+
+      // Lines 8-9: prefetch the next channels into registers.
+      if (p.prefetch && has_next) {
+        img_stage(c0 + p.CSH, kGmImgNext, kNone);
+        flt_stage(c0 + p.CSH, kGmFltNext, kNone);
+      }
+      sink.sync();  // line 16
+      // Lines 17-18: publish (from registers, or straight from GM — A1).
+      if (has_next) {
+        if (p.prefetch) {
+          img_stage(c0 + p.CSH, kNone, kSmImgPublish);
+          flt_stage(c0 + p.CSH, kNone, kSmFltPublish);
+        } else {
+          img_stage(c0 + p.CSH, kGmImgNext, kSmImgPublish);
+          flt_stage(c0 + p.CSH, kGmFltNext, kSmFltPublish);
+        }
+      }
+      sink.sync();  // line 19
+    }
+
+    // Line 20: write-back — contiguous threads in X hit different output
+    // planes, uncoalesced by design.
+    for (i64 s = 0; s < p.FT; ++s) {
+      const auto gf_of = [&](i64 tx) {
+        return fblk * p.FTB + (tx + (s / p.N) * p.TX) * p.N + s % p.N;
+      };
+      if (p.fused) {
+        each([&](i64 tx, i64) -> xray::LaneAccess {
+          return {p.bias_base + static_cast<u64>(gf_of(tx)) * sizeof(float),
+                  sb, true, true};
+        });
+        sink.site(kGmBias, lanes);
+      }
+      for (i64 wu = 0; wu * p.N < p.WT; ++wu) {
+        if (p.fused) sink.alu(static_cast<u64>(2 * p.N));
+        each([&](i64 tx, i64 ty) -> xray::LaneAccess {
+          const i64 orow = sy * p.H + (ty * p.WT) / p.W;
+          const i64 ocol = sx * p.W + (ty * p.WT) % p.W + wu * p.N;
+          const bool ok = orow < p.Ho && ocol < p.Wo;
+          return {ok ? out_addr(gf_of(tx), orow, ocol) : 0, vb, ok, true};
+        });
+        sink.site(kGmWriteback, lanes);
+      }
+    }
+  };
+  return m;
 }
 
 KernelRun general_conv(sim::Device& dev, const tensor::Tensor& input,

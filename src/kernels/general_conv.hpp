@@ -22,6 +22,7 @@
 
 #include <span>
 
+#include "src/analysis/static/xray.hpp"
 #include "src/common/types.hpp"
 #include "src/kernels/kernel_run.hpp"
 #include "src/sim/launch.hpp"
@@ -61,6 +62,16 @@ inline constexpr i64 kGeneralMaxFT = 8;
 /// illegal points without exceptions as control flow.
 std::string general_conv_check(const sim::Arch& arch, i64 k, i64 c, i64 f,
                                i64 hi, i64 wi, const GeneralConvConfig& cfg);
+
+/// The kernel's access-site descriptor for kconv-xray (docs/MODEL.md §10):
+/// replays Algorithm 2's instruction stream symbolically — same allocation
+/// order, same address expressions, same predicates as `general_conv` —
+/// without a Device. Callers must pass a configuration `general_conv_check`
+/// accepts. `fused` mirrors a non-empty `fuse_bias_relu`.
+xray::KernelModel general_conv_xray(const sim::Arch& arch, i64 k, i64 c,
+                                    i64 f, i64 hi, i64 wi,
+                                    const GeneralConvConfig& cfg,
+                                    bool fused = false);
 
 /// Runs the general-case kernel: `input` is (1, C, Hi, Wi), `filters` is
 /// (F, C, K, K); output is the valid convolution (1, F, Ho, Wo).

@@ -286,16 +286,26 @@ KernelRun run_implicit(sim::Device& dev, const tensor::Tensor& input,
       cfg.tm * cfg.tn + cfg.tm + cfg.tn + 2 * kMaxStage + 24, dev.arch().max_regs_per_thread));
 
   sim::LaunchOptions lopt = opt;
-  if (lopt.plan_key.empty()) {
-    lopt.plan_key = strf(
-        "implicit_gemm|v1|n=%d|k=%lld|c=%lld|f=%lld|hi=%lld|wi=%lld|bm=%lld|"
-        "bn=%lld|bk=%lld|tm=%lld|tn=%lld|pf=%d",
-        N, static_cast<long long>(K), static_cast<long long>(C),
-        static_cast<long long>(F), static_cast<long long>(input.h()),
-        static_cast<long long>(input.w()), static_cast<long long>(cfg.bm),
-        static_cast<long long>(cfg.bn), static_cast<long long>(cfg.bk),
-        static_cast<long long>(cfg.tm), static_cast<long long>(cfg.tn),
-        cfg.prefetch ? 1 : 0);
+  const std::string canonical_key = strf(
+      "implicit_gemm|v1|n=%d|k=%lld|c=%lld|f=%lld|hi=%lld|wi=%lld|bm=%lld|"
+      "bn=%lld|bk=%lld|tm=%lld|tn=%lld|pf=%d",
+      N, static_cast<long long>(K), static_cast<long long>(C),
+      static_cast<long long>(F), static_cast<long long>(input.h()),
+      static_cast<long long>(input.w()), static_cast<long long>(cfg.bm),
+      static_cast<long long>(cfg.bn), static_cast<long long>(cfg.bk),
+      static_cast<long long>(cfg.tm), static_cast<long long>(cfg.tn),
+      cfg.prefetch ? 1 : 0);
+  if (lopt.plan_key.empty()) lopt.plan_key = canonical_key;
+  // Warm-plan pre-validation (docs/MODEL.md §10): stamp the launch with the
+  // kernel's xray signature so a stored plan captured under a different
+  // access pattern is rejected ("stale-static-signature"), not replayed.
+  // Memoized: the block-0 symbolic walk runs once per config per process.
+  if (lopt.plan_cache != nullptr && lopt.plan_static_signature == 0) {
+    lopt.plan_static_signature = xray::memoized_signature(
+        dev.arch(), canonical_key, [&] {
+          return implicit_gemm_xray(dev.arch(), K, C, F, input.h(),
+                                    input.w(), cfg);
+        });
   }
 
   KernelRun run;
@@ -322,6 +332,313 @@ KernelRun run_implicit(sim::Device& dev, const tensor::Tensor& input,
 }
 
 }  // namespace
+
+std::string implicit_gemm_check(const sim::Arch& arch, i64 k, i64 c, i64 f,
+                                i64 hi, i64 wi,
+                                const ImplicitGemmConfig& cfg) {
+  i64 n = cfg.vec_width;
+  if (n == 0) n = arch.smem_bank_bytes / sizeof(float);
+  if (n != 1 && n != 2 && n != 4) {
+    return strf("unsupported vector width %lld", static_cast<long long>(n));
+  }
+  if (cfg.tm < 1 || cfg.tm > kMaxMicro || cfg.tn < 1 || cfg.tn > kMaxMicro) {
+    return "micro-tile exceeds register capacity";
+  }
+  if (cfg.bm % cfg.tm != 0 || cfg.bn % cfg.tn != 0) {
+    return "tile extents must be multiples of the micro-tile";
+  }
+  if (cfg.tm % n != 0 || cfg.tn % n != 0) {
+    return "micro-tile must be a multiple of the vector width";
+  }
+  const i64 Ho = tensor::conv_out_extent(hi, k, 0);
+  const i64 Wo = tensor::conv_out_extent(wi, k, 0);
+  if (Ho < 1 || Wo < 1) return "image smaller than the filter";
+  const i64 nthreads = (cfg.bn / cfg.tn) * (cfg.bm / cfg.tm);
+  if (ceil_div(cfg.bm * cfg.bk, nthreads) > kMaxStage ||
+      ceil_div(cfg.bk * cfg.bn, nthreads) > kMaxStage) {
+    return "tile staging work exceeds per-thread register capacity";
+  }
+  (void)c;
+
+  sim::SharedLayout smem;
+  const i64 pad = arch.smem_bank_bytes / sizeof(float);
+  (void)smem.alloc<float>(cfg.bk * (cfg.bm + pad));
+  (void)smem.alloc<float>(cfg.bk * cfg.bn);
+  sim::LaunchConfig lc;
+  lc.grid = sim::Dim3{static_cast<u32>(ceil_div(Ho * Wo, cfg.bn)),
+                      static_cast<u32>(ceil_div(f, cfg.bm)), 1};
+  lc.block = sim::Dim3{static_cast<u32>(cfg.bn / cfg.tn),
+                       static_cast<u32>(cfg.bm / cfg.tm), 1};
+  lc.shared_bytes = smem.size();
+  lc.regs_per_thread = static_cast<u32>(std::min<i64>(
+      cfg.tm * cfg.tn + cfg.tm + cfg.tn + 2 * kMaxStage + 24,
+      arch.max_regs_per_thread));
+  return sim::launch_feasibility_error(arch, lc);
+}
+
+xray::KernelModel implicit_gemm_xray(const sim::Arch& arch, i64 k, i64 c,
+                                     i64 f, i64 hi, i64 wi,
+                                     const ImplicitGemmConfig& cfg) {
+  const std::string err = implicit_gemm_check(arch, k, c, f, hi, wi, cfg);
+  KCONV_CHECK(err.empty(), err);
+  i64 n = cfg.vec_width;
+  if (n == 0) n = arch.smem_bank_bytes / sizeof(float);
+
+  // Every parameter below replicates run_implicit<N> line for line: the
+  // same DevicePlanes pitches, the same GM allocation order (image, output,
+  // filters), the same SharedLayout offsets and padded A-panel stride.
+  struct P {
+    i64 K, C, F, Hi, Wi, Ho, Wo, BM, BN, BK, TM, TN, TXg, TYg, N;
+    i64 stride_a, stride_b;
+    i64 nthreads, a_elems, b_elems, a_iters, b_iters, steps, Kdim, Np;
+    i64 in_pitch, out_pitch;
+    u64 in_base, out_base, filt_base;
+    u64 sh_a, sh_b;
+    bool prefetch;
+  } p{};
+  p.K = k;
+  p.C = c;
+  p.F = f;
+  p.Hi = hi;
+  p.Wi = wi;
+  p.Ho = tensor::conv_out_extent(hi, k, 0);
+  p.Wo = tensor::conv_out_extent(wi, k, 0);
+  p.BM = cfg.bm;
+  p.BN = cfg.bn;
+  p.BK = cfg.bk;
+  p.TM = cfg.tm;
+  p.TN = cfg.tn;
+  p.TXg = cfg.bn / cfg.tn;
+  p.TYg = cfg.bm / cfg.tm;
+  p.N = n;
+  p.nthreads = p.TXg * p.TYg;
+  p.a_elems = cfg.bm * cfg.bk;
+  p.b_elems = cfg.bk * cfg.bn;
+  p.a_iters = ceil_div(p.a_elems, p.nthreads);
+  p.b_iters = ceil_div(p.b_elems, p.nthreads);
+  p.Kdim = c * k * k;
+  p.Np = p.Ho * p.Wo;
+  p.steps = ceil_div(p.Kdim, cfg.bk);
+  p.prefetch = cfg.prefetch;
+
+  xray::AddressSpace gm;
+  p.in_base = gm.alloc_planes(c, hi, wi, p.in_pitch);
+  p.out_base = gm.alloc_planes(f, p.Ho, p.Wo, p.out_pitch);
+  p.filt_base = gm.alloc_floats(f * c * k * k);
+
+  sim::SharedLayout smem;
+  const i64 pad = arch.smem_bank_bytes / sizeof(float);
+  p.stride_a = cfg.bm + pad;
+  p.stride_b = cfg.bn;
+  p.sh_a = smem.alloc<float>(cfg.bk * p.stride_a);
+  p.sh_b = smem.alloc<float>(cfg.bk * p.stride_b);
+
+  xray::KernelModel m;
+  m.kernel = "implicit_gemm";
+  m.cfg.grid = sim::Dim3{static_cast<u32>(ceil_div(p.Np, cfg.bn)),
+                         static_cast<u32>(ceil_div(f, cfg.bm)), 1};
+  m.cfg.block = sim::Dim3{static_cast<u32>(p.TXg), static_cast<u32>(p.TYg),
+                          1};
+  m.cfg.shared_bytes = smem.size();
+  m.cfg.regs_per_thread = static_cast<u32>(std::min<i64>(
+      cfg.tm * cfg.tn + cfg.tm + cfg.tn + 2 * kMaxStage + 24,
+      arch.max_regs_per_thread));
+  // The baseline's own tiling bound (not the paper's §3/§4 conv bound): the
+  // A panel once per pixel-block column, the implicit B panel once per
+  // filter-block row, each output written once. Its gap to the §3/§4 bound
+  // is exactly the K*K re-read Fig. 7 measures.
+  const double fs = static_cast<double>(sizeof(float));
+  m.min_gm_bytes =
+      fs * static_cast<double>(f * p.Kdim) *
+          static_cast<double>(m.cfg.grid.x) +
+      fs * static_cast<double>(p.Kdim * p.Np) *
+          static_cast<double>(m.cfg.grid.y) +
+      fs * static_cast<double>(f) * static_cast<double>(p.Np);
+
+  enum Site : u32 {
+    kGmAStage, kSmAStage, kGmBStage, kSmBStage,
+    kSmACompute, kSmBCompute,
+    kGmANext, kGmBNext, kSmAPublish, kSmBPublish,
+    kGmWriteback,
+  };
+  m.sites = {
+      {"gm-a-stage", sim::Op::LoadGlobal, "§5 baseline [8] filter panel",
+       false},
+      {"sm-a-stage", sim::Op::StoreShared, "§5 baseline [8] padded A panel",
+       false},
+      {"gm-b-stage", sim::Op::LoadGlobal, "§5 baseline [8] im2col decode",
+       false},
+      {"sm-b-stage", sim::Op::StoreShared, "§5 baseline [8] B panel", false},
+      {"sm-a-compute", sim::Op::LoadShared, "§5 baseline [8]", false},
+      {"sm-b-compute", sim::Op::LoadShared, "§5 baseline [8]", false},
+      {"gm-a-next", sim::Op::LoadGlobal, "§5 baseline [8] filter panel",
+       false},
+      {"gm-b-next", sim::Op::LoadGlobal, "§5 baseline [8] im2col decode",
+       false},
+      {"sm-a-publish", sim::Op::StoreShared, "§5 baseline [8] padded A panel",
+       false},
+      {"sm-b-publish", sim::Op::StoreShared, "§5 baseline [8] B panel",
+       false},
+      {"gm-writeback", sim::Op::StoreGlobal, "§5 baseline [8] scatter",
+       false},
+  };
+
+  m.emit = [p](sim::Dim3 b, xray::ModelSink& sink) {
+    constexpr u32 kNone = ~0u;
+    const u32 vb = static_cast<u32>(p.N * sizeof(float));
+    const u32 sb = static_cast<u32>(sizeof(float));
+    const i64 m0 = static_cast<i64>(b.y) * p.BM;
+    const i64 p0 = static_cast<i64>(b.x) * p.BN;
+    const i64 KK = p.K * p.K;
+    const auto in_addr = [&p](i64 ci, i64 y, i64 x) {
+      return p.in_base + static_cast<u64>(
+                             (((ci * p.Hi + y) * p.in_pitch) + x) *
+                             static_cast<i64>(sizeof(float)));
+    };
+    const auto out_addr = [&p](i64 pf, i64 y, i64 x) {
+      return p.out_base + static_cast<u64>(
+                              (((pf * p.Ho + y) * p.out_pitch) + x) *
+                              static_cast<i64>(sizeof(float)));
+    };
+    const auto filt_addr = [&p](i64 idx) {
+      return p.filt_base + static_cast<u64>(idx) * sizeof(float);
+    };
+    const auto sm_a = [&p](i64 idx) {
+      return p.sh_a + static_cast<u64>(idx) * sizeof(float);
+    };
+    const auto sm_b = [&p](i64 idx) {
+      return p.sh_b + static_cast<u64>(idx) * sizeof(float);
+    };
+    std::vector<xray::LaneAccess> lanes(static_cast<size_t>(p.nthreads));
+    const auto each = [&](auto&& fill) {
+      for (i64 t = 0; t < p.nthreads; ++t) {
+        lanes[static_cast<size_t>(t)] = fill(t);
+      }
+    };
+
+    // The A-panel staging loop for K-slab base `kbase`: GM-load and/or
+    // SM-store halves (prefetch splits them across a barrier). The SM
+    // store's predicate is the block-invariant `e < a_elems` — out-of-range
+    // filter rows stage zeros.
+    const auto a_stage = [&](i64 kbase, u32 gm_site, u32 sm_site) {
+      for (i64 it = 0; it < p.a_iters; ++it) {
+        if (gm_site != kNone) {
+          each([&](i64 t) -> xray::LaneAccess {
+            const i64 e = t + it * p.nthreads;
+            const i64 mm = (e / p.BK) % p.BM;
+            const i64 kk = kbase + e % p.BK;
+            const bool ok = e < p.a_elems && m0 + mm < p.F && kk < p.Kdim;
+            return {ok ? filt_addr((m0 + mm) * p.Kdim + kk) : 0, sb, ok, ok};
+          });
+          sink.site(gm_site, lanes);
+        }
+        if (sm_site != kNone) {
+          each([&](i64 t) -> xray::LaneAccess {
+            const i64 e = t + it * p.nthreads;
+            const i64 mm = (e / p.BK) % p.BM;
+            const bool ok = e < p.a_elems;
+            return {sm_a((e % p.BK) * p.stride_a + mm), sb, ok, ok};
+          });
+          sink.site(sm_site, lanes);
+        }
+      }
+    };
+    // The B-panel staging loop: each GM iteration spends 12 uniform ALU
+    // lane-ops on the im2col div/mod decode before the load issues.
+    const auto b_stage = [&](i64 kbase, u32 gm_site, u32 sm_site) {
+      for (i64 it = 0; it < p.b_iters; ++it) {
+        if (gm_site != kNone) {
+          sink.alu(12);
+          each([&](i64 t) -> xray::LaneAccess {
+            const i64 e = t + it * p.nthreads;
+            const i64 r = kbase + (e / p.BN) % p.BK;
+            const i64 col = e % p.BN;
+            const bool ok = e < p.b_elems && r < p.Kdim && p0 + col < p.Np;
+            const i64 ci = r / KK, dy = (r % KK) / p.K, dx = r % p.K;
+            const i64 y = (p0 + col) / p.Wo, x = (p0 + col) % p.Wo;
+            return {ok ? in_addr(ci, y + dy, x + dx) : 0, sb, ok, ok};
+          });
+          sink.site(gm_site, lanes);
+        }
+        if (sm_site != kNone) {
+          each([&](i64 t) -> xray::LaneAccess {
+            const i64 e = t + it * p.nthreads;
+            const i64 r = (e / p.BN) % p.BK;
+            const bool ok = e < p.b_elems;
+            return {sm_b(r * p.stride_b + e % p.BN), sb, ok, ok};
+          });
+          sink.site(sm_site, lanes);
+        }
+      }
+    };
+
+    // The initial fill.
+    a_stage(0, kGmAStage, kSmAStage);
+    b_stage(0, kGmBStage, kSmBStage);
+    sink.sync();
+
+    for (i64 s = 0; s < p.steps; ++s) {
+      const i64 kb = s * p.BK;
+      const bool has_next = s + 1 < p.steps;
+
+      if (p.prefetch && has_next) {
+        a_stage(kb + p.BK, kGmANext, kNone);
+        b_stage(kb + p.BK, kGmBNext, kNone);
+      }
+
+      // The micro-tiled GEMM inner loop: A fragments broadcast across the
+      // warp's X extent, B fragments stride conflict-free.
+      for (i64 kk = 0; kk < p.BK; ++kk) {
+        for (i64 u = 0; u * p.N < p.TM; ++u) {
+          each([&](i64 t) -> xray::LaneAccess {
+            const i64 ty = t / p.TXg;
+            return {sm_a(kk * p.stride_a + (ty + u * p.TYg) * p.N), vb, true,
+                    true};
+          });
+          sink.site(kSmACompute, lanes);
+        }
+        for (i64 u = 0; u * p.N < p.TN; ++u) {
+          each([&](i64 t) -> xray::LaneAccess {
+            const i64 tx = t % p.TXg;
+            return {sm_b(kk * p.stride_b + (tx + u * p.TXg) * p.N), vb, true,
+                    true};
+          });
+          sink.site(kSmBCompute, lanes);
+        }
+        sink.fma(static_cast<u64>(p.TM * p.TN));
+      }
+      sink.sync();
+
+      if (has_next) {
+        if (p.prefetch) {
+          a_stage(0, kNone, kSmAPublish);
+          b_stage(0, kNone, kSmBPublish);
+        } else {
+          a_stage(kb + p.BK, kGmANext, kSmAPublish);
+          b_stage(kb + p.BK, kGmBNext, kSmBPublish);
+        }
+      }
+      sink.sync();
+    }
+
+    // Scatter the micro-tile: rows are filters, so contiguous X threads hit
+    // different output planes.
+    for (i64 i = 0; i < p.TM; ++i) {
+      for (i64 j = 0; j < p.TN; ++j) {
+        sink.alu(2);
+        each([&](i64 t) -> xray::LaneAccess {
+          const i64 tx = t % p.TXg, ty = t / p.TXg;
+          const i64 ff = m0 + (ty + (i / p.N) * p.TYg) * p.N + i % p.N;
+          const i64 pp = p0 + (tx + (j / p.N) * p.TXg) * p.N + j % p.N;
+          const bool ok = ff < p.F && pp < p.Np;
+          return {ok ? out_addr(ff, pp / p.Wo, pp % p.Wo) : 0, sb, ok, true};
+        });
+        sink.site(kGmWriteback, lanes);
+      }
+    }
+  };
+  return m;
+}
 
 ImplicitGemmConfig implicit_gemm_auto_config(i64 f, i64 c, i64 k) {
   // cuDNN v5 ships a small menu of pre-compiled SASS GEMM tiles; the

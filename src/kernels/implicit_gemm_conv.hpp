@@ -13,6 +13,7 @@
 // spending index arithmetic on the im2col address decode.
 #pragma once
 
+#include "src/analysis/static/xray.hpp"
 #include "src/common/types.hpp"
 #include "src/kernels/kernel_run.hpp"
 #include "src/sim/launch.hpp"
@@ -35,6 +36,25 @@ struct ImplicitGemmConfig {
 /// rows depending on F. This rigidity is faithful: cuDNN ships a handful
 /// of pre-compiled SASS tiles and pads every problem into them.
 ImplicitGemmConfig implicit_gemm_auto_config(i64 f, i64 c, i64 k);
+
+/// Cheap legality probe for a candidate configuration on a (K, C, F, Hi,
+/// Wi) problem: empty string when `implicit_gemm_conv` with the same
+/// parameters would launch, otherwise the reason it would be rejected
+/// (micro-tile capacity, divisibility, staging-register capacity,
+/// shared-memory or occupancy limits). Runs no simulation and allocates
+/// nothing.
+std::string implicit_gemm_check(const sim::Arch& arch, i64 k, i64 c, i64 f,
+                                i64 hi, i64 wi,
+                                const ImplicitGemmConfig& cfg);
+
+/// The kernel's access-site descriptor for kconv-xray (docs/MODEL.md §10):
+/// replays the tiled-GEMM instruction stream symbolically — same allocation
+/// order, same address expressions (including the im2col decode), same
+/// predicates as `implicit_gemm_conv` — without a Device. Callers must pass
+/// a configuration `implicit_gemm_check` accepts.
+xray::KernelModel implicit_gemm_xray(const sim::Arch& arch, i64 k, i64 c,
+                                     i64 f, i64 hi, i64 wi,
+                                     const ImplicitGemmConfig& cfg);
 
 /// Runs the implicit-GEMM convolution: input (1, C, Hi, Wi), filters
 /// (F, C, K, K) -> valid output (1, F, Ho, Wo). Works for any C >= 1

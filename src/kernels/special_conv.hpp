@@ -19,6 +19,7 @@
 
 #include <span>
 
+#include "src/analysis/static/xray.hpp"
 #include "src/common/types.hpp"
 #include "src/kernels/kernel_run.hpp"
 #include "src/sim/launch.hpp"
@@ -48,6 +49,16 @@ inline constexpr i64 kSpecialMaxK = 7;
 /// illegal points without exceptions as control flow.
 std::string special_conv_check(const sim::Arch& arch, i64 k, i64 f, i64 hi,
                                i64 wi, const SpecialConvConfig& cfg);
+
+/// The kernel's access-site descriptor for kconv-xray (docs/MODEL.md §10):
+/// replays Algorithm 1's instruction stream symbolically — same allocation
+/// order, same address expressions, same predicates as `special_conv` —
+/// without a Device. Callers must pass a configuration `special_conv_check`
+/// accepts. `fused` mirrors a non-empty `fuse_bias_relu`.
+xray::KernelModel special_conv_xray(const sim::Arch& arch, i64 k, i64 f,
+                                    i64 hi, i64 wi,
+                                    const SpecialConvConfig& cfg,
+                                    bool fused = false);
 
 /// Runs the special-case kernel: `input` is (1, 1, Hi, Wi), `filters` is
 /// (F, 1, K, K), output is the valid convolution (1, F, Hi-K+1, Wi-K+1).

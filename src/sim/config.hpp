@@ -97,6 +97,15 @@ struct LaunchOptions {
   /// access pattern (and bump their embedded version tag when the kernel
   /// code itself changes).
   std::string plan_key;
+  /// kconv-xray pre-validation (docs/MODEL.md §10): the static access
+  /// signature of the kernel about to launch. When non-zero, a loaded plan
+  /// whose recorded signature is non-zero and different is rejected as
+  /// "stale-static-signature" (capture predates a kernel change the key's
+  /// version tag missed), and fresh captures are stored carrying this
+  /// value. 0 (default) disables the check and stores 0. Kernel runners
+  /// with an xray describer fill it automatically when a plan cache is
+  /// attached.
+  u64 plan_static_signature = 0;
   /// Analytic execution (docs/MODEL.md §5d): serve every non-representative
   /// block's counters straight from its class trace — no lane coroutines,
   /// no functional memory, no output tensors (callers must not download).

@@ -175,9 +175,24 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     std::string blob;
     std::string_view payload;
     std::string why;
+    // kconv-xray pre-validation (docs/MODEL.md §10): a plan whose recorded
+    // static signature disagrees with the launching kernel's is a capture
+    // of a *different* access pattern under the same key — reject it
+    // before trusting a byte, same as any other staleness. Either side
+    // reporting 0 (no describer) degrades to the key-only contract.
+    const auto signature_matches = [&](const LaunchPlan& p,
+                                       std::string* reason) {
+      if (opt.plan_static_signature == 0 || p.static_signature == 0 ||
+          p.static_signature == opt.plan_static_signature) {
+        return true;
+      }
+      if (reason != nullptr) *reason = "stale-static-signature";
+      return false;
+    };
     if (plans->load_view(store_key, blob, payload, &why)) {
       if (deserialize_plan(payload, plan, &why) &&
-          plan_matches(plan, arch, cfg, opt.trace, &why)) {
+          plan_matches(plan, arch, cfg, opt.trace, &why) &&
+          signature_matches(plan, &why)) {
         plan_hit = true;
         why = "hit";
         if (want_tapes) {
@@ -215,6 +230,11 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     out.arch = arch_fingerprint(arch);
     out.trace_level = static_cast<u8>(opt.trace);
     out.cfg = cfg;
+    // Prefer the launching kernel's signature; a signature-less re-store
+    // of a signed warm plan keeps the stored value instead of erasing it.
+    out.static_signature = opt.plan_static_signature != 0
+                               ? opt.plan_static_signature
+                               : loaded.static_signature;
     // Keep every loaded class (a sampled warm launch may not even visit
     // some of them); export_plan appends only ids not already present.
     out.classes = std::move(loaded.classes);

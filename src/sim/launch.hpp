@@ -75,9 +75,11 @@ struct LaunchResult {
   bool plan_cache_hit = false;
   /// Why the store (when configured) did or did not serve: "hit", "miss",
   /// "corrupt", "corrupt-payload", "stale-version", "stale-key",
-  /// "stale-arch", "stale-config", "stale-trace-level", or "disabled"
-  /// (non-replay launch, empty key, or hazard_check). Empty when no
-  /// plan_cache was configured.
+  /// "stale-arch", "stale-config", "stale-trace-level",
+  /// "stale-static-signature" (the stored plan's kconv-xray signature
+  /// disagrees with the launching kernel's, docs/MODEL.md §10), or
+  /// "disabled" (non-replay launch, empty key, or hazard_check). Empty
+  /// when no plan_cache was configured.
   std::string plan_cache_status;
   /// kconv-check results (docs/MODEL.md §6). Populated only when
   /// LaunchOptions::hazard_check and/or ::lint are set; analysis.clean()

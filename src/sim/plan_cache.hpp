@@ -32,7 +32,9 @@ namespace kconv::sim {
 /// Envelope format version: bump whenever plan_io's payload layout changes
 /// incompatibly, so old stores are rejected loudly instead of misparsed.
 /// v2: tape op set grew (TapeOp::BiasRelu, the fused conv epilogue).
-inline constexpr u32 kPlanFormatVersion = 2;
+/// v3: plan header records the capturing kernel's static access signature
+///     (kconv-xray, docs/MODEL.md §10) for warm-side pre-validation.
+inline constexpr u32 kPlanFormatVersion = 3;
 
 /// Little-endian byte-buffer writer for plan payloads.
 class PlanWriter {

@@ -441,6 +441,7 @@ std::string serialize_plan(const LaunchPlan& plan) {
   w.put_u32(plan.cfg.block.z);
   w.put_u32(plan.cfg.shared_bytes);
   w.put_u32(plan.cfg.regs_per_thread);
+  w.put_u64(plan.static_signature);
   w.put_u64(plan.classes.size());
   for (const PlanClass& pc : plan.classes) {
     w.put_u64(pc.id);
@@ -469,6 +470,7 @@ bool deserialize_plan(std::string_view payload, LaunchPlan& out,
   out.cfg.block.z = r.get_u32();
   out.cfg.shared_bytes = r.get_u32();
   out.cfg.regs_per_thread = r.get_u32();
+  out.static_signature = r.get_u64();
   if (!r.ok() || out.cfg.block.count() == 0 ||
       out.cfg.block.count() > (1u << 20)) {
     return fail("corrupt-payload");

@@ -47,6 +47,13 @@ struct LaunchPlan {
   std::string arch;  // arch_fingerprint() of the capturing device
   u8 trace_level = 0;
   LaunchConfig cfg;
+  /// kconv-xray signature (docs/MODEL.md §10) of the kernel that captured
+  /// this plan: a hash of the symbolic per-site access profile of block 0.
+  /// 0 when the capturing runner did not compute one. A warm launch whose
+  /// own signature disagrees rejects the plan ("stale-static-signature")
+  /// before trusting a byte of it — the capture predates a kernel change
+  /// the plan key's version tag missed.
+  u64 static_signature = 0;
   std::vector<PlanClass> classes;
   /// Serialized PatternCache tables (empty when the capture ran with the
   /// pattern cache disabled).

@@ -1,5 +1,8 @@
 #include "src/core/autotune.hpp"
 
+#include <filesystem>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "src/sim/sim.hpp"
@@ -53,6 +56,88 @@ TEST(AutotuneGeneral, DeterministicAcrossRuns) {
   const auto b = autotune_general(dev, 3, 4, 16, 32, space, 2);
   EXPECT_EQ(a.best.config.ftb, b.best.config.ftb);
   EXPECT_DOUBLE_EQ(a.best.gflops, b.best.gflops);
+}
+
+TEST(AutotuneGeneral, StaticPruneKeepsTheWinnerAndHalvesTheSweep) {
+  sim::Device dev(sim::kepler_k40m());
+  GeneralSpace space;
+  space.block_w = {16};
+  space.block_h = {4};
+  space.ftb = {8, 16};
+  space.wt = {8, 16};
+  space.ft = {4, 8};
+  space.csh = {1, 2};
+  const auto full = autotune_general(dev, 3, 4, 16, 32, space, 2);
+  const auto pruned = autotune_general(dev, 3, 4, 16, 32, space, 2,
+                                       /*num_threads=*/0, /*plans=*/nullptr,
+                                       /*analytic=*/false,
+                                       /*static_prune=*/true);
+
+  // The xray pre-pass feeds the same counters the simulator's timing model
+  // consumes, so the winner survives pruning — and at most half the legal
+  // candidates are ever simulated.
+  EXPECT_EQ(pruned.best.config.block_w, full.best.config.block_w);
+  EXPECT_EQ(pruned.best.config.block_h, full.best.config.block_h);
+  EXPECT_EQ(pruned.best.config.ftb, full.best.config.ftb);
+  EXPECT_EQ(pruned.best.config.wt, full.best.config.wt);
+  EXPECT_EQ(pruned.best.config.ft, full.best.config.ft);
+  EXPECT_EQ(pruned.best.config.csh, full.best.config.csh);
+  EXPECT_DOUBLE_EQ(pruned.best.gflops, full.best.gflops);
+
+  EXPECT_GT(pruned.pruned, 0);
+  EXPECT_LE(pruned.evaluated, (full.evaluated + 1) / 2);
+  EXPECT_EQ(pruned.evaluated + pruned.pruned, full.evaluated);
+  EXPECT_EQ(pruned.skipped, full.skipped);
+  EXPECT_EQ(pruned.evaluated + pruned.skipped + pruned.pruned, 16);
+}
+
+TEST(AutotuneSpecial, StaticPruneKeepsTheWinner) {
+  sim::Device dev(sim::kepler_k40m());
+  SpecialSpace space;
+  space.block_w = {32, 64, 128};
+  space.block_h = {2, 4, 8};
+  const auto full = autotune_special(dev, 3, 8, 128, space, 4);
+  const auto pruned = autotune_special(dev, 3, 8, 128, space, 4,
+                                       /*num_threads=*/0, /*plans=*/nullptr,
+                                       /*analytic=*/false,
+                                       /*static_prune=*/true);
+  EXPECT_EQ(pruned.best.config.block_w, full.best.config.block_w);
+  EXPECT_EQ(pruned.best.config.block_h, full.best.config.block_h);
+  EXPECT_DOUBLE_EQ(pruned.best.gflops, full.best.gflops);
+  EXPECT_EQ(pruned.evaluated + pruned.pruned, full.evaluated);
+  EXPECT_LE(pruned.evaluated, (full.evaluated + 1) / 2);
+}
+
+TEST(AutotuneGeneral, PrunedRankingPersistsWithItsOwnKey) {
+  // A pruned sweep's stored ranking (fewer entries, non-zero pruned count)
+  // round-trips and never serves an unpruned request, or vice versa.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "kconv_tune_prune").string();
+  std::filesystem::remove_all(dir);
+  sim::PlanCache plans(dir);
+  sim::Device dev(sim::kepler_k40m());
+  GeneralSpace space;
+  space.block_w = {16};
+  space.block_h = {4};
+  space.ftb = {8, 16};
+  space.wt = {8};
+  space.ft = {4};
+  space.csh = {1, 2};
+  const auto cold = autotune_general(dev, 3, 4, 16, 32, space, 2, 0, &plans,
+                                     false, /*static_prune=*/true);
+  EXPECT_FALSE(cold.from_plan_cache);
+  const auto warm = autotune_general(dev, 3, 4, 16, 32, space, 2, 0, &plans,
+                                     false, /*static_prune=*/true);
+  EXPECT_TRUE(warm.from_plan_cache);
+  EXPECT_EQ(warm.pruned, cold.pruned);
+  EXPECT_EQ(warm.evaluated, cold.evaluated);
+  ASSERT_EQ(warm.ranking.size(), cold.ranking.size());
+  EXPECT_DOUBLE_EQ(warm.best.gflops, cold.best.gflops);
+
+  const auto unpruned = autotune_general(dev, 3, 4, 16, 32, space, 2, 0,
+                                         &plans, false);
+  EXPECT_FALSE(unpruned.from_plan_cache);
+  EXPECT_EQ(unpruned.pruned, 0);
 }
 
 TEST(AutotuneSpecial, SweepsTileSizes) {

@@ -89,6 +89,10 @@ struct RunParams {
   u32 num_threads = 1;
   u64 sample = 0;
   sim::TraceLevel trace = sim::TraceLevel::Functional;
+  /// Overrides the runner's auto-computed xray signature (0 = let the
+  /// runner stamp its own; tests use distinct values to fake a kernel
+  /// change under an unchanged plan key).
+  u64 signature = 0;
 };
 
 sim::LaunchOptions options(const RunParams& p) {
@@ -100,6 +104,7 @@ sim::LaunchOptions options(const RunParams& p) {
   opt.num_threads = p.num_threads;
   opt.sample_max_blocks = p.sample;
   opt.trace = p.trace;
+  opt.plan_static_signature = p.signature;
   return opt;
 }
 
@@ -166,6 +171,44 @@ TEST(PlanPersist, WarmLaunchIsByteIdenticalSpecialKernel) {
   ASSERT_TRUE(cold.output_valid && warm.output_valid);
   expect_bytes_equal(warm.output.flat(), cold.output.flat());
   expect_invariant_stats(warm.launch.stats, cold.launch.stats);
+}
+
+TEST(PlanPersist, StaleStaticSignatureFallsBackAndHeals) {
+  sim::PlanCache plans(fresh_dir("xray_sig"));
+  const auto cold = run_general({.plans = &plans, .signature = 0xAAAA});
+  EXPECT_EQ(cold.launch.plan_cache_status, "miss");
+
+  // A launch whose xray signature disagrees with the stored plan's must
+  // reject it before replaying a byte (the capture predates a kernel
+  // change the plan key missed), fall back to a fresh capture with
+  // identical results, and heal the store under the new signature.
+  const auto changed = run_general({.plans = &plans, .signature = 0xBBBB});
+  EXPECT_FALSE(changed.launch.plan_cache_hit);
+  EXPECT_EQ(changed.launch.plan_cache_status, "stale-static-signature");
+  ASSERT_TRUE(cold.output_valid && changed.output_valid);
+  expect_bytes_equal(changed.output.flat(), cold.output.flat());
+  expect_invariant_stats(changed.launch.stats, cold.launch.stats);
+
+  const auto warm = run_general({.plans = &plans, .signature = 0xBBBB});
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+  EXPECT_EQ(warm.launch.plan_cache_status, "hit");
+}
+
+TEST(PlanPersist, RunnerStampsItsOwnSignatureByDefault) {
+  // The kernel runners fill plan_static_signature from their xray
+  // describer whenever a plan cache is attached, so the shipping kernels
+  // warm themselves (signature agrees with itself across runs) while an
+  // explicitly different signature — a stand-in for a changed kernel
+  // body — rejects what the runner stored.
+  sim::PlanCache plans(fresh_dir("auto_sig"));
+  const auto cold = run_special({.plans = &plans});
+  const auto warm = run_special({.plans = &plans});
+  EXPECT_FALSE(cold.launch.plan_cache_hit);
+  EXPECT_TRUE(warm.launch.plan_cache_hit);
+
+  const auto foreign = run_special({.plans = &plans, .signature = 0x1234});
+  EXPECT_FALSE(foreign.launch.plan_cache_hit);
+  EXPECT_EQ(foreign.launch.plan_cache_status, "stale-static-signature");
 }
 
 TEST(PlanPersist, WarmLaunchComposesWithParallelChunks) {
