@@ -26,7 +26,6 @@
 // byte-identity and folds the verdicts into the JSON.
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -47,9 +46,8 @@ constexpr int kIters = 3;
 constexpr int kRequests = 12;
 
 struct ModeOut {
-  double seconds = 0.0;          // best whole-drain wall time
-  std::vector<double> lat;       // per-request host seconds, best iteration
-  serve::ServeStats stats;       // from the best iteration's driver
+  double seconds = 0.0;     // best whole-drain wall time
+  serve::ServeStats stats;  // from the best iteration's driver
   std::vector<serve::ServeReply> replies;
 };
 
@@ -85,21 +83,17 @@ ModeOut run_mode(const serve::Network& net, const char* store, bool analytic,
     if (it == 0 || secs < best.seconds) {
       best.seconds = secs;
       best.stats = driver.stats();
-      best.lat.clear();
-      for (const auto& r : replies) best.lat.push_back(r.host_seconds);
       best.replies = std::move(replies);
     }
   }
   return best;
 }
 
-double percentile_ms(std::vector<double> lat, double q) {
-  std::sort(lat.begin(), lat.end());
-  const std::size_t idx = std::min(
-      lat.size() - 1,
-      static_cast<std::size_t>(
-          std::ceil(q * static_cast<double>(lat.size())) - 1));
-  return lat[idx] * 1e3;
+// Per-request host latencies come pre-aggregated in the driver's
+// obs::Histogram (docs/MODEL.md §11); below the exact-tier capacity the
+// nearest-rank percentile is identical to sorting the raw samples.
+double percentile_ms(const serve::ServeStats& stats, double q) {
+  return stats.latency.percentile(q) * 1e3;
 }
 
 bool replies_identical(const std::vector<serve::ServeReply>& a,
@@ -123,8 +117,8 @@ void emit_mode(const char* name, const ModeOut& m, bool first) {
       "       \"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f,\n"
       "       \"cold\": %llu, \"warm\": %llu, \"analytic\": %llu}",
       first ? "" : ",\n", name, m.seconds, kRequests / m.seconds,
-      percentile_ms(m.lat, 0.50), percentile_ms(m.lat, 0.95),
-      percentile_ms(m.lat, 0.99),
+      percentile_ms(m.stats, 0.50), percentile_ms(m.stats, 0.95),
+      percentile_ms(m.stats, 0.99),
       static_cast<unsigned long long>(m.stats.cold),
       static_cast<unsigned long long>(m.stats.warm),
       static_cast<unsigned long long>(m.stats.analytic));

@@ -5,7 +5,8 @@
 //             [--c C] [--f F] [--k K] [--n N] [--vec n] [--same]
 //             [--sample B] [--threads T] [--replay] [--no-pattern-cache]
 //             [--plan-cache DIR] [--analytic] [--autotune] [--static-prune]
-//             [--serve --network NAME [--requests N] [--no-fuse]]
+//             [--serve --network NAME [--requests N] [--no-fuse]
+//                      [--telemetry-out DIR]]
 //             [--check] [--profile] [--xray] [--trace-out FILE] [--json]
 //
 // Prints the performance report (or JSON with --json) and verifies against
@@ -41,6 +42,8 @@
 
 #include "src/core/autotune.hpp"
 #include "src/core/conv_api.hpp"
+#include "src/obs/telemetry_report.hpp"
+#include "src/obs/unified_trace.hpp"
 #include "src/serve/serving.hpp"
 #include "src/profile/trace_export.hpp"
 #include "src/sim/report.hpp"
@@ -63,7 +66,8 @@ void print_usage(std::FILE* to, const char* argv0) {
       "          [--no-pattern-cache] [--plan-cache DIR] [--analytic]\n"
       "          [--autotune] [--static-prune] [--check] [--profile]\n"
       "          [--xray]\n"
-      "          [--serve --network NAME [--requests N] [--no-fuse]]\n"
+      "          [--serve --network NAME [--requests N] [--no-fuse]\n"
+      "                   [--telemetry-out DIR]]\n"
       "          [--trace-out FILE] [--json] [--help]\n"
       "  --threads T   host threads simulating blocks (0 = all cores;\n"
       "                default 1 = exact-legacy serial semantics)\n"
@@ -112,6 +116,14 @@ void print_usage(std::FILE* to, const char* argv0) {
       "  --requests N  requests to queue in --serve mode (default 4)\n"
       "  --no-fuse     disable the fused conv+bias+ReLU epilogue in --serve\n"
       "                mode (outputs are bit-identical either way)\n"
+      "  --telemetry-out DIR\n"
+      "                kconv-scope (MODEL.md §11), --serve only: write\n"
+      "                request-scoped events.jsonl + metrics.jsonl and a\n"
+      "                unified serving/device/block Perfetto trace.json\n"
+      "                under DIR, and append the telemetry/health summary.\n"
+      "                Purely observational: outputs are byte-identical\n"
+      "                with or without it. Composes with --devices,\n"
+      "                --plan-cache and --analytic\n"
       "  --check       kconv-check: shared-memory race detection +\n"
       "                memory-efficiency lints (MODEL.md \u00a76); exit 3\n"
       "                when the kernel is not clean\n"
@@ -136,7 +148,7 @@ int main(int argc, char** argv) {
   i64 c = 16, f = 32, k = 3, n = 64, vec = 0, sample = 0, threads = 1;
   i64 requests = 4, devices = 1;
   std::string algo = "auto", arch_name = "kepler", trace_out, plan_cache_dir;
-  std::string network, shard = "batch";
+  std::string network, shard = "batch", telemetry_out;
   bool same = false, json = false, replay = false, pattern_cache = true;
   bool check = false, profile = false, analytic = false, autotune = false;
   bool serve = false, fuse = true, xray = false, static_prune = false;
@@ -182,6 +194,9 @@ int main(int argc, char** argv) {
       network = a.substr(std::strlen("--network="));
     else if (a == "--requests") requests = std::atoll(next());
     else if (a == "--no-fuse") fuse = false;
+    else if (a == "--telemetry-out") telemetry_out = next();
+    else if (a.rfind("--telemetry-out=", 0) == 0)
+      telemetry_out = a.substr(std::strlen("--telemetry-out="));
     else if (a == "--check") check = true;
     else if (a == "--profile") profile = true;
     else if (a == "--trace-out") trace_out = next();
@@ -227,6 +242,12 @@ int main(int argc, char** argv) {
   }
   opt.launch.analytic = analytic;
 
+  if (!telemetry_out.empty() && !serve) {
+    std::fprintf(stderr,
+                 "error: --telemetry-out only applies to --serve runs "
+                 "(single launches already have --profile/--trace-out)\n");
+    return 2;
+  }
   if (static_prune && !autotune) {
     std::fprintf(stderr,
                  "error: --static-prune only applies to --autotune sweeps\n");
@@ -339,6 +360,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
+    // Fail fast on an unusable telemetry directory, mirroring the
+    // plan-cache probe above (exit 2 before any request runs).
+    std::unique_ptr<obs::TelemetrySink> sink;
+    if (!telemetry_out.empty()) {
+      try {
+        sink = std::make_unique<obs::TelemetrySink>(telemetry_out);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    }
     serve::ServeOptions sopt;
     sopt.threads = static_cast<u32>(threads);
     sopt.plan_cache = plans.get();
@@ -347,6 +379,7 @@ int main(int argc, char** argv) {
     sopt.launch.replay = replay;
     sopt.launch.pattern_cache = pattern_cache;
     sopt.launch.fleet = opt.launch.fleet;
+    sopt.telemetry = sink.get();
     try {
       serve::ServingDriver driver(sopt);
       for (i64 r = 0; r < requests; ++r)
@@ -356,22 +389,72 @@ int main(int argc, char** argv) {
       const auto stats = driver.stats();
       double sim_total = 0.0;
       bool all_ok = true;
-      std::vector<double> lat;
       for (const auto& rep : replies) {
         sim_total += rep.sim_seconds;
-        lat.push_back(rep.host_seconds);
         // Analytic replies carry timings but no activations; everything
         // else must have produced a valid output tensor.
         if (!rep.ok && !rep.analytic) all_ok = false;
       }
-      std::sort(lat.begin(), lat.end());
-      const auto pct_ms = [&lat](double q) {
-        const std::size_t idx = std::min(
-            lat.size() - 1,
-            static_cast<std::size_t>(
-                std::ceil(q * static_cast<double>(lat.size())) - 1));
-        return lat[idx] * 1e3;
+      // Shared kconv-scope histogram: same nearest-rank statistic the old
+      // sorted-vector code computed, one implementation (MODEL.md §11).
+      const auto pct_ms = [&stats](double q) {
+        return stats.latency.percentile(q) * 1e3;
       };
+
+      // Telemetry roll-up and the unified trace. Block timelines come from
+      // a profiled probe run of the served network outside the serving
+      // path (fresh device, no plan cache), so serving counters and plan
+      // keys are untouched by telemetry being on.
+      obs::ServingTelemetry tel;
+      if (sink != nullptr) {
+        std::vector<profile::LabeledTimeline> blocks;
+        serve::GraphRunOptions probe;
+        probe.fuse = fuse;
+        probe.launch.profile = true;
+        probe.launch.profile_timeline_blocks = 4;
+        probe.launch.fleet = opt.launch.fleet;
+        sim::Device pdev(arch);
+        serve::GraphRun pr = serve::run_graph(
+            pdev, net.graph, serve::make_network_input(net, 0), probe);
+        for (const serve::NodeRun& nr : pr.nodes) {
+          for (const profile::BlockTimeline& tl :
+               nr.launch.profile.timelines) {
+            blocks.push_back(profile::LabeledTimeline{nr.name, tl});
+          }
+        }
+        const std::string trace = obs::unified_trace_json(*sink, arch,
+                                                          blocks);
+        const std::string tpath = sink->dir() + "/trace.json";
+        std::FILE* tf = std::fopen(tpath.c_str(), "w");
+        if (tf == nullptr) {
+          std::fprintf(stderr,
+                       "error: cannot write unified trace '%s'\n",
+                       tpath.c_str());
+          return 2;
+        }
+        std::fwrite(trace.data(), 1, trace.size(), tf);
+        std::fclose(tf);
+
+        tel.dir = sink->dir();
+        tel.events = sink->events_written();
+        tel.snapshots = sink->snapshots_written();
+        tel.metric_groups = sink->metrics_copy().groups().size();
+        tel.requests = stats.processed;
+        tel.batches = stats.batches;
+        tel.cold = stats.cold;
+        tel.warm = stats.warm;
+        tel.analytic = stats.analytic;
+        tel.conv_launches = stats.conv_launches;
+        tel.taxonomy = stats.plan_taxonomy;
+        tel.plan_stores = plans != nullptr ? plans->stores() : 0;
+        tel.plan_evictions = plans != nullptr ? plans->evictions() : 0;
+        tel.fleet_device_chunks = stats.fleet_device_chunks;
+        tel.comm_bound_devices = stats.comm_bound_devices;
+        tel.max_queue_depth = stats.max_queue_depth;
+        tel.max_inflight_batches = stats.max_inflight_batches;
+        tel.arena_peak_bytes = stats.arena_peak_bytes;
+        tel.latency_s = stats.latency;
+      }
       if (json) {
         std::printf(
             "{\"serve\": {\"network\": \"%s\", \"requests\": %llu, "
@@ -385,6 +468,14 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(stats.analytic),
             static_cast<unsigned long long>(stats.fused_pairs),
             stats.fusion_gm_bytes_eliminated);
+        // §5d outcome taxonomy: the named fields sum to the total conv
+        // launch count (asserted in CI's serving smoke).
+        std::printf(
+            "\"plan_cache\": %s, ",
+            obs::taxonomy_to_json(stats.plan_taxonomy,
+                                  plans != nullptr ? plans->stores() : 0,
+                                  plans != nullptr ? plans->evictions() : 0)
+                .c_str());
         if (devices > 1) {
           std::printf(
               "\"fleet\": {\"devices\": %lld, \"shard\": \"%s\", "
@@ -398,8 +489,13 @@ int main(int argc, char** argv) {
         }
         std::printf(
             "\"sim_seconds_total\": %.6g, "
-            "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}}\n",
+            "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f",
             sim_total, pct_ms(0.50), pct_ms(0.95), pct_ms(0.99));
+        if (sink != nullptr) {
+          std::printf(", \"telemetry\": %s",
+                      obs::telemetry_to_json(tel, 2).c_str());
+        }
+        std::printf("}}\n");
       } else {
         std::printf("served %llu request(s) against %s in %llu batch(es)\n",
                     static_cast<unsigned long long>(stats.processed),
@@ -413,6 +509,26 @@ int main(int argc, char** argv) {
                     "simulated GM traffic eliminated\n",
                     static_cast<unsigned long long>(stats.fused_pairs),
                     stats.fusion_gm_bytes_eliminated);
+        std::printf("plan cache: %llu launches (hit=%llu miss=%llu "
+                    "stale=%llu corrupt=%llu disabled=%llu unplanned=%llu), "
+                    "stores=%llu evictions=%llu\n",
+                    static_cast<unsigned long long>(
+                        stats.plan_taxonomy.total()),
+                    static_cast<unsigned long long>(stats.plan_taxonomy.hit),
+                    static_cast<unsigned long long>(stats.plan_taxonomy.miss),
+                    static_cast<unsigned long long>(
+                        stats.plan_taxonomy.stale_total()),
+                    static_cast<unsigned long long>(
+                        stats.plan_taxonomy.corrupt +
+                        stats.plan_taxonomy.corrupt_payload),
+                    static_cast<unsigned long long>(
+                        stats.plan_taxonomy.disabled),
+                    static_cast<unsigned long long>(
+                        stats.plan_taxonomy.unplanned),
+                    static_cast<unsigned long long>(
+                        plans != nullptr ? plans->stores() : 0),
+                    static_cast<unsigned long long>(
+                        plans != nullptr ? plans->evictions() : 0));
         if (devices > 1) {
           std::printf("fleet: %lld devices (shard=%s), staged %llu B h2d, "
                       "%llu B d2h, %llu B d2d (%.6f s modeled transfers)\n",
@@ -427,6 +543,11 @@ int main(int argc, char** argv) {
                     sim_total, sim_total / static_cast<double>(requests));
         std::printf("host latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
                     pct_ms(0.50), pct_ms(0.95), pct_ms(0.99));
+        if (sink != nullptr) {
+          std::printf("%s", obs::format_telemetry(tel).c_str());
+          std::printf("unified trace written: %s/trace.json\n",
+                      sink->dir().c_str());
+        }
       }
       if (!all_ok) return 1;
     } catch (const Error& e) {

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Sanity-checks a kconv-prof Chrome trace-event / Perfetto JSON file.
+"""Sanity-checks a kconv Chrome trace-event / Perfetto JSON file.
 
   scripts/check_trace.py trace.json [trace2.json ...]
 
-Asserts, per file:
+Two trace shapes are recognised:
+
+Single-launch traces (kconv_cli --trace-out, docs/MODEL.md §7):
   - the document is valid JSON with a traceEvents array;
   - at least one metadata ("M"), one complete-slice ("X") and one counter
     ("C") event is present;
@@ -12,8 +14,21 @@ Asserts, per file:
     monotonically non-decreasing (within print precision);
   - every slice carries the expected counter args.
 
+Unified serving traces (kconv_cli --serve --telemetry-out, §11), detected
+by a process named "serving":
+  - the tier hierarchy is present: a "serving" process and at least one
+    "block ..." process always; at least one "device N" process when
+    --require-device is given (fleet runs, e.g. --devices=2);
+  - serving lanes use begin/end ("B"/"E") spans that nest properly (every
+    "E" matches the innermost open "B", timestamps monotone per lane) and
+    every span is closed by the end of the file — in particular every
+    "request" span;
+  - device-tier "X" slices are transfer/compute intervals carrying a
+    "bytes" arg, non-overlapping and monotone per thread;
+  - block-tier processes obey the full single-launch slice contract.
+
 Exit 0 when every file passes, 1 otherwise. CI runs this over the traces
-kconv_cli --trace-out writes for the three paper kernels.
+of the three paper kernels and over a --serve --devices=2 smoke.
 """
 import json
 import sys
@@ -25,7 +40,37 @@ SLICE_ARGS = {"gm_sectors", "smem_request_cycles", "const_requests",
 EPS = 2e-6  # ts and dur are printed with 6 decimals each
 
 
-def check(path):
+def process_names(events):
+    """pid -> process name, from "M" process_name metadata."""
+    names = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            names[ev.get("pid")] = ev.get("args", {}).get("name", "")
+    return names
+
+
+def tier_of(pname):
+    if pname == "serving":
+        return "serving"
+    if pname.startswith("device "):
+        return "device"
+    if pname.startswith("block"):
+        return "block"
+    return None
+
+
+def check_block_slice(path, i, ev, errors):
+    name = ev.get("name")
+    if name not in PHASES:
+        errors.append(f"{path}: event {i} slice name {name!r} is "
+                      f"not a kconv-prof phase")
+    missing = SLICE_ARGS - set(ev.get("args", {}))
+    if missing:
+        errors.append(f"{path}: event {i} slice missing args "
+                      f"{sorted(missing)}")
+
+
+def check(path, require_device=False):
     errors = []
     with open(path) as f:
         doc = json.load(f)
@@ -35,14 +80,34 @@ def check(path):
     if not events:
         return [f"{path}: traceEvents is empty (profiled launch expected)"]
 
+    names = process_names(events)
+    unified = any(n == "serving" for n in names.values())
+
+    if unified:
+        tiers = {tier_of(n) for n in names.values()}
+        want_tiers = ["serving", "block"]
+        if require_device:
+            want_tiers.append("device")
+        for want in want_tiers:
+            if want not in tiers:
+                errors.append(f"{path}: unified trace has no {want!r} tier "
+                              f"process (got {sorted(names.values())})")
+    elif require_device:
+        errors.append(f"{path}: --require-device given but trace is not a "
+                      f"unified serving trace")
+
     seen_ph = set()
-    cursor = {}  # (pid, tid, ph) -> earliest allowed next ts
+    cursor = {}  # (pid, tid, ph-kind) -> earliest allowed next ts
+    stacks = {}  # (pid, tid) -> open B/E span name stack
+    request_spans = 0
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         seen_ph.add(ph)
         if ph == "M":
             continue
-        key = (ev.get("pid"), ev.get("tid", 0), ph)
+        pid, tid = ev.get("pid"), ev.get("tid", 0)
+        tier = tier_of(names.get(pid, "")) if unified else "block"
+        key = (pid, tid, "BE" if ph in ("B", "E") else ph)
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)):
             errors.append(f"{path}: event {i} has no numeric ts")
@@ -52,14 +117,12 @@ def check(path):
                 f"{path}: event {i} ts {ts} overlaps previous event on "
                 f"track pid={key[0]} tid={key[1]} (expected >= {cursor[key]})")
         if ph == "X":
-            name = ev.get("name")
-            if name not in PHASES:
-                errors.append(f"{path}: event {i} slice name {name!r} is "
-                              f"not a kconv-prof phase")
-            missing = SLICE_ARGS - set(ev.get("args", {}))
-            if missing:
-                errors.append(f"{path}: event {i} slice missing args "
-                              f"{sorted(missing)}")
+            if tier == "device":
+                if "bytes" not in ev.get("args", {}):
+                    errors.append(f"{path}: event {i} device slice has no "
+                                  f"bytes arg")
+            else:
+                check_block_slice(path, i, ev, errors)
             dur = ev.get("dur", 0)
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append(f"{path}: event {i} has bad dur {dur!r}")
@@ -69,8 +132,39 @@ def check(path):
             if "value" not in ev.get("args", {}):
                 errors.append(f"{path}: event {i} counter has no value")
             cursor[key] = ts
+        elif ph in ("B", "E") and unified and tier == "serving":
+            stack = stacks.setdefault((pid, tid), [])
+            if ph == "B":
+                stack.append(ev.get("name"))
+                if ev.get("name") == "request":
+                    request_spans += 1
+            else:
+                if not stack:
+                    errors.append(f"{path}: event {i} 'E' with no open span "
+                                  f"on lane pid={pid} tid={tid}")
+                elif stack[-1] != ev.get("name"):
+                    errors.append(
+                        f"{path}: event {i} 'E' name {ev.get('name')!r} "
+                        f"does not match innermost open span "
+                        f"{stack[-1]!r} (improper nesting)")
+                    stack.pop()
+                else:
+                    stack.pop()
+            cursor[key] = ts
         else:
             errors.append(f"{path}: event {i} unexpected ph {ph!r}")
+
+    if unified:
+        for (pid, tid), stack in stacks.items():
+            if stack:
+                errors.append(f"{path}: lane pid={pid} tid={tid} ends with "
+                              f"unclosed span(s) {stack!r}")
+        if request_spans == 0:
+            errors.append(f"{path}: unified trace has no request spans")
+        for want in ("B", "E"):
+            if want not in seen_ph:
+                errors.append(f"{path}: no {want!r} events (serving spans "
+                              f"expected in a unified trace)")
 
     for want in ("M", "X", "C"):
         if want not in seen_ph:
@@ -80,20 +174,26 @@ def check(path):
 
 
 def main(argv):
-    if len(argv) < 2:
+    require_device = "--require-device" in argv
+    paths = [a for a in argv[1:] if a != "--require-device"]
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     status = 0
-    for path in argv[1:]:
-        errors = check(path)
+    for path in paths:
+        errors = check(path, require_device)
         if errors:
             status = 1
             for e in errors:
                 print(f"FAIL {e}")
         else:
             with open(path) as f:
-                n = len(json.load(f)["traceEvents"])
-            print(f"ok   {path} ({n} events)")
+                doc = json.load(f)
+            n = len(doc["traceEvents"])
+            kind = ("unified" if any(
+                n2 == "serving" for n2 in process_names(
+                    doc["traceEvents"]).values()) else "launch")
+            print(f"ok   {path} ({kind}, {n} events)")
     return status
 
 

@@ -1,0 +1,197 @@
+#include "src/obs/telemetry_report.hpp"
+
+#include "src/common/strutil.hpp"
+
+namespace kconv::obs {
+
+std::vector<HealthVerdict> health_verdicts(const ServingTelemetry& t) {
+  std::vector<HealthVerdict> out;
+
+  {
+    HealthVerdict v;
+    v.name = "warm-path";
+    const double r = t.warm_path_ratio();
+    if (t.requests == 0) {
+      v.verdict = "idle";
+      v.detail = "no requests observed";
+    } else if (r >= 0.5) {
+      v.verdict = "warm";
+      v.detail = strf(
+          "%.0f%% of requests rode the plan-replay/analytic fast paths "
+          "(MODEL.md §5d): steady-state traffic amortizes Li et al.'s "
+          "per-launch capture cost (PAPER.md)",
+          r * 100.0);
+    } else {
+      v.verdict = "cold-dominated";
+      v.detail = strf(
+          "only %.0f%% of requests avoided cold capture: the memory-"
+          "efficiency win Li et al. argue for (PAPER.md) is re-paid per "
+          "request until the plan store warms",
+          r * 100.0);
+    }
+    out.push_back(std::move(v));
+  }
+
+  {
+    HealthVerdict v;
+    v.name = "communication";
+    if (t.fleet_device_chunks == 0) {
+      v.verdict = "single-device";
+      v.detail = "no fleet device chunks observed";
+    } else if (t.comm_bound_devices == 0) {
+      v.verdict = "compute-bound";
+      v.detail = strf(
+          "all %llu device chunks spent more modeled time computing than "
+          "moving bytes: traffic stays inside the Demmel-Dinh "
+          "communication lower bound regime (PAPERS.md)",
+          (unsigned long long)t.fleet_device_chunks);
+    } else {
+      v.verdict = "communication-bound";
+      v.detail = strf(
+          "%llu of %llu device chunks were communication-bound (modeled "
+          "transfer > compute): per Demmel-Dinh (PAPERS.md), shrink halo "
+          "traffic or coarsen the shard before adding devices",
+          (unsigned long long)t.comm_bound_devices,
+          (unsigned long long)t.fleet_device_chunks);
+    }
+    out.push_back(std::move(v));
+  }
+
+  {
+    HealthVerdict v;
+    v.name = "plan-churn";
+    const double churn = t.eviction_churn();
+    if (t.plan_stores == 0) {
+      v.verdict = "no-store";
+      v.detail = "no plan-cache stores observed";
+    } else if (churn > 0.5) {
+      v.verdict = "thrashing";
+      v.detail = strf(
+          "%.2f evictions per store: the byte budget cannot hold the "
+          "serving working set, so §5d replay keeps degrading to "
+          "re-capture (eviction only costs a re-capture, but sustained "
+          "churn forfeits the warm path entirely)",
+          churn);
+    } else {
+      v.verdict = "stable";
+      v.detail = strf("%.2f evictions per store: the plan store retains "
+                      "the working set",
+                      churn);
+    }
+    out.push_back(std::move(v));
+  }
+
+  return out;
+}
+
+std::string taxonomy_to_json(const PlanCacheTaxonomy& t, u64 stores,
+                             u64 evictions) {
+  return strf(
+      "{\"launches\": %llu, \"hit\": %llu, \"miss\": %llu, "
+      "\"corrupt\": %llu, \"corrupt_payload\": %llu, "
+      "\"stale_version\": %llu, \"stale_key\": %llu, \"stale_arch\": %llu, "
+      "\"stale_config\": %llu, \"stale_trace_level\": %llu, "
+      "\"stale_static_signature\": %llu, \"disabled\": %llu, "
+      "\"unplanned\": %llu, \"stores\": %llu, \"evictions\": %llu}",
+      (unsigned long long)t.total(), (unsigned long long)t.hit,
+      (unsigned long long)t.miss, (unsigned long long)t.corrupt,
+      (unsigned long long)t.corrupt_payload,
+      (unsigned long long)t.stale_version, (unsigned long long)t.stale_key,
+      (unsigned long long)t.stale_arch, (unsigned long long)t.stale_config,
+      (unsigned long long)t.stale_trace_level,
+      (unsigned long long)t.stale_static_signature,
+      (unsigned long long)t.disabled, (unsigned long long)t.unplanned,
+      (unsigned long long)stores, (unsigned long long)evictions);
+}
+
+std::string telemetry_to_json(const ServingTelemetry& t, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = "{\n";
+  auto line = [&](const std::string& body, bool last = false) {
+    out += pad + "  " + body + (last ? "\n" : ",\n");
+  };
+  line(strf("\"dir\": \"%s\"", t.dir.c_str()));
+  line(strf("\"events\": %llu", (unsigned long long)t.events));
+  line(strf("\"snapshots\": %llu", (unsigned long long)t.snapshots));
+  line(strf("\"metric_groups\": %llu", (unsigned long long)t.metric_groups));
+  line(strf("\"requests\": %llu", (unsigned long long)t.requests));
+  line(strf("\"batches\": %llu", (unsigned long long)t.batches));
+  line(strf("\"cold\": %llu", (unsigned long long)t.cold));
+  line(strf("\"warm\": %llu", (unsigned long long)t.warm));
+  line(strf("\"analytic\": %llu", (unsigned long long)t.analytic));
+  line(strf("\"conv_launches\": %llu", (unsigned long long)t.conv_launches));
+  line(strf("\"plan_cache\": %s",
+            taxonomy_to_json(t.taxonomy, t.plan_stores, t.plan_evictions)
+                .c_str()));
+  line(strf("\"warm_path_ratio\": %.6f", t.warm_path_ratio()));
+  line(strf("\"eviction_churn\": %.6f", t.eviction_churn()));
+  line(strf("\"fleet_device_chunks\": %llu",
+            (unsigned long long)t.fleet_device_chunks));
+  line(strf("\"comm_bound_devices\": %llu",
+            (unsigned long long)t.comm_bound_devices));
+  line(strf("\"max_queue_depth\": %llu",
+            (unsigned long long)t.max_queue_depth));
+  line(strf("\"max_inflight_batches\": %llu",
+            (unsigned long long)t.max_inflight_batches));
+  line(strf("\"arena_peak_bytes\": %llu",
+            (unsigned long long)t.arena_peak_bytes));
+  line(strf("\"latency_s\": %s", t.latency_s.to_json().c_str()));
+  // Health verdicts, machine-checkable.
+  out += pad + "  \"health\": [\n";
+  const std::vector<HealthVerdict> verdicts = health_verdicts(t);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    std::string detail;
+    for (char c : verdicts[i].detail) {
+      if (c == '"' || c == '\\') detail += '\\';
+      detail += c;
+    }
+    out += pad + strf("    {\"name\": \"%s\", \"verdict\": \"%s\", "
+                      "\"detail\": \"%s\"}%s\n",
+                      verdicts[i].name.c_str(), verdicts[i].verdict.c_str(),
+                      detail.c_str(),
+                      i + 1 < verdicts.size() ? "," : "");
+  }
+  out += pad + "  ]\n";
+  out += pad + "}";
+  return out;
+}
+
+std::string format_telemetry(const ServingTelemetry& t) {
+  std::string out;
+  out += strf("kconv-scope telemetry -> %s\n", t.dir.c_str());
+  out += strf("  events=%llu snapshots=%llu metric-groups=%llu\n",
+              (unsigned long long)t.events, (unsigned long long)t.snapshots,
+              (unsigned long long)t.metric_groups);
+  out += strf("  requests=%llu (cold=%llu warm=%llu analytic=%llu) "
+              "launches=%llu\n",
+              (unsigned long long)t.requests, (unsigned long long)t.cold,
+              (unsigned long long)t.warm, (unsigned long long)t.analytic,
+              (unsigned long long)t.conv_launches);
+  out += strf("  plan-cache: hit=%llu miss=%llu stale=%llu corrupt=%llu "
+              "disabled=%llu unplanned=%llu stores=%llu evictions=%llu\n",
+              (unsigned long long)t.taxonomy.hit,
+              (unsigned long long)t.taxonomy.miss,
+              (unsigned long long)t.taxonomy.stale_total(),
+              (unsigned long long)(t.taxonomy.corrupt +
+                                   t.taxonomy.corrupt_payload),
+              (unsigned long long)t.taxonomy.disabled,
+              (unsigned long long)t.taxonomy.unplanned,
+              (unsigned long long)t.plan_stores,
+              (unsigned long long)t.plan_evictions);
+  if (t.latency_s.count() > 0) {
+    out += strf("  latency ms: p50=%.3f p95=%.3f p99=%.3f (n=%llu%s)\n",
+                t.latency_s.percentile(0.50) * 1e3,
+                t.latency_s.percentile(0.95) * 1e3,
+                t.latency_s.percentile(0.99) * 1e3,
+                (unsigned long long)t.latency_s.count(),
+                t.latency_s.exact() ? ", exact" : ", bucketed");
+  }
+  out += "  health:\n";
+  for (const HealthVerdict& v : health_verdicts(t)) {
+    out += strf("    %-13s %-19s %s\n", (v.name + ":").c_str(),
+                v.verdict.c_str(), v.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace kconv::obs

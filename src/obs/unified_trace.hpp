@@ -1,0 +1,23 @@
+// Bridges the TelemetrySink's span/device-lane records into the unified
+// Chrome trace export (src/profile/trace_export.hpp, docs/MODEL.md §11).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/scope.hpp"
+#include "src/profile/trace_export.hpp"
+#include "src/sim/arch.hpp"
+
+namespace kconv::obs {
+
+/// Builds the unified serving trace from everything the sink recorded plus
+/// optional §7 block timelines (typically from a profiled probe run of the
+/// served network). Lane mapping: driver-level spans (trace 0) share the
+/// "batches" lane; each request trace gets its own lane in order of first
+/// appearance, which is enqueue order and therefore deterministic.
+std::string unified_trace_json(
+    const TelemetrySink& sink, const sim::Arch& arch,
+    const std::vector<profile::LabeledTimeline>& blocks);
+
+}  // namespace kconv::obs

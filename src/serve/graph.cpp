@@ -333,6 +333,14 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
     }
   }
 
+  // kconv-scope (docs/MODEL.md §11): one span per executed node, re-parented
+  // under the caller's scope; arena events record slot recycling as it
+  // happens. All guarded — a null sink leaves the run byte-identical.
+  const obs::TelemetryScope tel = opt.launch.telemetry;
+  u64 node_span = 0;  // current node's span, captured by place() below
+  std::vector<bool> slot_occupied(static_cast<std::size_t>(arena.num_slots),
+                                  false);
+
   // Input tensor for node `id`'s producer; under analytic/sampled launches
   // upstream data may not exist, so a zero dummy of the right shape keeps
   // the launch sequence (and its timings) intact.
@@ -348,8 +356,18 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
     return dummy;
   };
   const auto place = [&](i32 id, tensor::Tensor t, bool ok) {
-    slots[static_cast<std::size_t>(arena.slot[static_cast<std::size_t>(id)])] =
-        std::move(t);
+    const i32 slot = arena.slot[static_cast<std::size_t>(id)];
+    const bool reused = slot_occupied[static_cast<std::size_t>(slot)];
+    if (reused) ++run.arena_slot_reuses;
+    if (tel.on()) {
+      tel.sink->arena_event(
+          tel.trace, node_span != 0 ? node_span : tel.parent,
+          nodes[static_cast<std::size_t>(id)].name, slot, reused,
+          static_cast<u64>(shp[static_cast<std::size_t>(id)].elems()) *
+              sizeof(float));
+    }
+    slot_occupied[static_cast<std::size_t>(slot)] = true;
+    slots[static_cast<std::size_t>(slot)] = std::move(t);
     valid[static_cast<std::size_t>(id)] = ok;
   };
 
@@ -357,6 +375,20 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
   for (i32 i = 0; i < static_cast<i32>(nodes.size()); ++i) {
     const Node& n = nodes[static_cast<std::size_t>(i)];
     if (absorbed[static_cast<std::size_t>(i)]) continue;  // ran fused
+    node_span = 0;
+    if (tel.on() && n.kind != OpKind::Input) {
+      node_span = tel.sink->begin_span(
+          tel.trace, tel.parent, "graph", strf("node:%s", n.name.c_str()),
+          strf("{\"kind\":\"%s\",\"fused\":%s}", op_name(n.kind),
+               fuse_with[static_cast<std::size_t>(i)] >= 0 ? "true"
+                                                           : "false"));
+    }
+    // Launch options for this node's kernels, scoped under its span.
+    const auto scoped = [&](const sim::LaunchOptions& base) {
+      sim::LaunchOptions lo = base;
+      if (tel.on()) lo.telemetry = tel.child(node_span);
+      return lo;
+    };
     switch (n.kind) {
       case OpKind::Input:
         place(i, input, true);
@@ -364,7 +396,7 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
       case OpKind::Conv: {
         const i32 j = fuse_with[static_cast<std::size_t>(i)];
         core::ConvOptions copt;
-        copt.launch = opt.launch;
+        copt.launch = scoped(opt.launch);
         if (j >= 0) {
           copt.fuse_bias_relu = nodes[static_cast<std::size_t>(j)].bias;
         }
@@ -380,6 +412,14 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
         ++conv_launches;
         if (res.launch.plan_cache_hit) ++conv_hits;
         if (res.launch.analytic) ++conv_analytic;
+        run.plan_taxonomy.add(res.launch.plan_cache_status);
+        for (const sim::FleetDeviceReport& d :
+             res.launch.fleet.device_reports) {
+          ++run.fleet_device_chunks;
+          if (d.transfer_seconds > d.compute_seconds) {
+            ++run.comm_bound_devices;
+          }
+        }
         NodeRun nr;
         nr.kind = OpKind::Conv;
         nr.name = n.name;
@@ -401,7 +441,7 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
       }
       case OpKind::BiasRelu: {
         const bool in_ok = valid[static_cast<std::size_t>(n.input)];
-        auto res = kernels::bias_relu(dev, input_of(i), n.bias, aux);
+        auto res = kernels::bias_relu(dev, input_of(i), n.bias, scoped(aux));
         run.total_seconds += res.launch.timing.seconds;
         NodeRun nr;
         nr.kind = n.kind;
@@ -413,7 +453,7 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
       }
       case OpKind::MaxPool: {
         const bool in_ok = valid[static_cast<std::size_t>(n.input)];
-        auto res = kernels::max_pool_2x2(dev, input_of(i), aux);
+        auto res = kernels::max_pool_2x2(dev, input_of(i), scoped(aux));
         run.total_seconds += res.launch.timing.seconds;
         NodeRun nr;
         nr.kind = n.kind;
@@ -432,7 +472,7 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
               x.flat()[static_cast<std::size_t>(f)];
         }
         auto fc = kernels::gemm(dev, n.weights, xin,
-                                kernels::gemm_magma_mod(), aux);
+                                kernels::gemm_magma_mod(), scoped(aux));
         run.total_seconds += fc.launch.timing.seconds;
         NodeRun nr;
         nr.kind = n.kind;
@@ -447,8 +487,10 @@ GraphRun run_graph(sim::Device& dev, const Graph& g,
         break;
       }
     }
+    if (node_span != 0) tel.sink->end_span(node_span);
   }
 
+  run.conv_launches = conv_launches;
   run.warm = conv_launches > 0 && conv_hits == conv_launches;
   run.analytic = analytic_mode && conv_launches > 0 &&
                  conv_analytic == conv_launches;

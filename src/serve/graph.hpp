@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/common/types.hpp"
+#include "src/obs/scope.hpp"
 #include "src/sim/launch.hpp"
 #include "src/tensor/im2col.hpp"
 #include "src/tensor/tensor.hpp"
@@ -150,6 +151,16 @@ struct GraphRun {
   i32 arena_tensors = 0;  ///< intermediates that would otherwise stay live
   u64 arena_peak_bytes = 0;
   u64 naive_peak_bytes = 0;
+
+  /// kconv-scope roll-ups (docs/MODEL.md §11). Scheduling-invariant: pure
+  /// functions of the launch sequence, identical across thread counts and
+  /// with telemetry on or off.
+  u32 conv_launches = 0;
+  /// §5d plan-cache outcome of every conv launch; total() == conv_launches.
+  obs::PlanCacheTaxonomy plan_taxonomy;
+  u64 fleet_device_chunks = 0;  ///< per-device chunk reports seen
+  u64 comm_bound_devices = 0;   ///< chunks with transfer time > compute time
+  u64 arena_slot_reuses = 0;    ///< node outputs placed into a recycled slot
 };
 
 /// Runs the graph on `input` ((1, C, H, W) matching the Input node).

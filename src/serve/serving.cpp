@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/strutil.hpp"
 #include "src/sim/sim.hpp"
 
 namespace kconv::serve {
@@ -18,7 +19,26 @@ u64 ServingDriver::enqueue(const Network& net, tensor::Tensor input) {
   p.id = id;
   p.net = &net;
   p.input = std::move(input);
+  if (opt_.telemetry != nullptr) {
+    // Trace = request id + 1: trace 0 is the driver's batch lane. The
+    // request span stays open until the reply is complete; the queued span
+    // closes when a worker picks the request up, making queue wait a
+    // first-class interval in the unified trace.
+    const u64 trace = id + 1;
+    p.request_span = opt_.telemetry->begin_span(
+        trace, 0, "serving", "request",
+        strf("{\"id\":%llu,\"network\":\"%s\","
+             "\"shape\":\"%lldx%lldx%lld\"}",
+             static_cast<unsigned long long>(id), net.name.c_str(),
+             static_cast<long long>(p.input.c()),
+             static_cast<long long>(p.input.h()),
+             static_cast<long long>(p.input.w())));
+    p.queued_span = opt_.telemetry->begin_span(trace, p.request_span,
+                                               "serving", "queued");
+  }
   queue_.push_back(std::move(p));
+  stats_.max_queue_depth =
+      std::max<u64>(stats_.max_queue_depth, queue_.size());
   return id;
 }
 
@@ -66,13 +86,25 @@ std::vector<ServeReply> ServingDriver::drain() {
   if (opt_.plan_cache != nullptr) gopt.launch.replay = true;
   gopt.launch.analytic = opt_.analytic;
 
+  obs::TelemetrySink* const sink = opt_.telemetry;
   std::vector<ServeReply> replies(work.size());
   std::vector<u64> fused(work.size(), 0);
   std::vector<double> gm_eliminated(work.size(), 0.0);
   std::vector<GraphRun> fleet_runs(work.size());
   ServeStats delta;
+  delta.max_inflight_batches = batches.size();
   for (const Batch& batch : batches) {
     ++delta.batches;
+    u64 batch_span = 0;
+    if (sink != nullptr) {
+      batch_span = sink->begin_span(
+          0, 0, "serving",
+          strf("batch %s %lldx%lldx%lld", batch.net->name.c_str(),
+               static_cast<long long>(batch.shape.c),
+               static_cast<long long>(batch.shape.h),
+               static_cast<long long>(batch.shape.w)),
+          strf("{\"requests\":%zu}", batch.members.size()));
+    }
     // One simulated device per request: requests are independent and the
     // simulator is deterministic, so results do not depend on which worker
     // (or how many workers) ran them.
@@ -80,9 +112,18 @@ std::vector<ServeReply> ServingDriver::drain() {
         0, batch.members.size(), 1, [&](u64 begin, u64 end, u32) {
           for (u64 m = begin; m < end; ++m) {
             const Pending& p = work[batch.members[m]];
+            u64 exec_span = 0;
+            GraphRunOptions g = gopt;
+            if (sink != nullptr) {
+              sink->end_span(p.queued_span);
+              exec_span = sink->begin_span(p.id + 1, p.request_span,
+                                           "serving", "execute");
+              g.launch.telemetry =
+                  obs::TelemetryScope{sink, p.id + 1, exec_span};
+            }
             const auto t0 = std::chrono::steady_clock::now();
             sim::Device dev(sim::kepler_k40m());
-            GraphRun r = run_graph(dev, p.net->graph, p.input, gopt);
+            GraphRun r = run_graph(dev, p.net->graph, p.input, g);
             const auto t1 = std::chrono::steady_clock::now();
             ServeReply& reply = replies[batch.members[m]];
             reply.id = p.id;
@@ -100,17 +141,34 @@ std::vector<ServeReply> ServingDriver::drain() {
             fr.fleet_d2h_bytes = r.fleet_d2h_bytes;
             fr.fleet_d2d_bytes = r.fleet_d2d_bytes;
             fr.fleet_transfer_seconds = r.fleet_transfer_seconds;
+            fr.conv_launches = r.conv_launches;
+            fr.plan_taxonomy = r.plan_taxonomy;
+            fr.fleet_device_chunks = r.fleet_device_chunks;
+            fr.comm_bound_devices = r.comm_bound_devices;
+            fr.arena_slot_reuses = r.arena_slot_reuses;
+            fr.arena_peak_bytes = r.arena_peak_bytes;
+            if (sink != nullptr) {
+              sink->end_span(exec_span);
+              sink->end_span(p.request_span);
+            }
           }
         });
+    if (sink != nullptr) sink->end_span(batch_span);
   }
+  // Request-index order: every merge below (stats and the telemetry
+  // registry alike) is deterministic across worker-thread counts (§5a).
   for (std::size_t i = 0; i < work.size(); ++i) {
     ++delta.processed;
+    const char* mode;
     if (replies[i].analytic) {
       ++delta.analytic;
+      mode = "warm_analytic";
     } else if (replies[i].warm) {
       ++delta.warm;
+      mode = "warm_replay";
     } else {
       ++delta.cold;
+      mode = "cold";
     }
     delta.fused_pairs += fused[i];
     delta.fusion_gm_bytes_eliminated += gm_eliminated[i];
@@ -118,7 +176,42 @@ std::vector<ServeReply> ServingDriver::drain() {
     delta.fleet_d2h_bytes += fleet_runs[i].fleet_d2h_bytes;
     delta.fleet_d2d_bytes += fleet_runs[i].fleet_d2d_bytes;
     delta.fleet_transfer_seconds += fleet_runs[i].fleet_transfer_seconds;
+    delta.conv_launches += fleet_runs[i].conv_launches;
+    delta.plan_taxonomy += fleet_runs[i].plan_taxonomy;
+    delta.fleet_device_chunks += fleet_runs[i].fleet_device_chunks;
+    delta.comm_bound_devices += fleet_runs[i].comm_bound_devices;
+    delta.arena_slot_reuses += fleet_runs[i].arena_slot_reuses;
+    delta.arena_peak_bytes =
+        std::max(delta.arena_peak_bytes, fleet_runs[i].arena_peak_bytes);
+    delta.latency.add(replies[i].host_seconds);
+    delta.sim_latency.add(replies[i].sim_seconds);
+    if (sink != nullptr) {
+      obs::MetricsKey key;
+      key.network = work[i].net->name;
+      key.shape = strf("%lldx%lldx%lld",
+                       static_cast<long long>(work[i].input.c()),
+                       static_cast<long long>(work[i].input.h()),
+                       static_cast<long long>(work[i].input.w()));
+      key.mode = mode;
+      obs::Metrics m;
+      m.count("requests");
+      m.count("conv_launches", fleet_runs[i].conv_launches);
+      m.count("fused_pairs", fused[i]);
+      m.count("plan_hit", fleet_runs[i].plan_taxonomy.hit);
+      m.count("plan_miss", fleet_runs[i].plan_taxonomy.miss_total());
+      m.count("arena_slot_reuses", fleet_runs[i].arena_slot_reuses);
+      m.count("fleet_device_chunks", fleet_runs[i].fleet_device_chunks);
+      m.count("comm_bound_devices", fleet_runs[i].comm_bound_devices);
+      m.gauge_max("queue_depth", static_cast<double>(work.size()));
+      m.gauge_max("inflight_batches", static_cast<double>(batches.size()));
+      m.gauge_max("arena_peak_bytes",
+                  static_cast<double>(fleet_runs[i].arena_peak_bytes));
+      m.hist("latency_s").add(replies[i].host_seconds);
+      m.hist("sim_s").add(replies[i].sim_seconds);
+      sink->merge_metrics(key, m);
+    }
   }
+  if (sink != nullptr) sink->snapshot_metrics();
   std::sort(replies.begin(), replies.end(),
             [](const ServeReply& a, const ServeReply& b) {
               return a.id < b.id;
@@ -136,6 +229,17 @@ std::vector<ServeReply> ServingDriver::drain() {
     stats_.fleet_d2h_bytes += delta.fleet_d2h_bytes;
     stats_.fleet_d2d_bytes += delta.fleet_d2d_bytes;
     stats_.fleet_transfer_seconds += delta.fleet_transfer_seconds;
+    stats_.conv_launches += delta.conv_launches;
+    stats_.plan_taxonomy += delta.plan_taxonomy;
+    stats_.fleet_device_chunks += delta.fleet_device_chunks;
+    stats_.comm_bound_devices += delta.comm_bound_devices;
+    stats_.arena_slot_reuses += delta.arena_slot_reuses;
+    stats_.arena_peak_bytes =
+        std::max(stats_.arena_peak_bytes, delta.arena_peak_bytes);
+    stats_.max_inflight_batches =
+        std::max(stats_.max_inflight_batches, delta.max_inflight_batches);
+    stats_.latency.merge(delta.latency);
+    stats_.sim_latency.merge(delta.sim_latency);
   }
   return replies;
 }

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "src/common/thread_pool.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/scope.hpp"
 #include "src/serve/networks.hpp"
 #include "src/sim/plan_cache.hpp"
 
@@ -38,6 +40,13 @@ struct ServeOptions {
   bool analytic = false;
   /// Base launch options for every node (replay, num_threads, profile...).
   sim::LaunchOptions launch;
+  /// kconv-scope sink (docs/MODEL.md §11). When set, the driver mints one
+  /// trace per request (trace = request id + 1; trace 0 is the driver's
+  /// batch lane), spans every queue wait / batch / execution, rolls metrics
+  /// up per (network, shape, mode) in request-index order, and snapshots
+  /// them after each drain. Purely observational: replies and every
+  /// scheduling-invariant counter are byte-identical with this null or set.
+  obs::TelemetrySink* telemetry = nullptr;
 };
 
 struct ServeReply {
@@ -61,6 +70,22 @@ struct ServeStats {
   /// sharded conv launch of every request (docs/MODEL.md §9).
   u64 fleet_h2d_bytes = 0, fleet_d2h_bytes = 0, fleet_d2d_bytes = 0;
   double fleet_transfer_seconds = 0.0;
+
+  /// kconv-scope roll-ups (docs/MODEL.md §11). All scheduling-invariant
+  /// except the latency histogram, whose *samples* are wall-clock host
+  /// times but whose structure (count, merge order) is index-ordered and
+  /// therefore deterministic.
+  u64 conv_launches = 0;
+  /// §5d plan-cache outcome per conv launch; total() == conv_launches.
+  obs::PlanCacheTaxonomy plan_taxonomy;
+  u64 fleet_device_chunks = 0;
+  u64 comm_bound_devices = 0;  ///< chunks with transfer time > compute time
+  u64 arena_slot_reuses = 0;
+  u64 arena_peak_bytes = 0;      ///< max over requests
+  u64 max_queue_depth = 0;       ///< high-water queued requests
+  u64 max_inflight_batches = 0;  ///< high-water batches per drain
+  obs::Histogram latency;        ///< host seconds per request
+  obs::Histogram sim_latency;    ///< simulated seconds per request
 };
 
 class ServingDriver {
@@ -84,6 +109,8 @@ class ServingDriver {
     u64 id = 0;
     const Network* net = nullptr;
     tensor::Tensor input;
+    u64 request_span = 0;  ///< open from enqueue to reply completion
+    u64 queued_span = 0;   ///< open from enqueue to execution start
   };
 
   ServeOptions opt_;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/common/types.hpp"
+#include "src/obs/scope.hpp"
 #include "src/sim/dim.hpp"
 #include "src/sim/transfer.hpp"
 
@@ -128,6 +129,14 @@ struct LaunchOptions {
   /// the transfer ledger; a Batch fleet without hints still shards but
   /// stages nothing.
   FleetHints fleet_hints;
+  /// kconv-scope (docs/MODEL.md §11): request-scoped telemetry handle.
+  /// Default state is off (null sink) and every hook is a guarded append,
+  /// so outputs and all scheduling-invariant counters are byte-identical
+  /// with telemetry on or off, in every launch mode. The serving driver
+  /// mints trace = request id; run_graph re-parents the scope per node;
+  /// the launch layer records its span, the §5d plan-cache outcome, and
+  /// one event per fleet device chunk.
+  obs::TelemetryScope telemetry;
 };
 
 }  // namespace kconv::sim

@@ -139,6 +139,23 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
   const bool profiling = opt.profile;
   res.profile.enabled = profiling;
 
+  // kconv-scope (docs/MODEL.md §11): open the launch span. Purely
+  // observational — the sink only ever receives appends, so the launch's
+  // outputs and counters are untouched by telemetry being on.
+  const obs::TelemetryScope tel = opt.telemetry;
+  u64 tel_span = 0;
+  if (tel.on()) {
+    const char* mode = analytic     ? "analytic"
+                       : replaying  ? "replay"
+                       : threads > 1 ? "parallel"
+                                     : "serial";
+    tel_span = tel.sink->begin_span(
+        tel.trace, tel.parent, "launch", "launch",
+        strf("{\"blocks\":%llu,\"mode\":\"%s\",\"devices\":%u}",
+             static_cast<unsigned long long>(res.blocks_total), mode,
+             fleet_on ? opt.fleet.devices : 1u));
+  }
+
   // Cross-launch plan persistence (docs/MODEL.md §5d). A warm plan seeds
   // every runner's class table before any block runs; any load-side
   // mismatch (version, key, arch, config, payload damage) is a loud miss
@@ -406,6 +423,16 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
     }
     res.fleet = analyze_fleet(arch, opt.fleet, opt.fleet_hints,
                               res.blocks_total, fshards, shards, dev_seconds);
+    // One telemetry event per device chunk, in device order (deterministic:
+    // device_reports is built by analyze_fleet in index order).
+    if (tel.on()) {
+      for (const FleetDeviceReport& d : res.fleet.device_reports) {
+        tel.sink->fleet_device_event(
+            tel.trace, tel_span, d.device, d.blocks, d.ledger.h2d_bytes,
+            d.ledger.d2h_bytes, d.ledger.d2d_bytes, d.transfer_seconds,
+            d.compute_seconds, d.comm_ratio);
+      }
+    }
   } else if (threads <= 1) {
     // Exact-legacy serial path: one shared per-SM constant cache, every
     // block's sectors through the device's single L2 (which therefore stays
@@ -618,6 +645,11 @@ LaunchResult launch_impl(Device& dev, const KernelBody& body,
       res.analysis.lints = analysis::lint_stats(arch, cfg, res.stats,
                                                 res.timing);
     }
+  }
+  if (tel.on()) {
+    tel.sink->plan_cache_event(tel.trace, tel_span, res.plan_cache_status,
+                               res.blocks_replayed);
+    tel.sink->end_span(tel_span);
   }
   return res;
 }
